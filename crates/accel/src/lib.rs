@@ -1,0 +1,48 @@
+//! Accelerator models for the TDGraph reproduction.
+//!
+//! * [`tdgraph`] — the paper's contribution: the per-core TDGraph engine
+//!   (TDTU topology tracking + synchronized prefetching, VSCU hot-state
+//!   coalescing), in hardware ([`tdgraph::TdGraph::hardware`]) and
+//!   software-only ([`tdgraph::TdGraph::software`]) forms.
+//! * [`hats`], [`minnow`], [`phi`], [`depgraph`] — the four comparator
+//!   accelerators of §4.3, each modeled with exactly the mechanism its own
+//!   paper proposes.
+//! * [`jetstream`] — the event-driven streaming accelerators JetStream
+//!   (±state coalescing) and GraphPulse (Figs 16–17).
+//! * [`area`] — the Table 3 area/power component model.
+//!
+//! Every engine implements [`tdgraph_engines::engine::Engine`] and runs
+//! under the same harness and oracle verification as the software systems.
+//!
+//! # Example
+//!
+//! ```
+//! use tdgraph_accel::tdgraph::TdGraph;
+//! use tdgraph_algos::traits::Algo;
+//! use tdgraph_engines::harness::{run_streaming, RunOptions};
+//! use tdgraph_graph::datasets::{Dataset, Sizing};
+//!
+//! let res = run_streaming(
+//!     &mut TdGraph::hardware(),
+//!     Algo::sssp(0),
+//!     Dataset::Amazon,
+//!     Sizing::Tiny,
+//!     &RunOptions::small(),
+//! );
+//! assert!(res.verify.is_match());
+//! ```
+
+pub mod area;
+pub mod depgraph;
+pub mod hats;
+pub mod jetstream;
+pub mod minnow;
+pub mod phi;
+pub mod tdgraph;
+
+pub use depgraph::DepGraph;
+pub use hats::Hats;
+pub use jetstream::{GraphPulse, JetStream};
+pub use minnow::Minnow;
+pub use phi::Phi;
+pub use tdgraph::{TdGraph, TdGraphConfig};

@@ -1,0 +1,132 @@
+//! Memory-access taps.
+//!
+//! The shared algorithm kernels (from-scratch solver, incremental seeding)
+//! report every data-structure access through an [`AccessTap`] so the
+//! execution engines can charge them to the simulator, while pure-algorithm
+//! callers (the oracle, host-native runs) use [`NullTap`] for zero overhead.
+
+use tdgraph_graph::types::VertexId;
+
+/// One logical access to a paper data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessEvent {
+    /// Read `Offset_Array[v]` (and `[v+1]`; a single 8 B entry pair).
+    ReadOffsets(VertexId),
+    /// Read `Neighbor_Array[i]` (flat edge index).
+    ReadNeighbor(u64),
+    /// Read the weight parallel to edge index `i`.
+    ReadWeight(u64),
+    /// Read vertex `v`'s state.
+    ReadState(VertexId),
+    /// Write vertex `v`'s state.
+    WriteState(VertexId),
+    /// Read dependency metadata (parent pointer / tag) of `v`.
+    ReadAux(VertexId),
+    /// Write dependency metadata of `v`.
+    WriteAux(VertexId),
+    /// Read the active bit of `v`.
+    ReadActive(VertexId),
+    /// Write the active bit of `v`.
+    WriteActive(VertexId),
+}
+
+/// Receiver of [`AccessEvent`]s.
+pub trait AccessTap {
+    /// Handles one access.
+    fn touch(&mut self, event: AccessEvent);
+}
+
+/// Discards all events (pure-algorithm execution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTap;
+
+impl AccessTap for NullTap {
+    fn touch(&mut self, _event: AccessEvent) {}
+}
+
+/// Counts events by kind (used by tests and the Fig 4 analysis).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountingTap {
+    /// State reads.
+    pub state_reads: u64,
+    /// State writes.
+    pub state_writes: u64,
+    /// Offset reads.
+    pub offset_reads: u64,
+    /// Neighbor reads.
+    pub neighbor_reads: u64,
+    /// Weight reads.
+    pub weight_reads: u64,
+    /// Aux (dependency metadata) accesses.
+    pub aux_accesses: u64,
+    /// Active-bit accesses.
+    pub active_accesses: u64,
+}
+
+impl AccessTap for CountingTap {
+    fn touch(&mut self, event: AccessEvent) {
+        match event {
+            AccessEvent::ReadState(_) => self.state_reads += 1,
+            AccessEvent::WriteState(_) => self.state_writes += 1,
+            AccessEvent::ReadOffsets(_) => self.offset_reads += 1,
+            AccessEvent::ReadNeighbor(_) => self.neighbor_reads += 1,
+            AccessEvent::ReadWeight(_) => self.weight_reads += 1,
+            AccessEvent::ReadAux(_) | AccessEvent::WriteAux(_) => self.aux_accesses += 1,
+            AccessEvent::ReadActive(_) | AccessEvent::WriteActive(_) => {
+                self.active_accesses += 1
+            }
+        }
+    }
+}
+
+/// Records the vertex of every state access, preserving order (drives the
+/// Fig 4b access-frequency analysis).
+#[derive(Debug, Clone, Default)]
+pub struct StateTraceTap {
+    /// Vertices whose state was read or written, in order.
+    pub trace: Vec<VertexId>,
+}
+
+impl AccessTap for StateTraceTap {
+    fn touch(&mut self, event: AccessEvent) {
+        if let AccessEvent::ReadState(v) | AccessEvent::WriteState(v) = event {
+            self.trace.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_tap_counts_by_kind() {
+        let mut t = CountingTap::default();
+        t.touch(AccessEvent::ReadState(1));
+        t.touch(AccessEvent::WriteState(1));
+        t.touch(AccessEvent::ReadState(2));
+        t.touch(AccessEvent::ReadOffsets(0));
+        t.touch(AccessEvent::ReadNeighbor(5));
+        t.touch(AccessEvent::WriteAux(3));
+        assert_eq!(t.state_reads, 2);
+        assert_eq!(t.state_writes, 1);
+        assert_eq!(t.offset_reads, 1);
+        assert_eq!(t.neighbor_reads, 1);
+        assert_eq!(t.aux_accesses, 1);
+    }
+
+    #[test]
+    fn state_trace_tap_records_only_state_accesses() {
+        let mut t = StateTraceTap::default();
+        t.touch(AccessEvent::ReadState(7));
+        t.touch(AccessEvent::ReadNeighbor(0));
+        t.touch(AccessEvent::WriteState(9));
+        assert_eq!(t.trace, vec![7, 9]);
+    }
+
+    #[test]
+    fn null_tap_is_inert() {
+        let mut t = NullTap;
+        t.touch(AccessEvent::ReadState(0));
+    }
+}

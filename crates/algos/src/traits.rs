@@ -1,0 +1,298 @@
+//! Algorithm definitions.
+//!
+//! The paper evaluates two algorithm categories (§2.1): *accumulative*
+//! (Incremental PageRank, Adsorption — state updates are sums) and
+//! *monotonic* (SSSP, CC — state updates are selections such as min).
+//! [`Algo`] is a closed enum over the four benchmarks; engines stay generic
+//! by dispatching through its category-specific methods.
+
+use tdgraph_graph::types::{VertexId, Weight};
+
+/// The paper's two incremental-computation categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Sum-style updates with cancel-first deletion handling.
+    Accumulative,
+    /// Selection-style (min) updates with tag/reset deletion handling.
+    Monotonic,
+}
+
+/// Single-source shortest paths (monotonic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sssp {
+    /// Root vertex of the shortest-path tree.
+    pub source: VertexId,
+}
+
+/// Connected components via min-label propagation (monotonic).
+///
+/// On a directed snapshot this computes the fixpoint of
+/// `label[v] = min(v, min over in-edges (u,v) of label[u])`, the same
+/// definition KickStarter uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cc;
+
+/// Incremental PageRank (accumulative), in the unnormalized
+/// `r = (1-d) + d * Σ r_u / deg(u)` formulation with residual propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRank {
+    /// Damping factor `d` (default 0.85).
+    pub damping: f32,
+    /// Residual convergence threshold (default 1e-4).
+    pub epsilon: f32,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        Self { damping: 0.85, epsilon: 1e-4 }
+    }
+}
+
+/// Adsorption-style weighted label propagation (accumulative):
+/// `s[v] = seed(v)·(1-α) + α · Σ s[u] · w_uv / W_out(u)`.
+///
+/// Seeds are placed on every `seed_stride`-th vertex, a synthetic stand-in
+/// for the labeled entities of the original algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adsorption {
+    /// Continuation probability α (default 0.8).
+    pub alpha: f32,
+    /// Every `seed_stride`-th vertex carries injection mass 1.
+    pub seed_stride: u32,
+    /// Residual convergence threshold.
+    pub epsilon: f32,
+}
+
+impl Default for Adsorption {
+    fn default() -> Self {
+        Self { alpha: 0.8, seed_stride: 16, epsilon: 1e-4 }
+    }
+}
+
+/// A benchmark algorithm (closed enum; see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// Single-source shortest paths.
+    Sssp(Sssp),
+    /// Connected components.
+    Cc(Cc),
+    /// Incremental PageRank.
+    PageRank(PageRank),
+    /// Adsorption.
+    Adsorption(Adsorption),
+}
+
+impl Algo {
+    /// SSSP from `source` with default parameters.
+    #[must_use]
+    pub fn sssp(source: VertexId) -> Self {
+        Algo::Sssp(Sssp { source })
+    }
+
+    /// Connected components.
+    #[must_use]
+    pub fn cc() -> Self {
+        Algo::Cc(Cc)
+    }
+
+    /// PageRank with default parameters.
+    #[must_use]
+    pub fn pagerank() -> Self {
+        Algo::PageRank(PageRank::default())
+    }
+
+    /// Adsorption with default parameters.
+    #[must_use]
+    pub fn adsorption() -> Self {
+        Algo::Adsorption(Adsorption::default())
+    }
+
+    /// Short display name matching the paper's benchmark labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Sssp(_) => "SSSP",
+            Algo::Cc(_) => "CC",
+            Algo::PageRank(_) => "PageRank",
+            Algo::Adsorption(_) => "Adsorption",
+        }
+    }
+
+    /// Category (§2.1).
+    #[must_use]
+    pub fn kind(&self) -> AlgorithmKind {
+        match self {
+            Algo::Sssp(_) | Algo::Cc(_) => AlgorithmKind::Monotonic,
+            Algo::PageRank(_) | Algo::Adsorption(_) => AlgorithmKind::Accumulative,
+        }
+    }
+
+    // ---- Monotonic interface -------------------------------------------
+
+    /// Initial (worst) state of vertex `v` before any relaxation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an accumulative algorithm.
+    #[must_use]
+    pub fn mono_init(&self, v: VertexId) -> f32 {
+        match self {
+            Algo::Sssp(s) => {
+                if v == s.source {
+                    0.0
+                } else {
+                    f32::INFINITY
+                }
+            }
+            Algo::Cc(_) => v as f32,
+            _ => panic!("mono_init on accumulative algorithm {}", self.name()),
+        }
+    }
+
+    /// Candidate state `dst` receives along an edge from a source with
+    /// state `src_state` and weight `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an accumulative algorithm.
+    #[must_use]
+    pub fn mono_propagate(&self, src_state: f32, weight: Weight) -> f32 {
+        match self {
+            Algo::Sssp(_) => src_state + weight,
+            Algo::Cc(_) => src_state,
+            _ => panic!("mono_propagate on accumulative algorithm {}", self.name()),
+        }
+    }
+
+    /// Whether `candidate` improves on `current` (strict, so fixpoints
+    /// terminate).
+    #[must_use]
+    pub fn mono_better(&self, candidate: f32, current: f32) -> bool {
+        candidate < current
+    }
+
+    // ---- Accumulative interface ----------------------------------------
+
+    /// Injection (base) mass of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a monotonic algorithm.
+    #[must_use]
+    pub fn acc_base(&self, v: VertexId) -> f32 {
+        match self {
+            Algo::PageRank(p) => 1.0 - p.damping,
+            Algo::Adsorption(a) => {
+                if v % a.seed_stride == 0 {
+                    1.0 - a.alpha
+                } else {
+                    0.0
+                }
+            }
+            _ => panic!("acc_base on monotonic algorithm {}", self.name()),
+        }
+    }
+
+    /// Mass an edge of weight `w` carries when splitting a vertex's
+    /// outgoing contribution (1 for PageRank, `w` for Adsorption).
+    #[must_use]
+    pub fn edge_mass(&self, w: Weight) -> f32 {
+        match self {
+            Algo::PageRank(_) => 1.0,
+            Algo::Adsorption(_) => w,
+            _ => 0.0,
+        }
+    }
+
+    /// Scales a residual pushed from a vertex with total outgoing mass
+    /// `out_mass` along an edge of weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a monotonic algorithm.
+    #[must_use]
+    pub fn acc_scale(&self, residual: f32, w: Weight, out_mass: f32) -> f32 {
+        let (alpha, mass) = match self {
+            Algo::PageRank(p) => (p.damping, 1.0),
+            Algo::Adsorption(a) => (a.alpha, w),
+            _ => panic!("acc_scale on monotonic algorithm {}", self.name()),
+        };
+        if out_mass <= 0.0 {
+            0.0
+        } else {
+            alpha * residual * mass / out_mass
+        }
+    }
+
+    /// Residual convergence threshold for accumulative algorithms, or the
+    /// exact-zero threshold for monotonic ones.
+    #[must_use]
+    pub fn epsilon(&self) -> f32 {
+        match self {
+            Algo::PageRank(p) => p.epsilon,
+            Algo::Adsorption(a) => a.epsilon,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_paper_categories() {
+        assert_eq!(Algo::sssp(0).kind(), AlgorithmKind::Monotonic);
+        assert_eq!(Algo::cc().kind(), AlgorithmKind::Monotonic);
+        assert_eq!(Algo::pagerank().kind(), AlgorithmKind::Accumulative);
+        assert_eq!(Algo::adsorption().kind(), AlgorithmKind::Accumulative);
+    }
+
+    #[test]
+    fn sssp_init_and_propagate() {
+        let a = Algo::sssp(3);
+        assert_eq!(a.mono_init(3), 0.0);
+        assert!(a.mono_init(0).is_infinite());
+        assert_eq!(a.mono_propagate(2.0, 1.5), 3.5);
+        assert!(a.mono_better(3.0, 4.0));
+        assert!(!a.mono_better(4.0, 4.0));
+    }
+
+    #[test]
+    fn cc_labels_start_as_ids_and_pass_through() {
+        let a = Algo::cc();
+        assert_eq!(a.mono_init(17), 17.0);
+        assert_eq!(a.mono_propagate(5.0, 99.0), 5.0);
+    }
+
+    #[test]
+    fn pagerank_base_and_scale() {
+        let a = Algo::pagerank();
+        assert!((a.acc_base(0) - 0.15).abs() < 1e-6);
+        // Push 1.0 of residual over out-degree 4: 0.85/4 per edge.
+        assert!((a.acc_scale(1.0, 1.0, 4.0) - 0.2125).abs() < 1e-6);
+        assert_eq!(a.acc_scale(1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn adsorption_seeds_on_stride() {
+        let a = Algo::adsorption();
+        assert!(a.acc_base(0) > 0.0);
+        assert_eq!(a.acc_base(1), 0.0);
+        assert_eq!(a.acc_base(16), a.acc_base(0));
+        // Weighted split: weight counts.
+        assert!(a.acc_scale(1.0, 2.0, 4.0) > a.acc_scale(1.0, 1.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mono_init on accumulative")]
+    fn wrong_category_panics() {
+        let _ = Algo::pagerank().mono_init(0);
+    }
+
+    #[test]
+    fn edge_mass_by_algorithm() {
+        assert_eq!(Algo::pagerank().edge_mass(7.0), 1.0);
+        assert_eq!(Algo::adsorption().edge_mass(7.0), 7.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Correctness oracle helpers.
+//!
+//! Incremental engines are validated against the from-scratch solver. For
+//! monotonic algorithms the comparison is exact (modulo infinities); for
+//! accumulative algorithms a relative tolerance absorbs residual-threshold
+//! and f32 rounding differences.
+
+use crate::traits::{Algo, AlgorithmKind};
+
+/// Comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyOutcome {
+    /// All states matched within tolerance.
+    Match,
+    /// First mismatch found.
+    Mismatch {
+        /// Vertex of the first mismatch.
+        vertex: usize,
+        /// Value from the incremental computation.
+        got: f32,
+        /// Oracle value.
+        want: f32,
+    },
+    /// The two state vectors have different lengths.
+    LengthMismatch {
+        /// Incremental length.
+        got: usize,
+        /// Oracle length.
+        want: usize,
+    },
+}
+
+impl VerifyOutcome {
+    /// Whether the comparison succeeded.
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        matches!(self, VerifyOutcome::Match)
+    }
+}
+
+/// Default tolerance for an algorithm category.
+#[must_use]
+pub fn tolerance(algo: &Algo) -> f32 {
+    match algo.kind() {
+        AlgorithmKind::Monotonic => 1e-6,
+        // Residual cutoffs leave up to ~ε/(1-α) of unpropagated mass.
+        AlgorithmKind::Accumulative => 0.02,
+    }
+}
+
+/// Compares incremental states against the oracle.
+#[must_use]
+pub fn compare(algo: &Algo, got: &[f32], want: &[f32]) -> VerifyOutcome {
+    if got.len() != want.len() {
+        return VerifyOutcome::LengthMismatch { got: got.len(), want: want.len() };
+    }
+    let tol = tolerance(algo);
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        if g.is_infinite() && w.is_infinite() {
+            continue;
+        }
+        if (g - w).abs() > tol + tol * w.abs() {
+            return VerifyOutcome::Mismatch { vertex: i, got: g, want: w };
+        }
+    }
+    VerifyOutcome::Match
+}
+
+/// Maximum absolute difference between two state vectors, ignoring pairs
+/// where both are infinite.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn max_abs_diff(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len(), "state vectors must have equal length");
+    got.iter()
+        .zip(want)
+        .filter(|(g, w)| !(g.is_infinite() && w.is_infinite()))
+        .map(|(g, w)| (g - w).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_for_monotonic() {
+        let algo = Algo::sssp(0);
+        assert!(compare(&algo, &[0.0, 1.0], &[0.0, 1.0]).is_match());
+        assert!(!compare(&algo, &[0.0, 1.0], &[0.0, 1.001]).is_match());
+    }
+
+    #[test]
+    fn infinities_match_each_other() {
+        let algo = Algo::sssp(0);
+        assert!(compare(&algo, &[f32::INFINITY], &[f32::INFINITY]).is_match());
+        assert!(!compare(&algo, &[f32::INFINITY], &[5.0]).is_match());
+    }
+
+    #[test]
+    fn accumulative_tolerates_residual_noise() {
+        let algo = Algo::pagerank();
+        assert!(compare(&algo, &[1.0, 0.501], &[1.0, 0.5]).is_match());
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let algo = Algo::cc();
+        assert_eq!(
+            compare(&algo, &[0.0], &[0.0, 1.0]),
+            VerifyOutcome::LengthMismatch { got: 1, want: 2 }
+        );
+    }
+
+    #[test]
+    fn mismatch_reports_first_vertex() {
+        let algo = Algo::cc();
+        match compare(&algo, &[0.0, 5.0, 9.0], &[0.0, 1.0, 9.0]) {
+            VerifyOutcome::Mismatch { vertex, got, want } => {
+                assert_eq!(vertex, 1);
+                assert_eq!(got, 5.0);
+                assert_eq!(want, 1.0);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_ignores_double_infinities() {
+        let d = max_abs_diff(&[f32::INFINITY, 1.0], &[f32::INFINITY, 3.5]);
+        assert_eq!(d, 2.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion benches: one benchmark per reproducible table/figure, running
+//! the corresponding experiment at Quick scope, plus micro-benchmarks of
+//! the hot substrate paths (cache access, CSR build, propagation kernels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdgraph::graph::csr::Csr;
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::graph::generate::{Rmat, RmatConfig};
+use tdgraph::{EngineKind, Experiment};
+use tdgraph_bench::{run_experiment, ExperimentId, Scope};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // The full multi-dataset sweeps are exercised once per iteration at the
+    // Quick scope; the heaviest ones get fewer, documented, samples.
+    for id in [
+        ExperimentId::Table2,
+        ExperimentId::Fig04,
+        ExperimentId::Fig14,
+        ExperimentId::Fig21,
+        ExperimentId::Fig22,
+    ] {
+        group.bench_function(id.cli_name(), |b| {
+            b.iter(|| run_experiment(id, Scope::Quick));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines_sssp_tiny");
+    group.sample_size(10);
+    for kind in [
+        EngineKind::LigraO,
+        EngineKind::GraphBolt,
+        EngineKind::KickStarter,
+        EngineKind::Dzig,
+        EngineKind::Hats,
+        EngineKind::Minnow,
+        EngineKind::Phi,
+        EngineKind::DepGraph,
+        EngineKind::JetStream,
+        EngineKind::TdGraphS,
+        EngineKind::TdGraphH,
+    ] {
+        let label = format!("{kind:?}");
+        group.bench_function(&label, |b| {
+            let experiment = Experiment::new(Dataset::Amazon)
+                .sizing(Sizing::Tiny)
+                .tune(|o| o.batches = 1);
+            b.iter(|| {
+                let res = experiment.run(kind);
+                assert!(res.verify.is_match());
+                res.metrics.cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    let edges = Rmat::new(RmatConfig::new(12, 8).with_seed(3)).edges();
+    group.bench_function("csr_build_32k_edges", |b| {
+        b.iter(|| Csr::from_edges(1 << 12, &edges));
+    });
+    let csr = Csr::from_edges(1 << 12, &edges);
+    group.bench_function("csr_transpose", |b| b.iter(|| csr.transpose()));
+
+    use tdgraph::sim::address::{AddressSpace, Region};
+    use tdgraph::sim::machine::Machine;
+    use tdgraph::sim::stats::Actor;
+    use tdgraph::sim::SimConfig;
+    group.bench_function("machine_1k_accesses", |b| {
+        let layout = AddressSpace::layout(4096, 32768, 32);
+        let mut machine = Machine::new(SimConfig::small_test(), layout);
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                i = (i * 1664525 + 1013904223) % 4096;
+                machine.access(
+                    (i % 4) as usize,
+                    Actor::Core,
+                    Region::VertexStates,
+                    i,
+                    i % 7 == 0,
+                );
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate, bench_engines, bench_experiments);
+criterion_main!(benches);

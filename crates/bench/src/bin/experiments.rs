@@ -1,0 +1,72 @@
+//! Experiments CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p tdgraph-bench --release --bin experiments -- all
+//! cargo run -p tdgraph-bench --release --bin experiments -- fig10 fig15
+//! cargo run -p tdgraph-bench --release --bin experiments -- all --quick
+//! cargo run -p tdgraph-bench --release --bin experiments -- all --out results.md
+//! ```
+
+use std::io::Write as _;
+
+use tdgraph_bench::{run_experiment, ExperimentId, Scope};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let scope = if args.iter().any(|a| a == "--quick") { Scope::Quick } else { Scope::Full };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    for a in args.iter().filter(|a| !a.starts_with("--")) {
+        if a == "all" {
+            ids = ExperimentId::ALL.to_vec();
+            break;
+        }
+        match ExperimentId::from_cli_name(a) {
+            Some(id) => ids.push(id),
+            None => {
+                if Some(a.as_str()) != out_path.as_deref() {
+                    eprintln!("unknown experiment: {a}");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut report = String::new();
+    for id in ids {
+        eprintln!("running {} ...", id.cli_name());
+        let start = std::time::Instant::now();
+        let output = run_experiment(id, scope);
+        let rendered = output.render();
+        println!("{rendered}");
+        report.push_str(&rendered);
+        report.push('\n');
+        eprintln!("  {} done in {:.1}s", id.cli_name(), start.elapsed().as_secs_f64());
+    }
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: experiments <all | id...> [--quick] [--out FILE]");
+    eprintln!("ids:");
+    for id in ExperimentId::ALL {
+        eprintln!("  {}", id.cli_name());
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig 13: VSCU ablation — TDGraph-H-without (TDTU only) vs full TDGraph-H,
+//! normalized to Ligra-o.
+
+use tdgraph::graph::datasets::Dataset;
+use tdgraph::{EngineKind, Experiment};
+
+use super::{ExperimentId, ExperimentOutput, Scope};
+
+pub fn run(scope: Scope) -> ExperimentOutput {
+    let mut lines = vec![format!(
+        "{:<4} {:<18} {:>11} {:>12} {:>10}",
+        "ds", "engine", "cycles", "speedup(LO)", "vscu gain"
+    )];
+    for ds in Dataset::ALL {
+        let experiment = Experiment::new(ds)
+            .sizing(scope.sweep_sizing())
+            .options(scope.options());
+        let results = experiment.run_all(&[
+            EngineKind::LigraO,
+            EngineKind::TdGraphHWithout,
+            EngineKind::TdGraphH,
+        ]);
+        let base = results[0].1.metrics.cycles.max(1);
+        let without = results[1].1.metrics.cycles.max(1);
+        for (kind, res) in &results {
+            assert!(res.verify.is_match(), "{kind:?} diverged on {ds:?}");
+            let m = &res.metrics;
+            let vscu_gain = if *kind == EngineKind::TdGraphH {
+                format!("{:>9.2}x", without as f64 / m.cycles.max(1) as f64)
+            } else {
+                format!("{:>10}", "-")
+            };
+            lines.push(format!(
+                "{:<4} {:<18} {:>11} {:>11.2}x {}",
+                ds.abbrev(),
+                m.engine,
+                m.cycles,
+                base as f64 / m.cycles.max(1) as f64,
+                vscu_gain,
+            ));
+        }
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper: TDTU alone gives 5.3~10.8x over Ligra-o; VSCU adds another 1.5~1.9x".into(),
+    );
+    ExperimentOutput {
+        id: ExperimentId::Fig13,
+        title: "Speedups of TDGraph-H-without (TDTU only) and full TDGraph-H".into(),
+        lines,
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig 14: software-only comparison on a real platform (the build host
+//! substitutes for the paper's Xeon Phi 7210; DESIGN.md §3).
+
+use tdgraph::graph::datasets::Dataset;
+
+use crate::native::{run_native, NativeEngine};
+
+use super::{ExperimentId, ExperimentOutput, Scope};
+
+pub fn run(scope: Scope) -> ExperimentOutput {
+    let sizing = scope.focus_sizing();
+    let ligra = run_native(NativeEngine::LigraO, None, Dataset::Friendster, sizing, 3);
+    let tdg = run_native(
+        NativeEngine::TdGraphSWithout,
+        None,
+        Dataset::Friendster,
+        sizing,
+        3,
+    );
+    assert!(ligra.verified && tdg.verified, "native runs diverged from oracle");
+    let lines = vec![
+        format!(
+            "{:<28} {:>12} {:>10}",
+            "engine", "time (us)", "updates"
+        ),
+        format!(
+            "{:<28} {:>12} {:>10}",
+            ligra.engine.name(),
+            ligra.propagation_time.as_micros(),
+            ligra.updates
+        ),
+        format!(
+            "{:<28} {:>12} {:>10}",
+            tdg.engine.name(),
+            tdg.propagation_time.as_micros(),
+            tdg.updates
+        ),
+        String::new(),
+        format!(
+            "TDGraph-S-without / Ligra-o time ratio: {:.2} (updates ratio {:.2})",
+            tdg.propagation_time.as_secs_f64() / ligra.propagation_time.as_secs_f64().max(1e-12),
+            tdg.updates as f64 / ligra.updates.max(1) as f64
+        ),
+        "paper: TDGraph-S-without also outperforms Ligra-o on a real 64-core Xeon Phi".into(),
+    ];
+    ExperimentOutput {
+        id: ExperimentId::Fig14,
+        title: "Execution time over FR on a real platform (host-native, SSSP)".into(),
+        lines,
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig 15: TDGraph-H against the four comparator accelerators (HATS,
+//! Minnow, PHI, DepGraph) — speedups and Perf/Watt normalized to HATS,
+//! plus the LLC miss rates §4.3 quotes.
+
+use tdgraph::algos::traits::Algo;
+use tdgraph::graph::datasets::Dataset;
+use tdgraph::{EngineKind, Experiment};
+
+use super::{ExperimentId, ExperimentOutput, Scope};
+
+const ENGINES: [EngineKind; 5] = [
+    EngineKind::Hats,
+    EngineKind::Minnow,
+    EngineKind::Phi,
+    EngineKind::DepGraph,
+    EngineKind::TdGraphH,
+];
+
+pub fn run(scope: Scope) -> ExperimentOutput {
+    let mut lines = vec![format!(
+        "{:<11} {:<4} {:<12} {:>11} {:>12} {:>11} {:>9}",
+        "algo", "ds", "engine", "cycles", "speedup(HA)", "perf/W(HA)", "llcmiss%"
+    )];
+    let algos: [(&str, Option<Algo>); 4] = [
+        ("PageRank", Some(Algo::pagerank())),
+        ("Adsorption", Some(Algo::adsorption())),
+        ("SSSP", None),
+        ("CC", Some(Algo::cc())),
+    ];
+    let mut miss_sums = vec![(0.0f64, 0u32); ENGINES.len()];
+    for (name, algo) in algos {
+        for ds in Dataset::ALL {
+            let mut experiment = Experiment::new(ds)
+                .sizing(scope.sweep_sizing())
+                .options(scope.options());
+            if let Some(a) = algo {
+                experiment = experiment.algorithm(a);
+            }
+            let results = experiment.run_all(&ENGINES);
+            let hats = results[0].1.metrics.clone();
+            for (i, (kind, res)) in results.iter().enumerate() {
+                assert!(
+                    res.verify.is_match(),
+                    "{kind:?} {name} on {ds:?} diverged: {:?}",
+                    res.verify
+                );
+                let m = &res.metrics;
+                miss_sums[i].0 += m.llc_miss_rate;
+                miss_sums[i].1 += 1;
+                lines.push(format!(
+                    "{:<11} {:<4} {:<12} {:>11} {:>11.2}x {:>10.2}x {:>8.1}%",
+                    name,
+                    ds.abbrev(),
+                    m.engine,
+                    m.cycles,
+                    m.speedup_over(&hats),
+                    m.perf_per_watt_over(&hats),
+                    100.0 * m.llc_miss_rate,
+                ));
+            }
+        }
+    }
+    lines.push(String::new());
+    let labels = ["HATS", "Minnow", "PHI", "DepGraph", "TDGraph-H"];
+    let avg: Vec<String> = labels
+        .iter()
+        .zip(&miss_sums)
+        .map(|(l, (s, c))| format!("{l} {:.1}%", 100.0 * s / f64::from((*c).max(1))))
+        .collect();
+    lines.push(format!("average LLC miss rates: {}", avg.join(", ")));
+    lines.push(
+        "paper: TDGraph-H 4.6~12.7x over HATS, 3.2~8.6x Minnow, 3.8~9.7x PHI, \
+         2.3~6.1x DepGraph; LLC miss rates 68.5/75.7/63.2/72.1/24.3%"
+            .into(),
+    );
+    ExperimentOutput {
+        id: ExperimentId::Fig15,
+        title: "Speedups and Perf/Watt of the accelerators, normalized to HATS".into(),
+        lines,
+    }
+}

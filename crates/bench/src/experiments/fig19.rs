@@ -1,0 +1,49 @@
+//! Fig 19: energy breakdown (core / cache / NoC / DRAM) over FR,
+//! normalized to HATS.
+
+use tdgraph::graph::datasets::Dataset;
+use tdgraph::{EngineKind, Experiment};
+
+use super::{ExperimentId, ExperimentOutput, Scope};
+
+pub fn run(scope: Scope) -> ExperimentOutput {
+    let experiment = Experiment::new(Dataset::Friendster)
+        .sizing(scope.focus_sizing())
+        .options(scope.options());
+    let results = experiment.run_all(&[
+        EngineKind::Hats,
+        EngineKind::Minnow,
+        EngineKind::Phi,
+        EngineKind::DepGraph,
+        EngineKind::TdGraphH,
+    ]);
+    let hats_total = results[0].1.metrics.energy.total_nj().max(1e-12);
+    let mut lines = vec![format!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "engine", "core", "cache", "noc", "dram", "total(HA)"
+    )];
+    for (kind, res) in &results {
+        assert!(res.verify.is_match(), "{kind:?} diverged");
+        let e = &res.metrics.energy;
+        lines.push(format!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3}",
+            res.metrics.engine,
+            e.core_nj / hats_total,
+            e.cache_nj / hats_total,
+            e.noc_nj / hats_total,
+            e.dram_nj / hats_total,
+            e.total_nj() / hats_total,
+        ));
+    }
+    lines.push(String::new());
+    lines.push(
+        "components normalized to HATS's total; paper: TDGraph-H needs much less energy \
+         due to fewer updates and less memory traffic"
+            .into(),
+    );
+    ExperimentOutput {
+        id: ExperimentId::Fig19,
+        title: "Energy breakdown over FR (SSSP), normalized to HATS".into(),
+        lines,
+    }
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating every table and figure of the TDGraph
+//! paper's evaluation (§4).
+//!
+//! Each experiment lives in [`experiments`] as a runner that builds the
+//! workload, executes the relevant engines on the simulated machine, and
+//! returns the same rows/series the paper reports. The `experiments` binary
+//! drives them (`cargo run -p tdgraph-bench --release --bin experiments --
+//! all`), and `benches/figures.rs` wraps them in Criterion for `cargo
+//! bench`.
+
+pub mod experiments;
+pub mod native;
+
+pub use experiments::{run_experiment, ExperimentId, ExperimentOutput, Scope};

@@ -1,0 +1,187 @@
+//! Shared propagation building blocks used by the software engines.
+
+use tdgraph_algos::traits::{Algo, AlgorithmKind};
+use tdgraph_graph::types::VertexId;
+use tdgraph_sim::stats::Actor;
+
+use crate::ctx::BatchCtx;
+
+/// A deduplicating frontier (the `Active_Vertices`-backed worklist of the
+/// software systems).
+#[derive(Debug, Clone, Default)]
+pub struct Frontier {
+    items: Vec<VertexId>,
+    queued: Vec<bool>,
+}
+
+impl Frontier {
+    /// Creates a frontier for `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { items: Vec::new(), queued: vec![false; n] }
+    }
+
+    /// Seeds from a slice.
+    #[must_use]
+    pub fn seeded(n: usize, seed: &[VertexId]) -> Self {
+        let mut f = Self::new(n);
+        for &v in seed {
+            f.push(v);
+        }
+        f
+    }
+
+    /// Pushes `v` unless already queued. Returns whether it was added.
+    pub fn push(&mut self, v: VertexId) -> bool {
+        if self.queued[v as usize] {
+            false
+        } else {
+            self.queued[v as usize] = true;
+            self.items.push(v);
+            true
+        }
+    }
+
+    /// Pops from the back (LIFO order, used by async engines).
+    pub fn pop(&mut self) -> Option<VertexId> {
+        let v = self.items.pop()?;
+        self.queued[v as usize] = false;
+        Some(v)
+    }
+
+    /// Takes the whole frontier, clearing it (synchronous rounds).
+    pub fn drain_all(&mut self) -> Vec<VertexId> {
+        for &v in &self.items {
+            self.queued[v as usize] = false;
+        }
+        std::mem::take(&mut self.items)
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of queued vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The queued vertices, in insertion order, without draining.
+    #[must_use]
+    pub fn peek(&self) -> &[VertexId] {
+        &self.items
+    }
+}
+
+/// Push-relaxes vertex `v` (monotonic): reads its state and relaxes every
+/// out-edge, pushing improved destinations onto `next`.
+pub fn push_relax(
+    ctx: &mut BatchCtx<'_>,
+    core: usize,
+    actor: Actor,
+    v: VertexId,
+    next: &mut Frontier,
+) {
+    debug_assert_eq!(ctx.algo.kind(), AlgorithmKind::Monotonic);
+    let algo = ctx.algo;
+    let s = ctx.read_state(core, actor, v);
+    if !s.is_finite() {
+        return;
+    }
+    let (lo, hi) = ctx.read_offsets(core, actor, v);
+    for i in lo..hi {
+        let (dst, w) = ctx.read_edge(core, actor, i);
+        let cand = algo.mono_propagate(s, w);
+        let cur = ctx.read_state(core, actor, dst);
+        if algo.mono_better(cand, cur) {
+            ctx.write_state(core, actor, dst, cand);
+            ctx.write_parent(core, actor, dst, v);
+            if next.push(dst) {
+                ctx.frontier_op(core, actor, dst);
+            }
+        }
+    }
+}
+
+/// Expands vertex `v` (accumulative): applies its pending residual to its
+/// state and pushes scaled residuals to its out-neighbors, activating those
+/// that cross the threshold.
+pub fn acc_expand(
+    ctx: &mut BatchCtx<'_>,
+    core: usize,
+    actor: Actor,
+    v: VertexId,
+    next: &mut Frontier,
+) {
+    debug_assert_eq!(ctx.algo.kind(), AlgorithmKind::Accumulative);
+    let algo = ctx.algo;
+    let eps = algo.epsilon();
+    let r = ctx.read_residual(core, actor, v);
+    if r.abs() < eps {
+        return;
+    }
+    ctx.write_residual(core, actor, v, 0.0);
+    let s = ctx.read_state(core, actor, v);
+    ctx.write_state(core, actor, v, s + r);
+    let mass = ctx.out_mass[v as usize];
+    if mass <= 0.0 {
+        return;
+    }
+    let (lo, hi) = ctx.read_offsets(core, actor, v);
+    for i in lo..hi {
+        let (dst, w) = ctx.read_edge(core, actor, i);
+        let push = algo.acc_scale(r, w, mass);
+        let cur = ctx.read_residual(core, actor, dst);
+        ctx.write_residual(core, actor, dst, cur + push);
+        if (cur + push).abs() >= eps && next.push(dst) {
+            ctx.frontier_op(core, actor, dst);
+        }
+    }
+}
+
+/// Dispatches to [`push_relax`] or [`acc_expand`] by algorithm kind.
+pub fn process_vertex(
+    ctx: &mut BatchCtx<'_>,
+    core: usize,
+    actor: Actor,
+    v: VertexId,
+    next: &mut Frontier,
+) {
+    match ctx.algo.kind() {
+        AlgorithmKind::Monotonic => push_relax(ctx, core, actor, v, next),
+        AlgorithmKind::Accumulative => acc_expand(ctx, core, actor, v, next),
+    }
+}
+
+/// Convenience: whether `algo` is monotonic.
+#[must_use]
+pub fn is_monotonic(algo: &Algo) -> bool {
+    algo.kind() == AlgorithmKind::Monotonic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_dedups() {
+        let mut f = Frontier::new(4);
+        assert!(f.push(2));
+        assert!(!f.push(2));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(2));
+        assert!(f.push(2), "pop must clear the queued mark");
+    }
+
+    #[test]
+    fn drain_all_clears_marks() {
+        let mut f = Frontier::seeded(4, &[0, 3]);
+        let drained = f.drain_all();
+        assert_eq!(drained, vec![0, 3]);
+        assert!(f.is_empty());
+        assert!(f.push(0));
+    }
+}

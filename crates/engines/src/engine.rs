@@ -1,0 +1,42 @@
+//! The execution-engine abstraction.
+
+use tdgraph_graph::types::VertexId;
+
+use crate::ctx::BatchCtx;
+
+/// An execution engine: given the seeded affected set of a batch, drives
+/// the propagation to the new fixpoint with its own schedule, charging all
+/// work to the machine through the context.
+///
+/// Engines must leave `ctx.state` at the same fixpoint the from-scratch
+/// oracle computes (monotonic: exactly; accumulative: within ε tolerance) —
+/// the harness verifies this after every run.
+pub trait Engine {
+    /// Display name (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Processes one batch, starting from the seeded `affected` set.
+    /// Implementations are responsible for calling
+    /// `ctx.machine.end_phase(PhaseKind::Propagation)` at their sync points;
+    /// the harness closes any remaining open phase afterwards.
+    fn process_batch(&mut self, ctx: &mut BatchCtx<'_>, affected: &[VertexId]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Engine for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn process_batch(&mut self, _ctx: &mut BatchCtx<'_>, _affected: &[VertexId]) {}
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let e: Box<dyn Engine> = Box::new(Nop);
+        assert_eq!(e.name(), "nop");
+    }
+}

@@ -1,0 +1,268 @@
+//! The streaming-run harness.
+//!
+//! Reproduces the paper's methodology (§4.1): load 50 % of the edges,
+//! compute the initial fixed point, then stream batches of mixed updates.
+//! Per batch: apply updates, seed the incremental computation (charged as
+//! "other" time), hand the affected set to the engine (propagation time),
+//! and collect metrics. After the last batch the final states are verified
+//! against the from-scratch oracle.
+
+use tdgraph_algos::incremental::{seed_after_batch, AlgoState};
+use tdgraph_algos::scratch::{out_mass, solve};
+use tdgraph_algos::traits::Algo;
+use tdgraph_algos::verify::{compare, VerifyOutcome};
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::partition::partition_by_edges;
+use tdgraph_graph::update::BatchComposer;
+use tdgraph_sim::address::AddressSpace;
+use tdgraph_sim::config::SimConfig;
+use tdgraph_sim::energy::{EnergyBreakdown, EnergyConstants};
+use tdgraph_sim::machine::Machine;
+use tdgraph_sim::stats::{Actor, Op, PhaseKind};
+
+use crate::ctx::{BatchCtx, MachineTap};
+use crate::engine::Engine;
+use crate::metrics::{RunMetrics, UpdateCounters};
+
+/// Options controlling a streaming run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Machine configuration.
+    pub sim: SimConfig,
+    /// Number of update batches to stream.
+    pub batches: usize,
+    /// Updates per batch (`None` → the workload's scaled default).
+    pub batch_size: Option<usize>,
+    /// Fraction of additions per batch (Fig 24b sweeps this).
+    pub add_fraction: f64,
+    /// Hot-vertex fraction α (sizes `Coalesced_States`; §3.1 default 0.5 %).
+    pub alpha: f64,
+    /// Chunks per core for the ownership map.
+    pub chunks_per_core: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::table1(),
+            batches: 3,
+            batch_size: None,
+            add_fraction: 0.75,
+            alpha: 0.005,
+            chunks_per_core: 4,
+            seed: 0x7D6,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Test-sized options: the 4-core machine and 2 batches.
+    #[must_use]
+    pub fn small() -> Self {
+        Self { sim: SimConfig::small_test(), batches: 2, ..Self::default() }
+    }
+}
+
+/// Result of a streaming run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+    /// Oracle comparison of the final states.
+    pub verify: VerifyOutcome,
+}
+
+/// Runs `engine` with `algo` over the streaming workload of `dataset`.
+pub fn run_streaming<E: Engine + ?Sized>(
+    engine: &mut E,
+    algo: Algo,
+    dataset: Dataset,
+    sizing: Sizing,
+    opts: &RunOptions,
+) -> RunResult {
+    let workload = StreamingWorkload::prepare(dataset, sizing);
+    run_streaming_workload(engine, algo, workload, opts)
+}
+
+/// Runs over an already-prepared workload (lets callers customize graphs).
+pub fn run_streaming_workload<E: Engine + ?Sized>(
+    engine: &mut E,
+    algo: Algo,
+    workload: StreamingWorkload,
+    opts: &RunOptions,
+) -> RunResult {
+    let StreamingWorkload { mut graph, pending, .. } = workload;
+    let n = graph.vertex_count();
+    let edge_capacity = graph.edge_count() + pending.len();
+    let coalesced = ((n as f64 * opts.alpha).ceil() as usize).max(16);
+    let layout = AddressSpace::layout(n, edge_capacity, coalesced);
+    let mut machine = Machine::new(opts.sim.clone(), layout);
+
+    // Initial fixed point (not charged: the paper measures per-batch
+    // incremental processing, not the cold start).
+    let snapshot = graph.snapshot();
+    let mut state = AlgoState::from_solution(solve(&algo, &snapshot), n);
+
+    let default_batch = (graph.edge_count() / 16).max(64);
+    let batch_size = opts.batch_size.unwrap_or(default_batch);
+    let mut composer = BatchComposer::new(pending, opts.add_fraction, opts.seed);
+
+    let mut counters = UpdateCounters::new(n);
+    let mut useful_total = 0u64;
+    let mut batches_done = 0u64;
+    let mut states_before: Vec<f32> = Vec::new();
+    let mut final_snapshot = snapshot;
+
+    for _ in 0..opts.batches {
+        let present = graph.edges_vec();
+        let Some(batch) = composer.next_batch(batch_size, &present) else {
+            break;
+        };
+        let applied = graph.apply_batch(&batch).expect("composer emits valid batches");
+        let snapshot = graph.snapshot();
+        let transpose = snapshot.transpose();
+        let chunks =
+            partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
+        let mass = out_mass(&algo, &snapshot);
+
+        states_before.clear();
+        states_before.extend_from_slice(&state.states);
+        counters.reset_marks();
+
+        // Batch application + seeding: "other" time.
+        machine.compute(0, Actor::Core, Op::ScheduleOp, batch.len() as u64 * 2);
+        let affected = {
+            let mut tap = MachineTap::new(&mut machine, &chunks);
+            seed_after_batch(&algo, &snapshot, &transpose, &mut state, &applied, &mut tap)
+        };
+        machine.end_phase(PhaseKind::Other);
+
+        // Engine propagation.
+        {
+            let mut ctx = BatchCtx {
+                machine: &mut machine,
+                graph: &snapshot,
+                transpose: &transpose,
+                algo,
+                state: &mut state,
+                chunks: &chunks,
+                counters: &mut counters,
+                out_mass: &mass,
+            };
+            engine.process_batch(&mut ctx, &affected);
+        }
+        machine.end_phase(PhaseKind::Propagation);
+
+        // Classify this batch's updates.
+        let changed: Vec<bool> = state
+            .states
+            .iter()
+            .zip(&states_before)
+            .map(|(&a, &b)| {
+                if a.is_infinite() && b.is_infinite() {
+                    false
+                } else {
+                    (a - b).abs() > f32::EPSILON * (1.0 + b.abs())
+                }
+            })
+            .collect();
+        let (useful, _useless) = counters.classify(&changed);
+        useful_total += useful;
+        batches_done += 1;
+        final_snapshot = snapshot;
+    }
+
+    machine.finish();
+    let stats = machine.stats().clone();
+    let dram_lines = machine.dram().total_bytes() / 64;
+    let energy = EnergyBreakdown::from_stats(
+        &stats,
+        dram_lines,
+        machine.total_cycles(),
+        opts.sim.freq_ghz,
+        EnergyConstants::nominal(),
+    );
+
+    let oracle = solve(&algo, &final_snapshot);
+    let verify = compare(&algo, &state.states, &oracle.states);
+
+    let metrics = RunMetrics {
+        engine: engine.name().to_string(),
+        algo: algo.name().to_string(),
+        cycles: machine.total_cycles(),
+        propagation_cycles: machine.breakdown().propagation_cycles,
+        other_cycles: machine.breakdown().other_cycles,
+        state_updates: counters.total_writes(),
+        useful_updates: useful_total,
+        edges_processed: counters.edges_processed(),
+        llc_miss_rate: stats.llc_miss_rate(),
+        useful_state_ratio: stats.state_lines.useful_ratio(),
+        dram_bytes: machine.dram().total_bytes(),
+        dram_reads: machine.dram().total_reads(),
+        energy,
+        machine: stats,
+        batches: batches_done,
+    };
+    RunResult { metrics, verify }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ligra_o::LigraO;
+
+    #[test]
+    fn ligra_o_runs_and_verifies_on_all_algorithms() {
+        for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank(), Algo::adsorption()] {
+            let res = run_streaming(
+                &mut LigraO,
+                algo,
+                Dataset::Amazon,
+                Sizing::Tiny,
+                &RunOptions::small(),
+            );
+            assert!(
+                res.verify.is_match(),
+                "{} failed verification: {:?}",
+                algo.name(),
+                res.verify
+            );
+            assert!(res.metrics.cycles > 0);
+            assert_eq!(res.metrics.batches, 2);
+        }
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let res = run_streaming(
+            &mut LigraO,
+            Algo::sssp(0),
+            Dataset::Dblp,
+            Sizing::Tiny,
+            &RunOptions::small(),
+        );
+        let m = &res.metrics;
+        assert_eq!(m.cycles, m.propagation_cycles + m.other_cycles);
+        assert!(m.useful_updates <= m.state_updates);
+        assert!((0.0..=1.0).contains(&m.llc_miss_rate));
+        assert!((0.0..=1.0).contains(&m.useful_state_ratio));
+    }
+
+    #[test]
+    fn deletion_heavy_batches_verify() {
+        let mut opts = RunOptions::small();
+        opts.add_fraction = 0.2;
+        for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank()] {
+            let res =
+                run_streaming(&mut LigraO, algo, Dataset::Amazon, Sizing::Tiny, &opts);
+            assert!(
+                res.verify.is_match(),
+                "{} deletion-heavy failed: {:?}",
+                algo.name(),
+                res.verify
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Software streaming-graph execution engines.
+//!
+//! Re-implementations of the four software systems the paper measures
+//! (§2.2, §4.1), each driving the same incremental semantics with its own
+//! propagation schedule over the simulated machine:
+//!
+//! * [`ligra_o::LigraO`] — the optimized baseline: synchronous push rounds,
+//! * [`ligra_do::LigraDO`] — Ligra with Beamer-style push/pull direction
+//!   switching (an even stronger software baseline),
+//! * [`kickstarter::KickStarter`] — asynchronous push with dependency-tree
+//!   maintenance,
+//! * [`graphbolt::GraphBolt`] — dependency-driven synchronous refinement
+//!   with dense pull re-aggregation,
+//! * [`dzig::Dzig`] — sparsity-aware synchronous refinement.
+//!
+//! [`harness::run_streaming`] reproduces the §4.1 methodology end to end
+//! and verifies every run against the from-scratch oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use tdgraph_engines::harness::{run_streaming, RunOptions};
+//! use tdgraph_engines::ligra_o::LigraO;
+//! use tdgraph_algos::traits::Algo;
+//! use tdgraph_graph::datasets::{Dataset, Sizing};
+//!
+//! let res = run_streaming(
+//!     &mut LigraO,
+//!     Algo::sssp(0),
+//!     Dataset::Amazon,
+//!     Sizing::Tiny,
+//!     &RunOptions::small(),
+//! );
+//! assert!(res.verify.is_match());
+//! ```
+
+pub mod common;
+pub mod ctx;
+pub mod dzig;
+pub mod engine;
+pub mod graphbolt;
+pub mod harness;
+pub mod kickstarter;
+pub mod ligra_do;
+pub mod ligra_o;
+pub mod metrics;
+pub mod testutil;
+
+pub use ctx::BatchCtx;
+pub use engine::Engine;
+pub use harness::{run_streaming, run_streaming_workload, RunOptions, RunResult};
+pub use metrics::{RunMetrics, UpdateCounters};

@@ -1,0 +1,193 @@
+//! Run-level metrics (the quantities the paper's figures plot).
+
+use tdgraph_graph::types::VertexId;
+use tdgraph_sim::energy::EnergyBreakdown;
+use tdgraph_sim::stats::MachineStats;
+
+/// Counts vertex-state updates during propagation to derive the
+/// useful/useless split of Fig 3(b)/Fig 11: the *useful* updates are the
+/// final writes of vertices whose value actually changed; every overwritten
+/// intermediate write is redundant work.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateCounters {
+    writes_per_vertex: Vec<u32>,
+    total_writes: u64,
+    edges_processed: u64,
+}
+
+impl UpdateCounters {
+    /// Creates counters for `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { writes_per_vertex: vec![0; n], total_writes: 0, edges_processed: 0 }
+    }
+
+    /// Records a state write to `v`.
+    pub fn record_write(&mut self, v: VertexId) {
+        self.writes_per_vertex[v as usize] += 1;
+        self.total_writes += 1;
+    }
+
+    /// Records `n` processed edges.
+    pub fn record_edges(&mut self, n: u64) {
+        self.edges_processed += n;
+    }
+
+    /// Total state writes.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Edges processed.
+    #[must_use]
+    pub fn edges_processed(&self) -> u64 {
+        self.edges_processed
+    }
+
+    /// Computes `(useful, useless)` updates given which vertices actually
+    /// changed value over the batch: the last write to a changed vertex is
+    /// useful; everything else was overwritten or redundant.
+    #[must_use]
+    pub fn classify(&self, changed: &[bool]) -> (u64, u64) {
+        let mut useful = 0u64;
+        for (v, &w) in self.writes_per_vertex.iter().enumerate() {
+            if w > 0 && changed.get(v).copied().unwrap_or(false) {
+                useful += 1;
+            }
+        }
+        (useful, self.total_writes - useful)
+    }
+
+    /// Clears per-vertex write marks between batches, keeping totals.
+    pub fn reset_marks(&mut self) {
+        self.writes_per_vertex.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Writes recorded for `v` in the current batch.
+    #[must_use]
+    pub fn writes_for(&self, v: VertexId) -> u32 {
+        self.writes_per_vertex[v as usize]
+    }
+}
+
+/// Aggregated results of a streaming run (all batches).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Engine name.
+    pub engine: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles spent propagating states.
+    pub propagation_cycles: u64,
+    /// Cycles spent on everything else.
+    pub other_cycles: u64,
+    /// Total vertex-state updates performed.
+    pub state_updates: u64,
+    /// Updates whose value survived to the end of the batch.
+    pub useful_updates: u64,
+    /// Edges processed during propagation.
+    pub edges_processed: u64,
+    /// LLC miss rate over the run.
+    pub llc_miss_rate: f64,
+    /// Fraction of fetched vertex-state words actually used.
+    pub useful_state_ratio: f64,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// DRAM line reads (for Fig 16's useful/useless split).
+    pub dram_reads: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Final machine statistics.
+    pub machine: MachineStats,
+    /// Number of batches processed.
+    pub batches: u64,
+}
+
+impl RunMetrics {
+    /// Ratio of useless updates to all updates (Fig 3b).
+    #[must_use]
+    pub fn useless_update_ratio(&self) -> f64 {
+        if self.state_updates == 0 {
+            0.0
+        } else {
+            (self.state_updates - self.useful_updates) as f64 / self.state_updates as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline` (cycles ratio).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        if self.cycles == 0 {
+            f64::INFINITY
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Performance per watt relative to `baseline` (cycles·energy ratio).
+    #[must_use]
+    pub fn perf_per_watt_over(&self, baseline: &RunMetrics) -> f64 {
+        let self_e = self.energy.total_nj();
+        let base_e = baseline.energy.total_nj();
+        if self.cycles == 0 || self_e == 0.0 {
+            f64::INFINITY
+        } else {
+            // perf/W = (1/t) / (E/t) = 1/E ; relative = E_base / E_self.
+            base_e / self_e
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_splits_useful_and_useless() {
+        let mut c = UpdateCounters::new(4);
+        c.record_write(0);
+        c.record_write(0);
+        c.record_write(1);
+        c.record_write(2);
+        // Vertices 0 and 1 ended up changed; 2's write restored the old
+        // value (e.g. canceled residual), so it is useless.
+        let changed = vec![true, true, false, false];
+        let (useful, useless) = c.classify(&changed);
+        assert_eq!(useful, 2);
+        assert_eq!(useless, 2);
+        assert_eq!(c.total_writes(), 4);
+    }
+
+    #[test]
+    fn reset_marks_keeps_totals() {
+        let mut c = UpdateCounters::new(2);
+        c.record_write(0);
+        c.reset_marks();
+        assert_eq!(c.total_writes(), 1);
+        assert_eq!(c.writes_for(0), 0);
+    }
+
+    #[test]
+    fn useless_ratio_handles_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.useless_update_ratio(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let a = RunMetrics { cycles: 100, ..Default::default() };
+        let b = RunMetrics { cycles: 400, ..Default::default() };
+        assert_eq!(a.speedup_over(&b), 4.0);
+    }
+
+    #[test]
+    fn edges_counter() {
+        let mut c = UpdateCounters::new(1);
+        c.record_edges(7);
+        c.record_edges(3);
+        assert_eq!(c.edges_processed(), 10);
+    }
+}

@@ -1,0 +1,44 @@
+//! Test support: oracle-convergence checks shared by engine unit tests
+//! (also used by the accelerator crate's tests).
+
+use tdgraph_algos::traits::Algo;
+use tdgraph_graph::datasets::{Dataset, Sizing};
+
+use crate::engine::Engine;
+use crate::harness::{run_streaming, RunOptions};
+
+/// Runs `engine` end-to-end on a tiny streaming workload and asserts the
+/// final states match the from-scratch oracle.
+///
+/// # Panics
+///
+/// Panics on verification failure.
+pub fn converges_to_oracle<E: Engine>(engine: &mut E, algo: Algo) {
+    let res = run_streaming(engine, algo, Dataset::Amazon, Sizing::Tiny, &RunOptions::small());
+    assert!(
+        res.verify.is_match(),
+        "{} on {} diverged from oracle: {:?}",
+        engine.name(),
+        algo.name(),
+        res.verify
+    );
+    assert!(res.metrics.cycles > 0, "no time was charged");
+}
+
+/// Like [`converges_to_oracle`] but with a deletion-heavy batch mix.
+///
+/// # Panics
+///
+/// Panics on verification failure.
+pub fn converges_with_deletions<E: Engine>(engine: &mut E, algo: Algo) {
+    let mut opts = RunOptions::small();
+    opts.add_fraction = 0.25;
+    let res = run_streaming(engine, algo, Dataset::Dblp, Sizing::Tiny, &opts);
+    assert!(
+        res.verify.is_match(),
+        "{} on {} (deletion-heavy) diverged: {:?}",
+        engine.name(),
+        algo.name(),
+        res.verify
+    );
+}

@@ -1,0 +1,245 @@
+//! Vertex-range chunking for parallel processing over the simulated cores.
+//!
+//! The software layer divides the graph into chunks — contiguous vertex
+//! ranges — and assigns them to cores (§3.2.1). Chunks are balanced by edge
+//! count, and a deterministic work-stealing schedule models the
+//! load-balancing strategy the paper cites (Blumofe & Leiserson).
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// A contiguous vertex range `[start, end)` with its edge weight (count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First vertex in the chunk.
+    pub start: VertexId,
+    /// One past the last vertex.
+    pub end: VertexId,
+    /// Number of out-edges owned by the chunk.
+    pub edges: usize,
+}
+
+impl Chunk {
+    /// Number of vertices in the chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the chunk contains no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether vertex `v` belongs to this chunk.
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        (self.start..self.end).contains(&v)
+    }
+
+    /// Iterates the chunk's vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        self.start..self.end
+    }
+}
+
+/// Splits the graph into `target_chunks` contiguous chunks with roughly
+/// equal edge counts. Returns fewer chunks when the graph is small.
+///
+/// # Panics
+///
+/// Panics if `target_chunks == 0`.
+#[must_use]
+pub fn partition_by_edges(graph: &Csr, target_chunks: usize) -> Vec<Chunk> {
+    assert!(target_chunks > 0, "need at least one chunk");
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_edges = graph.edge_count();
+    let per_chunk = (total_edges / target_chunks).max(1);
+    let mut chunks = Vec::with_capacity(target_chunks);
+    let mut start = 0 as VertexId;
+    let mut acc = 0usize;
+    for v in 0..n as VertexId {
+        acc += graph.degree(v);
+        let is_last_vertex = v as usize + 1 == n;
+        if (acc >= per_chunk && chunks.len() + 1 < target_chunks) || is_last_vertex {
+            chunks.push(Chunk { start, end: v + 1, edges: acc });
+            start = v + 1;
+            acc = 0;
+        }
+    }
+    chunks
+}
+
+/// Finds the chunk that owns vertex `v` (chunks are sorted by range).
+#[must_use]
+pub fn owner_of(chunks: &[Chunk], v: VertexId) -> Option<usize> {
+    chunks
+        .binary_search_by(|c| {
+            if v < c.start {
+                std::cmp::Ordering::Greater
+            } else if v >= c.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+        .ok()
+}
+
+/// Deterministic work-stealing schedule: chunks are dealt round-robin to
+/// `cores` queues; when the per-chunk costs are known, `balance` reassigns
+/// greedily (longest-processing-time-first), which is how the simulator
+/// models the steady state of a work-stealing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Deals `chunk_count` chunk indexes round-robin over `cores` queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn round_robin(chunk_count: usize, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let mut assignments = vec![Vec::new(); cores];
+        for c in 0..chunk_count {
+            assignments[c % cores].push(c);
+        }
+        Self { assignments }
+    }
+
+    /// Builds a balanced schedule from per-chunk costs using LPT greedy
+    /// assignment — the deterministic equivalent of work stealing's
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn balance(costs: &[u64], cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+        let mut load = vec![0u64; cores];
+        let mut assignments = vec![Vec::new(); cores];
+        for i in order {
+            let core = (0..cores).min_by_key(|&c| (load[c], c)).expect("cores > 0");
+            load[core] += costs[i];
+            assignments[core].push(i);
+        }
+        Self { assignments }
+    }
+
+    /// The chunk indexes queued on `core`.
+    #[must_use]
+    pub fn chunks_for(&self, core: usize) -> &[usize] {
+        &self.assignments[core]
+    }
+
+    /// Number of cores in the schedule.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Makespan under the given per-chunk costs (max summed load per core).
+    #[must_use]
+    pub fn makespan(&self, costs: &[u64]) -> u64 {
+        self.assignments
+            .iter()
+            .map(|q| q.iter().map(|&c| costs[c]).sum())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn star(n: usize) -> Csr {
+        // Vertex 0 points to everyone: extremely unbalanced degrees.
+        let edges: Vec<Edge> = (1..n as VertexId).map(|v| Edge::new(0, v, 1.0)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn chunks_cover_all_vertices_exactly_once() {
+        let g = star(100);
+        let chunks = partition_by_edges(&g, 8);
+        let mut covered = vec![false; 100];
+        for c in &chunks {
+            for v in c.vertices() {
+                assert!(!covered[v as usize], "vertex {v} in two chunks");
+                covered[v as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn chunk_edges_sum_to_graph_edges() {
+        let g = star(64);
+        let chunks = partition_by_edges(&g, 4);
+        let sum: usize = chunks.iter().map(|c| c.edges).sum();
+        assert_eq!(sum, g.edge_count());
+    }
+
+    #[test]
+    fn owner_of_finds_the_right_chunk() {
+        let g = star(100);
+        let chunks = partition_by_edges(&g, 8);
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(owner_of(&chunks, c.start), Some(i));
+            assert_eq!(owner_of(&chunks, c.end - 1), Some(i));
+        }
+        assert_eq!(owner_of(&chunks, 100), None);
+    }
+
+    #[test]
+    fn empty_graph_partitions_to_nothing() {
+        let g = Csr::from_edges(0, &[]);
+        assert!(partition_by_edges(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn round_robin_deals_evenly() {
+        let s = Schedule::round_robin(10, 4);
+        assert_eq!(s.chunks_for(0), &[0, 4, 8]);
+        assert_eq!(s.chunks_for(1), &[1, 5, 9]);
+        assert_eq!(s.chunks_for(3), &[3, 7]);
+    }
+
+    #[test]
+    fn balance_beats_round_robin_on_skewed_costs() {
+        let costs = vec![100, 1, 1, 1, 1, 1, 1, 1];
+        let rr = Schedule::round_robin(costs.len(), 4);
+        let bal = Schedule::balance(&costs, 4);
+        assert!(bal.makespan(&costs) <= rr.makespan(&costs));
+        assert_eq!(bal.makespan(&costs), 100);
+    }
+
+    #[test]
+    fn balance_assigns_every_chunk_once() {
+        let costs = vec![5, 3, 8, 1, 9, 2];
+        let s = Schedule::balance(&costs, 3);
+        let mut all: Vec<usize> =
+            (0..s.cores()).flat_map(|c| s.chunks_for(c).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = Schedule::round_robin(4, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Fundamental scalar types shared across the workspace.
+//!
+//! The paper stores vertex identifiers and per-vertex states as 4-byte
+//! quantities (§2.2: "4 byte per vertex state"); we mirror that so the cache
+//! simulator sees realistic element-per-line ratios (16 states per 64 B line).
+
+/// Identifier of a vertex. 4 bytes, matching the paper's data layout.
+pub type VertexId = u32;
+
+/// Edge weight. 4 bytes; weighted algorithms (SSSP, Adsorption) use it,
+/// unweighted ones (CC, PageRank) ignore it.
+pub type Weight = f32;
+
+/// Count of vertices in a graph.
+pub type VertexCount = usize;
+
+/// Count of edges in a graph.
+pub type EdgeCount = usize;
+
+/// A directed, weighted edge `(src, dst, weight)`.
+///
+/// Kept as a plain tuple-struct so edge lists are cheap to generate, sort,
+/// and stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    ///
+    /// ```
+    /// use tdgraph_graph::types::Edge;
+    /// let e = Edge::new(1, 2, 0.5);
+    /// assert_eq!((e.src, e.dst), (1, 2));
+    /// ```
+    #[must_use]
+    pub fn new(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Self { src, dst, weight }
+    }
+
+    /// The edge with source and destination swapped (used to build
+    /// transposed graphs for pull-direction gathers).
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        Self { src: self.dst, dst: self.src, weight: self.weight }
+    }
+
+    /// Whether the edge is a self-loop.
+    #[must_use]
+    pub fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// Number of bytes per vertex state element (4 B, §2.2).
+pub const STATE_BYTES: usize = 4;
+
+/// Number of bytes per cache line in the simulated system (Table 1).
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Vertex-state elements per cache line.
+pub const STATES_PER_LINE: usize = CACHE_LINE_BYTES / STATE_BYTES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructor_and_accessors() {
+        let e = Edge::new(3, 9, 2.5);
+        assert_eq!(e.src, 3);
+        assert_eq!(e.dst, 9);
+        assert_eq!(e.weight, 2.5);
+    }
+
+    #[test]
+    fn edge_reversed_swaps_endpoints_and_keeps_weight() {
+        let e = Edge::new(3, 9, 2.5).reversed();
+        assert_eq!(e.src, 9);
+        assert_eq!(e.dst, 3);
+        assert_eq!(e.weight, 2.5);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(4, 4, 1.0).is_self_loop());
+        assert!(!Edge::new(4, 5, 1.0).is_self_loop());
+    }
+
+    #[test]
+    fn line_geometry_matches_paper() {
+        assert_eq!(STATES_PER_LINE, 16);
+    }
+}

@@ -1,0 +1,327 @@
+//! Graph update batches.
+//!
+//! Streaming updates arrive as batches of edge additions and deletions
+//! (§2.1, Fig 1). [`UpdateBatch`] validates and normalizes a batch;
+//! [`BatchComposer`] synthesizes the paper's evaluation workload: after an
+//! initial 50 % load, remaining edges stream in as additions while deletions
+//! are sampled from the loaded graph (§4.1), in a configurable add:delete
+//! ratio (Fig 24b).
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::prng::Xoshiro256StarStar;
+use crate::types::{Edge, VertexId, Weight};
+
+/// The kind of a single graph update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Insert an edge.
+    Addition,
+    /// Remove an edge.
+    Deletion,
+}
+
+/// One streaming update: add or delete a directed edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeUpdate {
+    /// Add or delete.
+    pub kind: UpdateKind,
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Weight (meaningful for additions; ignored for deletions).
+    pub weight: Weight,
+}
+
+impl EdgeUpdate {
+    /// Creates an edge-addition update.
+    #[must_use]
+    pub fn addition(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Self { kind: UpdateKind::Addition, src, dst, weight }
+    }
+
+    /// Creates an edge-deletion update.
+    #[must_use]
+    pub fn deletion(src: VertexId, dst: VertexId) -> Self {
+        Self { kind: UpdateKind::Deletion, src, dst, weight: 0.0 }
+    }
+
+    /// The edge this update refers to.
+    #[must_use]
+    pub fn edge(&self) -> Edge {
+        Edge::new(self.src, self.dst, self.weight)
+    }
+}
+
+/// Error building an [`UpdateBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The same `(src, dst)` pair appears in two conflicting updates.
+    ConflictingUpdates {
+        /// Source vertex of the conflicting pair.
+        src: VertexId,
+        /// Destination vertex of the conflicting pair.
+        dst: VertexId,
+    },
+    /// An addition is a self-loop, which the streaming engines reject.
+    SelfLoop {
+        /// The looping vertex.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::ConflictingUpdates { src, dst } => {
+                write!(f, "conflicting updates for edge ({src}, {dst}) in one batch")
+            }
+            BatchError::SelfLoop { vertex } => {
+                write!(f, "self-loop addition on vertex {vertex}")
+            }
+        }
+    }
+}
+
+impl Error for BatchError {}
+
+/// A validated batch of streaming updates.
+///
+/// Invariants enforced at construction:
+/// * no self-loop additions,
+/// * no `(src, dst)` pair appears with both an addition and a deletion
+///   (the paper applies a batch atomically, so such a pair is ambiguous),
+/// * duplicate identical updates are dropped.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateBatch {
+    updates: Vec<EdgeUpdate>,
+}
+
+impl UpdateBatch {
+    /// Builds a batch from raw updates, validating and deduplicating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::SelfLoop`] for a self-loop addition and
+    /// [`BatchError::ConflictingUpdates`] if one `(src, dst)` pair is both
+    /// added and deleted in the same batch.
+    pub fn from_updates(updates: Vec<EdgeUpdate>) -> Result<Self, BatchError> {
+        let mut seen: HashSet<(VertexId, VertexId, UpdateKind)> = HashSet::new();
+        let mut pair_kind: std::collections::HashMap<(VertexId, VertexId), UpdateKind> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(updates.len());
+        for u in updates {
+            if u.kind == UpdateKind::Addition && u.src == u.dst {
+                return Err(BatchError::SelfLoop { vertex: u.src });
+            }
+            if let Some(&k) = pair_kind.get(&(u.src, u.dst)) {
+                if k != u.kind {
+                    return Err(BatchError::ConflictingUpdates { src: u.src, dst: u.dst });
+                }
+            } else {
+                pair_kind.insert((u.src, u.dst), u.kind);
+            }
+            if seen.insert((u.src, u.dst, u.kind)) {
+                out.push(u);
+            }
+        }
+        Ok(Self { updates: out })
+    }
+
+    /// The validated updates, in arrival order.
+    #[must_use]
+    pub fn updates(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Number of updates in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates only the additions.
+    pub fn additions(&self) -> impl Iterator<Item = &EdgeUpdate> {
+        self.updates.iter().filter(|u| u.kind == UpdateKind::Addition)
+    }
+
+    /// Iterates only the deletions.
+    pub fn deletions(&self) -> impl Iterator<Item = &EdgeUpdate> {
+        self.updates.iter().filter(|u| u.kind == UpdateKind::Deletion)
+    }
+}
+
+/// Synthesizes the evaluation's update stream (§4.1): a pool of not-yet-loaded
+/// edges provides additions; deletions are sampled from currently present
+/// edges. `add_fraction` controls the Fig 24b composition sweep.
+#[derive(Debug)]
+pub struct BatchComposer {
+    pending_additions: Vec<Edge>,
+    rng: Xoshiro256StarStar,
+    add_fraction: f64,
+}
+
+impl BatchComposer {
+    /// Creates a composer over the edges not loaded into the initial
+    /// snapshot. `add_fraction` in `[0, 1]` is the share of additions per
+    /// batch (paper default: mixed; Fig 24b sweeps 0..=1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `add_fraction` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(pending_additions: Vec<Edge>, add_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&add_fraction),
+            "add_fraction must be in [0,1], got {add_fraction}"
+        );
+        Self { pending_additions, rng: Xoshiro256StarStar::new(seed), add_fraction }
+    }
+
+    /// Number of additions still pending.
+    #[must_use]
+    pub fn remaining_additions(&self) -> usize {
+        self.pending_additions.len()
+    }
+
+    /// Composes the next batch of up to `batch_size` updates. Deletion
+    /// candidates are sampled (without replacement within the batch) from
+    /// `present_edges`. Returns `None` once both the addition pool and the
+    /// requested deletions are exhausted.
+    pub fn next_batch(
+        &mut self,
+        batch_size: usize,
+        present_edges: &[Edge],
+    ) -> Option<UpdateBatch> {
+        if batch_size == 0 {
+            return None;
+        }
+        let want_adds =
+            ((batch_size as f64) * self.add_fraction).round() as usize;
+        let want_adds = want_adds.min(self.pending_additions.len());
+        let want_dels = (batch_size - want_adds).min(present_edges.len());
+        if want_adds == 0 && want_dels == 0 {
+            return None;
+        }
+
+        let mut updates = Vec::with_capacity(want_adds + want_dels);
+        let mut touched: HashSet<(VertexId, VertexId)> = HashSet::new();
+        for _ in 0..want_adds {
+            let i = self.rng.next_index(self.pending_additions.len());
+            let e = self.pending_additions.swap_remove(i);
+            if touched.insert((e.src, e.dst)) {
+                updates.push(EdgeUpdate::addition(e.src, e.dst, e.weight));
+            }
+        }
+        let mut attempts = 0;
+        while updates.iter().filter(|u| u.kind == UpdateKind::Deletion).count() < want_dels
+            && attempts < want_dels * 8
+        {
+            attempts += 1;
+            let e = present_edges[self.rng.next_index(present_edges.len())];
+            if touched.insert((e.src, e.dst)) {
+                updates.push(EdgeUpdate::deletion(e.src, e.dst));
+            }
+        }
+        if updates.is_empty() {
+            return None;
+        }
+        Some(UpdateBatch::from_updates(updates).expect("composer produces valid batches"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_dedups_identical_updates() {
+        let b = UpdateBatch::from_updates(vec![
+            EdgeUpdate::addition(0, 1, 1.0),
+            EdgeUpdate::addition(0, 1, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn batch_rejects_self_loop_addition() {
+        let err = UpdateBatch::from_updates(vec![EdgeUpdate::addition(3, 3, 1.0)]).unwrap_err();
+        assert_eq!(err, BatchError::SelfLoop { vertex: 3 });
+    }
+
+    #[test]
+    fn batch_rejects_add_delete_conflict() {
+        let err = UpdateBatch::from_updates(vec![
+            EdgeUpdate::addition(0, 1, 1.0),
+            EdgeUpdate::deletion(0, 1),
+        ])
+        .unwrap_err();
+        assert_eq!(err, BatchError::ConflictingUpdates { src: 0, dst: 1 });
+    }
+
+    #[test]
+    fn additions_and_deletions_filters() {
+        let b = UpdateBatch::from_updates(vec![
+            EdgeUpdate::addition(0, 1, 1.0),
+            EdgeUpdate::deletion(2, 3),
+        ])
+        .unwrap();
+        assert_eq!(b.additions().count(), 1);
+        assert_eq!(b.deletions().count(), 1);
+    }
+
+    #[test]
+    fn composer_respects_fraction_and_pool() {
+        let pool: Vec<Edge> = (0..100).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let present: Vec<Edge> = (200..300).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let mut c = BatchComposer::new(pool, 0.7, 42);
+        let b = c.next_batch(20, &present).unwrap();
+        let adds = b.additions().count();
+        let dels = b.deletions().count();
+        assert_eq!(adds, 14);
+        assert!(dels <= 6 && dels > 0);
+        assert_eq!(c.remaining_additions(), 86);
+    }
+
+    #[test]
+    fn composer_all_additions_composition() {
+        let pool: Vec<Edge> = (0..10).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let mut c = BatchComposer::new(pool, 1.0, 1);
+        let b = c.next_batch(100, &[]).unwrap();
+        assert_eq!(b.additions().count(), 10);
+        assert_eq!(b.deletions().count(), 0);
+        assert!(c.next_batch(10, &[]).is_none());
+    }
+
+    #[test]
+    fn composer_all_deletions_composition() {
+        let present: Vec<Edge> = (0..50).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let mut c = BatchComposer::new(vec![], 0.0, 1);
+        let b = c.next_batch(10, &present).unwrap();
+        assert_eq!(b.additions().count(), 0);
+        assert!(b.deletions().count() > 0);
+    }
+
+    #[test]
+    fn composer_exhaustion_returns_none() {
+        let mut c = BatchComposer::new(vec![], 1.0, 1);
+        assert!(c.next_batch(10, &[]).is_none());
+        assert!(c.next_batch(0, &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "add_fraction")]
+    fn composer_rejects_bad_fraction() {
+        let _ = BatchComposer::new(vec![], 1.5, 1);
+    }
+}

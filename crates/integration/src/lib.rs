@@ -1,0 +1,1 @@
+//! Hosts the repository-root integration tests; see `tests/` at the workspace root.

@@ -1,0 +1,445 @@
+//! Set-associative cache model with per-line word-utilization tracking.
+//!
+//! Beyond hit/miss simulation, every line remembers which 4 B words were
+//! touched while resident; on eviction the popcount feeds the
+//! useful-fetched-data metric of Fig 3(c)/Fig 12 ("most vertex states
+//! fetched into the LLC are not used before they are swapped out").
+
+use crate::address::Region;
+use crate::policy::PolicyKind;
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A line evicted to make room (only on misses in full sets).
+    pub evicted: Option<EvictedLine>,
+}
+
+/// A line pushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line address (byte address >> 6).
+    pub line: u64,
+    /// Whether it was written while resident.
+    pub dirty: bool,
+    /// Region of its contents.
+    pub region: Region,
+    /// How many of its 16 words were touched while resident.
+    pub touched_words: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    meta: u32,
+    touched: u16,
+    region: Region,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    meta: 0,
+    touched: 0,
+    region: Region::VertexStates,
+};
+
+/// DRRIP set-dueling state (Jaleel et al., ISCA'10): a few leader sets are
+/// dedicated to SRRIP and BRRIP insertion; misses in leader sets steer a
+/// saturating selector that the follower sets obey.
+#[derive(Debug, Clone, Copy)]
+struct DuelState {
+    /// Positive → SRRIP is missing more → followers use BRRIP.
+    psel: i32,
+    /// Deterministic 1-in-32 counter for BRRIP's rare near insertions.
+    brip_tick: u32,
+}
+
+impl DuelState {
+    const PSEL_MAX: i32 = 512;
+    const LEADER_STRIDE: usize = 32;
+
+    fn new() -> Self {
+        Self { psel: 0, brip_tick: 0 }
+    }
+
+    /// Which insertion policy governs `set`: Some(true)=SRRIP leader,
+    /// Some(false)=BRRIP leader, None=follower.
+    fn leader(set: usize) -> Option<bool> {
+        match set % Self::LEADER_STRIDE {
+            0 => Some(true),
+            1 => Some(false),
+            _ => None,
+        }
+    }
+
+    fn on_miss(&mut self, set: usize) {
+        match Self::leader(set) {
+            Some(true) => self.psel = (self.psel + 1).min(Self::PSEL_MAX),
+            Some(false) => self.psel = (self.psel - 1).max(-Self::PSEL_MAX),
+            None => {}
+        }
+    }
+
+    /// RRPV for a new line in `set`.
+    fn insert_rrpv(&mut self, set: usize) -> u32 {
+        let use_brrip = match Self::leader(set) {
+            Some(true) => false,
+            Some(false) => true,
+            None => self.psel > 0,
+        };
+        if use_brrip {
+            self.brip_tick = self.brip_tick.wrapping_add(1);
+            if self.brip_tick % 32 == 0 {
+                2
+            } else {
+                3
+            }
+        } else {
+            2
+        }
+    }
+}
+
+/// A set-associative cache with 64 B lines.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Line>,
+    set_count: usize,
+    ways: usize,
+    policy: PolicyKind,
+    stamp: u32,
+    duel: DuelState,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `set_count` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(set_count: usize, ways: usize, policy: PolicyKind) -> Self {
+        assert!(set_count > 0 && ways > 0, "cache needs sets and ways");
+        Self {
+            sets: vec![INVALID; set_count * ways],
+            set_count,
+            ways,
+            policy,
+            stamp: 0,
+            duel: DuelState::new(),
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.set_count
+    }
+
+    fn slice(&mut self, set: usize) -> &mut [Line] {
+        &mut self.sets[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Accesses `line` (byte address >> 6), touching 4 B word `word`
+    /// (0..16). On a miss the line is filled (allocate-on-miss for reads
+    /// and writes) and the displaced line, if any, is reported.
+    pub fn access(
+        &mut self,
+        line: u64,
+        word: u8,
+        write: bool,
+        region: Region,
+    ) -> AccessOutcome {
+        debug_assert!(word < 16);
+        self.stamp = self.stamp.wrapping_add(1);
+        let stamp = self.stamp;
+        let policy = self.policy;
+        let set = self.set_of(line);
+        {
+            let ways = self.slice(set);
+            if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == line) {
+                l.meta = policy.hit_meta(region, l.meta, stamp);
+                l.touched |= 1 << word;
+                l.dirty |= write;
+                return AccessOutcome { hit: true, evicted: None };
+            }
+        }
+        if policy == PolicyKind::Drrip {
+            self.duel.on_miss(set);
+        }
+
+        // Miss: steer the DRRIP duel, then pick a way.
+        let ways = self.slice(set);
+        let (victim_idx, evicted) = if let Some(i) = ways.iter().position(|l| !l.valid) {
+            (i, None)
+        } else {
+            let mut metas: Vec<u32> = ways.iter().map(|l| l.meta).collect();
+            let v = policy.choose_victim(&mut metas);
+            for (l, m) in ways.iter_mut().zip(metas) {
+                l.meta = m;
+            }
+            let out = ways[v];
+            (
+                v,
+                Some(EvictedLine {
+                    line: out.tag,
+                    dirty: out.dirty,
+                    region: out.region,
+                    touched_words: out.touched.count_ones(),
+                }),
+            )
+        };
+        let meta = if policy == PolicyKind::Drrip {
+            self.duel.insert_rrpv(set)
+        } else {
+            policy.insert_meta(region, stamp)
+        };
+        let ways = self.slice(set);
+        ways[victim_idx] = Line {
+            tag: line,
+            valid: true,
+            dirty: write,
+            meta,
+            touched: 1 << word,
+            region,
+        };
+        AccessOutcome { hit: false, evicted }
+    }
+
+    /// Whether `line` is resident.
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.sets[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == line)
+    }
+
+    /// Marks an additional touched word on a resident line (used by the
+    /// machine to propagate word-usage info to the LLC copy even when an
+    /// upper level satisfied the access). No replacement state changes.
+    pub fn touch_word(&mut self, line: u64, word: u8) {
+        let set = self.set_of(line);
+        let ways = self.slice(set);
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == line) {
+            l.touched |= 1 << word;
+        }
+    }
+
+    /// Invalidates `line` if present; returns the line's eviction record.
+    pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        let set = self.set_of(line);
+        let ways = self.slice(set);
+        let l = ways.iter_mut().find(|l| l.valid && l.tag == line)?;
+        let out = EvictedLine {
+            line: l.tag,
+            dirty: l.dirty,
+            region: l.region,
+            touched_words: l.touched.count_ones(),
+        };
+        *l = INVALID;
+        Some(out)
+    }
+
+    /// Drains every valid line, reporting each as evicted (end-of-run flush
+    /// so utilization statistics account for resident lines).
+    pub fn flush(&mut self) -> Vec<EvictedLine> {
+        let mut out = Vec::new();
+        for l in &mut self.sets {
+            if l.valid {
+                out.push(EvictedLine {
+                    line: l.tag,
+                    dirty: l.dirty,
+                    region: l.region,
+                    touched_words: l.touched.count_ones(),
+                });
+                *l = INVALID;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        SetAssocCache::new(2, 2, PolicyKind::Lru)
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(100, 0, false, Region::VertexStates).hit);
+        assert!(c.access(100, 1, false, Region::VertexStates).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers, 2 sets).
+        c.access(0, 0, false, Region::VertexStates);
+        c.access(2, 0, false, Region::VertexStates);
+        c.access(0, 0, false, Region::VertexStates); // refresh line 0
+        let out = c.access(4, 0, false, Region::VertexStates);
+        assert!(!out.hit);
+        assert_eq!(out.evicted.unwrap().line, 2);
+        assert!(c.contains(0) && c.contains(4) && !c.contains(2));
+    }
+
+    #[test]
+    fn touched_words_accumulate_until_eviction() {
+        let mut c = tiny();
+        c.access(0, 0, false, Region::VertexStates);
+        c.access(0, 5, false, Region::VertexStates);
+        c.access(0, 5, false, Region::VertexStates); // same word twice
+        c.access(2, 0, false, Region::VertexStates);
+        let out = c.access(4, 0, false, Region::VertexStates);
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.line, 0);
+        assert_eq!(ev.touched_words, 2);
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = tiny();
+        c.access(0, 0, true, Region::VertexStates);
+        c.access(2, 0, false, Region::VertexStates);
+        let ev = c.access(4, 0, false, Region::VertexStates).evicted.unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(0, 3, true, Region::TopologyList);
+        let ev = c.invalidate(0).unwrap();
+        assert_eq!(ev.region, Region::TopologyList);
+        assert!(ev.dirty);
+        assert!(!c.contains(0));
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn flush_reports_all_resident_lines() {
+        let mut c = tiny();
+        c.access(0, 0, false, Region::VertexStates);
+        c.access(1, 0, false, Region::NeighborArray);
+        let mut flushed = c.flush();
+        flushed.sort_by_key(|e| e.line);
+        assert_eq!(flushed.len(), 2);
+        assert!(!c.contains(0) && !c.contains(1));
+        assert!(c.flush().is_empty());
+    }
+
+    #[test]
+    fn touch_word_marks_without_replacement_side_effects() {
+        let mut c = tiny();
+        c.access(0, 0, false, Region::VertexStates);
+        c.touch_word(0, 9);
+        c.access(2, 0, false, Region::VertexStates);
+        let ev = c.access(4, 0, false, Region::VertexStates).evicted.unwrap();
+        assert_eq!(ev.touched_words, 2);
+    }
+
+    #[test]
+    fn grasp_cache_protects_coalesced_lines() {
+        // 1 set, 2 ways: hot line inserted at RRPV 0 survives a scan.
+        let mut c = SetAssocCache::new(1, 2, PolicyKind::Grasp);
+        c.access(10, 0, false, Region::CoalescedStates);
+        for line in 0..8u64 {
+            c.access(line, 0, false, Region::NeighborArray);
+        }
+        assert!(c.contains(10), "GRASP failed to protect the hot line");
+    }
+
+    #[test]
+    fn popt_cache_prefers_evicting_structure_scans() {
+        let mut c = SetAssocCache::new(1, 2, PolicyKind::Popt);
+        c.access(10, 0, false, Region::VertexStates);
+        c.access(1, 0, false, Region::NeighborArray);
+        // Third line: the neighbor-array line (RRPV 3) must be the victim.
+        let ev = c.access(2, 0, false, Region::NeighborArray).evicted.unwrap();
+        assert_eq!(ev.line, 1);
+        assert!(c.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "sets and ways")]
+    fn zero_geometry_panics() {
+        let _ = SetAssocCache::new(0, 2, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn drrip_leader_sets_are_fixed() {
+        assert_eq!(DuelState::leader(0), Some(true));
+        assert_eq!(DuelState::leader(1), Some(false));
+        assert_eq!(DuelState::leader(2), None);
+        assert_eq!(DuelState::leader(32), Some(true));
+        assert_eq!(DuelState::leader(33), Some(false));
+    }
+
+    #[test]
+    fn drrip_duel_steers_followers_by_leader_misses() {
+        // Drive misses only into the SRRIP leader set (set 0 of 64): PSEL
+        // rises, so follower sets must switch to BRRIP insertion.
+        let mut c = SetAssocCache::new(64, 2, PolicyKind::Drrip);
+        for k in 0..1_000u64 {
+            c.access(k * 64, 0, false, Region::NeighborArray);
+        }
+        assert!(c.duel.psel > 0, "SRRIP-leader misses must raise PSEL");
+        let mut duel = c.duel;
+        let mut distant = 0;
+        for _ in 0..32 {
+            if duel.insert_rrpv(5) == 3 {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 30, "followers must insert distant under BRRIP");
+        // Conversely, misses in the BRRIP leader set pull PSEL back down.
+        for k in 0..3_000u64 {
+            c.access(k * 64 + 1, 0, false, Region::NeighborArray);
+        }
+        assert!(c.duel.psel < 0);
+        assert_eq!(c.duel.insert_rrpv(5), 2, "followers back on SRRIP insertion");
+    }
+
+    #[test]
+    fn drrip_brrip_occasionally_inserts_near() {
+        let mut duel = DuelState::new();
+        duel.psel = 100; // followers on BRRIP
+        let rrpvs: Vec<u32> = (0..64).map(|_| duel.insert_rrpv(7)).collect();
+        assert!(rrpvs.iter().any(|&r| r == 2), "BRRIP must rarely insert near");
+        assert!(rrpvs.iter().filter(|&&r| r == 3).count() >= 60);
+    }
+
+    #[test]
+    fn drrip_psel_saturates() {
+        let mut duel = DuelState::new();
+        for _ in 0..10_000 {
+            duel.on_miss(0);
+        }
+        assert_eq!(duel.psel, DuelState::PSEL_MAX);
+        for _ in 0..30_000 {
+            duel.on_miss(1);
+        }
+        assert_eq!(duel.psel, -DuelState::PSEL_MAX);
+    }
+}

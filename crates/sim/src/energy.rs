@@ -1,0 +1,153 @@
+//! Energy model (replaces McPAT + the DDR4 power calculator, §4.4).
+//!
+//! Per-event dynamic energies are documented constants in the ballpark of
+//! published 22 nm numbers (the paper also evaluates at 22 nm via McPAT).
+//! Fig 19 reports component *shares*, which are driven entirely by the
+//! counted events, so the absolute scale of these constants cancels out.
+
+use crate::stats::{MachineStats, Op};
+
+/// Per-event dynamic energy constants, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyConstants {
+    /// Average core energy per algorithmic operation.
+    pub core_op_nj: f64,
+    /// L1D access.
+    pub l1_nj: f64,
+    /// L2 access.
+    pub l2_nj: f64,
+    /// LLC bank access.
+    pub llc_nj: f64,
+    /// One NoC hop·cycle of traffic.
+    pub noc_hop_nj: f64,
+    /// One 64 B DRAM line transfer.
+    pub dram_line_nj: f64,
+    /// Chip static (leakage + clock) power in watts, charged for the run's
+    /// duration — McPAT includes it, and it is what rewards a faster
+    /// engine with lower total energy.
+    pub static_w: f64,
+}
+
+impl EnergyConstants {
+    /// Default 22 nm-class constants.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            core_op_nj: 0.08,
+            l1_nj: 0.11,
+            l2_nj: 0.35,
+            llc_nj: 1.30,
+            noc_hop_nj: 0.06,
+            dram_line_nj: 20.0,
+            static_w: 48.0,
+        }
+    }
+}
+
+impl Default for EnergyConstants {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// Energy by component, in nanojoules (Fig 19's breakdown categories).
+/// Static energy is folded into the components with the usual chip split
+/// (60 % cores, 25 % caches, 5 % NoC, 10 % DRAM interface).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core energy (dynamic + static share).
+    pub core_nj: f64,
+    /// Cache hierarchy (L1 + L2 + LLC).
+    pub cache_nj: f64,
+    /// Network-on-chip.
+    pub noc_nj: f64,
+    /// DRAM.
+    pub dram_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.core_nj + self.cache_nj + self.noc_nj + self.dram_nj
+    }
+
+    /// Computes the breakdown from machine statistics, DRAM line counts,
+    /// and the run duration (`cycles` at `freq_ghz`) for the static share.
+    #[must_use]
+    pub fn from_stats(
+        stats: &MachineStats,
+        dram_lines: u64,
+        cycles: u64,
+        freq_ghz: f64,
+        constants: EnergyConstants,
+    ) -> Self {
+        let ops: u64 = Op::ALL.iter().map(|&o| stats.op_count(o)).sum();
+        let llc_lookups = stats.llc_hits + stats.llc_misses;
+        // Static energy: P_static × t, in nJ.
+        let static_nj = if freq_ghz > 0.0 {
+            constants.static_w * cycles as f64 / freq_ghz
+        } else {
+            0.0
+        };
+        Self {
+            core_nj: ops as f64 * constants.core_op_nj + 0.60 * static_nj,
+            cache_nj: stats.accesses as f64 * constants.l1_nj
+                + (stats.l2_hits + llc_lookups) as f64 * constants.l2_nj
+                + llc_lookups as f64 * constants.llc_nj
+                + 0.25 * static_nj,
+            noc_nj: stats.noc_hop_cycles as f64 * constants.noc_hop_nj + 0.05 * static_nj,
+            dram_nj: dram_lines as f64 * constants.dram_line_nj + 0.10 * static_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_zero_energy() {
+        let e = EnergyBreakdown::from_stats(
+            &MachineStats::default(),
+            0,
+            0,
+            2.5,
+            EnergyConstants::nominal(),
+        );
+        assert_eq!(e.total_nj(), 0.0);
+    }
+
+    #[test]
+    fn dram_dominates_when_misses_dominate() {
+        let mut s = MachineStats::default();
+        s.accesses = 100;
+        s.llc_misses = 100;
+        let e = EnergyBreakdown::from_stats(&s, 100, 0, 2.5, EnergyConstants::nominal());
+        assert!(e.dram_nj > e.cache_nj);
+        assert!(e.dram_nj > e.noc_nj);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let mut s = MachineStats::default();
+        s.accesses = 10;
+        s.l2_hits = 5;
+        s.llc_hits = 3;
+        s.noc_hop_cycles = 7;
+        s.op_counts[0] = 20;
+        let e = EnergyBreakdown::from_stats(&s, 2, 0, 2.5, EnergyConstants::nominal());
+        let sum = e.core_nj + e.cache_nj + e.noc_nj + e.dram_nj;
+        assert!((e.total_nj() - sum).abs() < 1e-12);
+        assert!(e.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn static_energy_scales_with_duration() {
+        let s = MachineStats::default();
+        let fast = EnergyBreakdown::from_stats(&s, 0, 1_000, 2.5, EnergyConstants::nominal());
+        let slow = EnergyBreakdown::from_stats(&s, 0, 4_000, 2.5, EnergyConstants::nominal());
+        assert!((slow.total_nj() - 4.0 * fast.total_nj()).abs() < 1e-6);
+        assert!(fast.core_nj > fast.noc_nj, "static split favors cores");
+    }
+}

@@ -1,0 +1,222 @@
+//! Machine-level statistics collected during simulation.
+
+use crate::address::Region;
+
+/// Algorithmic operations charged to a timeline (see
+/// [`crate::config::InstrCost`] for the per-op core costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Process one edge.
+    EdgeProcess,
+    /// Commit one vertex-state update.
+    StateUpdate,
+    /// Push/pop one frontier or worklist entry.
+    FrontierOp,
+    /// One hash-table probe.
+    HashProbe,
+    /// Per-vertex scheduling overhead.
+    ScheduleOp,
+    /// Data-dependent branch misprediction penalty.
+    BranchMiss,
+}
+
+impl Op {
+    /// All operation kinds.
+    pub const ALL: [Op; 6] = [
+        Op::EdgeProcess,
+        Op::StateUpdate,
+        Op::FrontierOp,
+        Op::HashProbe,
+        Op::ScheduleOp,
+        Op::BranchMiss,
+    ];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Op::EdgeProcess => 0,
+            Op::StateUpdate => 1,
+            Op::FrontierOp => 2,
+            Op::HashProbe => 3,
+            Op::ScheduleOp => 4,
+            Op::BranchMiss => 5,
+        }
+    }
+}
+
+/// Who issues an access or operation: a general-purpose core or an
+/// accelerator engine paired with it. The two run concurrently; at phase
+/// boundaries each core's time is the max of the two timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Actor {
+    /// The software thread on the core.
+    Core,
+    /// The per-core accelerator engine (TDTU/VSCU or a comparator model).
+    Accel,
+}
+
+/// Phase classification for the execution-time breakdown (Fig 3a / Fig 10
+/// split "state propagation" from "other").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Propagating new states along the topology.
+    Propagation,
+    /// Everything else (batch application, tracking, scheduling, indexing).
+    Other,
+}
+
+/// Word-utilization accumulator for state-region cache lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineUtilization {
+    /// State-region lines evicted (or flushed) from the LLC.
+    pub lines: u64,
+    /// Total 4 B words touched in those lines while resident.
+    pub touched_words: u64,
+}
+
+impl LineUtilization {
+    /// Records one evicted line with `touched` words used.
+    pub fn record(&mut self, touched: u32) {
+        self.lines += 1;
+        self.touched_words += u64::from(touched);
+    }
+
+    /// Fraction of fetched state words that were actually used (Fig 3c /
+    /// Fig 12). Returns 1.0 when nothing was fetched.
+    #[must_use]
+    pub fn useful_ratio(&self) -> f64 {
+        if self.lines == 0 {
+            1.0
+        } else {
+            self.touched_words as f64 / (self.lines as f64 * 16.0)
+        }
+    }
+}
+
+/// Aggregate machine statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineStats {
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that hit L2).
+    pub l2_hits: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses (DRAM line reads).
+    pub llc_misses: u64,
+    /// Total accesses issued.
+    pub accesses: u64,
+    /// NoC hop·cycles spent on LLC round trips and invalidations.
+    pub noc_hop_cycles: u64,
+    /// Coherence invalidations of remote private-cache lines.
+    pub invalidations: u64,
+    /// Utilization of vertex-state lines through the LLC.
+    pub state_lines: LineUtilization,
+    /// Per-op counts, indexed in [`Op::ALL`] order.
+    pub op_counts: [u64; 6],
+    /// Accesses per region (indexed by position in [`Region::ALL`]).
+    pub region_accesses: [u64; 12],
+}
+
+impl MachineStats {
+    /// LLC miss rate over LLC lookups.
+    #[must_use]
+    pub fn llc_miss_rate(&self) -> f64 {
+        let lookups = self.llc_hits + self.llc_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / lookups as f64
+        }
+    }
+
+    /// Records an access to `region` for the per-region histogram.
+    pub fn count_region(&mut self, region: Region) {
+        let idx = Region::ALL.iter().position(|&r| r == region).expect("region in ALL");
+        self.region_accesses[idx] += 1;
+    }
+
+    /// Accesses recorded for `region`.
+    #[must_use]
+    pub fn region_access_count(&self, region: Region) -> u64 {
+        let idx = Region::ALL.iter().position(|&r| r == region).expect("region in ALL");
+        self.region_accesses[idx]
+    }
+
+    /// Count of operation `op`.
+    #[must_use]
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.op_counts[op.index()]
+    }
+}
+
+/// Per-phase and total time accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Cycles in propagation phases.
+    pub propagation_cycles: u64,
+    /// Cycles in other phases.
+    pub other_cycles: u64,
+}
+
+impl TimeBreakdown {
+    /// Total cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.propagation_cycles + self.other_cycles
+    }
+
+    /// Adds a finished phase.
+    pub fn add(&mut self, kind: PhaseKind, cycles: u64) {
+        match kind {
+            PhaseKind::Propagation => self.propagation_cycles += cycles,
+            PhaseKind::Other => self.other_cycles += cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_ratio() {
+        let mut u = LineUtilization::default();
+        assert_eq!(u.useful_ratio(), 1.0);
+        u.record(16);
+        u.record(0);
+        assert!((u.useful_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llc_miss_rate_handles_zero() {
+        let s = MachineStats::default();
+        assert_eq!(s.llc_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn region_histogram_roundtrip() {
+        let mut s = MachineStats::default();
+        s.count_region(Region::VertexStates);
+        s.count_region(Region::VertexStates);
+        assert_eq!(s.region_access_count(Region::VertexStates), 2);
+        assert_eq!(s.region_access_count(Region::OffsetArray), 0);
+    }
+
+    #[test]
+    fn breakdown_accumulates_by_kind() {
+        let mut b = TimeBreakdown::default();
+        b.add(PhaseKind::Propagation, 100);
+        b.add(PhaseKind::Other, 50);
+        b.add(PhaseKind::Propagation, 10);
+        assert_eq!(b.propagation_cycles, 110);
+        assert_eq!(b.other_cycles, 50);
+        assert_eq!(b.total(), 160);
+    }
+
+    #[test]
+    fn op_indexing_is_stable() {
+        for (i, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+}

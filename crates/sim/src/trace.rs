@@ -1,0 +1,161 @@
+//! Memory-access tracing for debugging and model inspection.
+//!
+//! When enabled on a [`crate::machine::Machine`], every typed access is
+//! recorded into a bounded ring buffer together with its service level, so
+//! tests and tools can inspect *why* an engine behaves as it does (e.g.
+//! confirm that the VSCU really turned scattered state misses into
+//! coalesced hits).
+
+use crate::address::Region;
+use crate::stats::Actor;
+
+/// Where an access was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceLevel {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared LLC hit.
+    Llc,
+    /// DRAM fill.
+    Memory,
+}
+
+/// One recorded access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Issuing core.
+    pub core: usize,
+    /// Core or paired accelerator.
+    pub actor: Actor,
+    /// Structure accessed.
+    pub region: Region,
+    /// Element index within the region.
+    pub index: u64,
+    /// Read or write.
+    pub write: bool,
+    /// Where it was serviced.
+    pub level: ServiceLevel,
+    /// Latency charged, in cycles.
+    pub latency: u64,
+}
+
+/// A bounded ring buffer of [`TraceEntry`]s.
+#[derive(Debug, Clone)]
+pub struct AccessTrace {
+    entries: std::collections::VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl AccessTrace {
+    /// Creates a trace keeping the most recent `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an entry, evicting the oldest when full.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The retained entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries displaced by the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fraction of retained accesses to `region` serviced at `level`.
+    #[must_use]
+    pub fn service_share(&self, region: Region, level: ServiceLevel) -> f64 {
+        let total = self.entries.iter().filter(|e| e.region == region).count();
+        if total == 0 {
+            return 0.0;
+        }
+        let at = self
+            .entries
+            .iter()
+            .filter(|e| e.region == region && e.level == level)
+            .count();
+        at as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(index: u64, level: ServiceLevel) -> TraceEntry {
+        TraceEntry {
+            core: 0,
+            actor: Actor::Core,
+            region: Region::VertexStates,
+            index,
+            write: false,
+            level,
+            latency: 4,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut t = AccessTrace::new(3);
+        for i in 0..5 {
+            t.record(entry(i, ServiceLevel::L1));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let idxs: Vec<u64> = t.entries().map(|e| e.index).collect();
+        assert_eq!(idxs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn service_share_by_region_and_level() {
+        let mut t = AccessTrace::new(16);
+        t.record(entry(0, ServiceLevel::L1));
+        t.record(entry(1, ServiceLevel::Memory));
+        t.record(entry(2, ServiceLevel::L1));
+        t.record(entry(3, ServiceLevel::Llc));
+        assert!((t.service_share(Region::VertexStates, ServiceLevel::L1) - 0.5).abs() < 1e-12);
+        assert_eq!(t.service_share(Region::NeighborArray, ServiceLevel::L1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = AccessTrace::new(0);
+    }
+}

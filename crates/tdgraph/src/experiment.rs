@@ -1,0 +1,225 @@
+//! High-level experiment API.
+//!
+//! [`Experiment`] is the one-stop entry point downstream users need: pick a
+//! dataset, an algorithm, and an engine, optionally tune the machine or the
+//! update stream, and run — the result carries the paper's metrics and the
+//! oracle verdict.
+
+use tdgraph_accel::jetstream::{GraphPulse, JetStream};
+use tdgraph_accel::tdgraph::{TdGraph, TdGraphConfig};
+use tdgraph_accel::{DepGraph, Hats, Minnow, Phi};
+use tdgraph_algos::traits::Algo;
+use tdgraph_engines::dzig::Dzig;
+use tdgraph_engines::engine::Engine;
+use tdgraph_engines::graphbolt::GraphBolt;
+use tdgraph_engines::harness::{run_streaming_workload, RunOptions, RunResult};
+use tdgraph_engines::kickstarter::KickStarter;
+use tdgraph_engines::ligra_do::LigraDO;
+use tdgraph_engines::ligra_o::LigraO;
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+
+/// Every execution engine the reproduction provides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineKind {
+    /// Optimized software baseline (§4.1).
+    LigraO,
+    /// Direction-optimizing Ligra (push/pull switching).
+    LigraDO,
+    /// GraphBolt software system.
+    GraphBolt,
+    /// KickStarter software system.
+    KickStarter,
+    /// DZiG software system.
+    Dzig,
+    /// TDGraph hardware engine (the contribution).
+    TdGraphH,
+    /// TDGraph hardware engine without the VSCU (Fig 13).
+    TdGraphHWithout,
+    /// Software-only TDGraph (§4.2).
+    TdGraphS,
+    /// Software-only TDGraph without coalescing (Fig 14).
+    TdGraphSWithout,
+    /// TDGraph with a custom configuration.
+    TdGraphCustom(TdGraphConfig),
+    /// HATS comparator accelerator.
+    Hats,
+    /// Minnow comparator accelerator.
+    Minnow,
+    /// PHI comparator accelerator.
+    Phi,
+    /// DepGraph comparator accelerator.
+    DepGraph,
+    /// JetStream streaming accelerator.
+    JetStream,
+    /// JetStream with VSCU-style coalescing (Fig 17).
+    JetStreamWith,
+    /// GraphPulse event-driven accelerator.
+    GraphPulse,
+}
+
+impl EngineKind {
+    /// Instantiates the engine.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Engine> {
+        match self {
+            EngineKind::LigraO => Box::new(LigraO),
+            EngineKind::LigraDO => Box::new(LigraDO),
+            EngineKind::GraphBolt => Box::new(GraphBolt),
+            EngineKind::KickStarter => Box::new(KickStarter),
+            EngineKind::Dzig => Box::new(Dzig),
+            EngineKind::TdGraphH => Box::new(TdGraph::hardware()),
+            EngineKind::TdGraphHWithout => Box::new(TdGraph::hardware_without_vscu()),
+            EngineKind::TdGraphS => Box::new(TdGraph::software()),
+            EngineKind::TdGraphSWithout => Box::new(TdGraph::software_without_vscu()),
+            EngineKind::TdGraphCustom(cfg) => Box::new(TdGraph::with_config(cfg)),
+            EngineKind::Hats => Box::new(Hats),
+            EngineKind::Minnow => Box::new(Minnow),
+            EngineKind::Phi => Box::new(Phi),
+            EngineKind::DepGraph => Box::new(DepGraph),
+            EngineKind::JetStream => Box::new(JetStream::new()),
+            EngineKind::JetStreamWith => Box::new(JetStream::with_coalescing()),
+            EngineKind::GraphPulse => Box::new(GraphPulse),
+        }
+    }
+
+    /// The software systems of Fig 3.
+    pub const SOFTWARE: [EngineKind; 4] = [
+        EngineKind::GraphBolt,
+        EngineKind::KickStarter,
+        EngineKind::Dzig,
+        EngineKind::LigraO,
+    ];
+
+    /// The comparator accelerators of Fig 15.
+    pub const ACCELERATORS: [EngineKind; 4] = [
+        EngineKind::Hats,
+        EngineKind::Minnow,
+        EngineKind::Phi,
+        EngineKind::DepGraph,
+    ];
+}
+
+/// Builder for one streaming-graph experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    dataset: Dataset,
+    sizing: Sizing,
+    algo: Option<Algo>,
+    options: RunOptions,
+}
+
+impl Experiment {
+    /// Starts an experiment on `dataset`.
+    #[must_use]
+    pub fn new(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            sizing: Sizing::Small,
+            algo: None,
+            options: RunOptions {
+                sim: tdgraph_sim::SimConfig::scaled_reference(),
+                ..RunOptions::default()
+            },
+        }
+    }
+
+    /// Selects the workload sizing (default: [`Sizing::Small`]).
+    #[must_use]
+    pub fn sizing(mut self, sizing: Sizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Selects the algorithm. When not set, SSSP from the workload's hub
+    /// vertex is used.
+    #[must_use]
+    pub fn algorithm(mut self, algo: Algo) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// Overrides the run options (machine config, batches, composition).
+    #[must_use]
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Mutates the run options in place.
+    #[must_use]
+    pub fn tune(mut self, f: impl FnOnce(&mut RunOptions)) -> Self {
+        f(&mut self.options);
+        self
+    }
+
+    /// Runs the experiment with `engine`.
+    #[must_use]
+    pub fn run(&self, engine: EngineKind) -> RunResult {
+        let workload = StreamingWorkload::prepare(self.dataset, self.sizing);
+        let algo = self.algo.unwrap_or_else(|| Algo::sssp(workload.hub_vertex()));
+        let mut e = engine.build();
+        run_streaming_workload(e.as_mut(), algo, workload, &self.options)
+    }
+
+    /// Runs the experiment for several engines, returning `(engine, result)`
+    /// pairs in order.
+    #[must_use]
+    pub fn run_all(&self, engines: &[EngineKind]) -> Vec<(EngineKind, RunResult)> {
+        engines.iter().map(|&e| (e, self.run(e))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdgraph_graph::datasets::Dataset;
+
+    #[test]
+    fn experiment_runs_and_verifies() {
+        let res = Experiment::new(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .tune(|o| {
+                o.sim = tdgraph_sim::SimConfig::small_test();
+                o.batches = 1;
+            })
+            .run(EngineKind::TdGraphH);
+        assert!(res.verify.is_match());
+        assert_eq!(res.metrics.engine, "TDGraph-H");
+    }
+
+    #[test]
+    fn default_algorithm_is_hub_sssp() {
+        let res = Experiment::new(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .tune(|o| {
+                o.sim = tdgraph_sim::SimConfig::small_test();
+                o.batches = 1;
+            })
+            .run(EngineKind::LigraO);
+        assert_eq!(res.metrics.algo, "SSSP");
+    }
+
+    #[test]
+    fn every_engine_kind_builds_with_its_name() {
+        for kind in [
+            EngineKind::LigraO,
+            EngineKind::LigraDO,
+            EngineKind::GraphBolt,
+            EngineKind::KickStarter,
+            EngineKind::Dzig,
+            EngineKind::TdGraphH,
+            EngineKind::TdGraphHWithout,
+            EngineKind::TdGraphS,
+            EngineKind::TdGraphSWithout,
+            EngineKind::Hats,
+            EngineKind::Minnow,
+            EngineKind::Phi,
+            EngineKind::DepGraph,
+            EngineKind::JetStream,
+            EngineKind::JetStreamWith,
+            EngineKind::GraphPulse,
+        ] {
+            assert!(!kind.build().name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # tdgraph — a reproduction of the TDGraph streaming-graph accelerator
+//!
+//! This crate is the public facade over a full Rust reproduction of
+//! *TDGraph: A Topology-Driven Accelerator for High-Performance Streaming
+//! Graph Processing* (Zhao et al., ISCA 2022): the streaming-graph
+//! substrate, the four benchmark algorithms with incremental semantics, a
+//! trace-driven 64-core timing simulator, the four software baselines, the
+//! TDGraph engine (TDTU + VSCU) and every comparator accelerator the paper
+//! evaluates.
+//!
+//! The quickest way in is [`Experiment`]:
+//!
+//! ```
+//! use tdgraph::{Experiment, EngineKind};
+//! use tdgraph::graph::datasets::{Dataset, Sizing};
+//!
+//! let experiment = Experiment::new(Dataset::Amazon)
+//!     .sizing(Sizing::Tiny)
+//!     .tune(|o| o.batches = 1);
+//! let baseline = experiment.run(EngineKind::LigraO);
+//! let tdgraph = experiment.run(EngineKind::TdGraphH);
+//! assert!(baseline.verify.is_match() && tdgraph.verify.is_match());
+//! println!("speedup: {:.2}x", tdgraph.metrics.speedup_over(&baseline.metrics));
+//! ```
+//!
+//! The lower layers are re-exported as modules: [`graph`] (CSR snapshots,
+//! update batches, generators), [`algos`] (PageRank, Adsorption, SSSP, CC),
+//! [`sim`] (the machine model), [`engines`] (software systems), and
+//! [`accel`] (accelerator models).
+
+pub mod experiment;
+pub mod report;
+
+pub use experiment::{EngineKind, Experiment};
+pub use tdgraph_engines::harness::{RunOptions, RunResult};
+pub use tdgraph_engines::metrics::RunMetrics;
+
+/// Streaming-graph substrate (re-export of `tdgraph-graph`).
+pub mod graph {
+    pub use tdgraph_graph::*;
+}
+
+/// Incremental algorithms (re-export of `tdgraph-algos`).
+pub mod algos {
+    pub use tdgraph_algos::*;
+}
+
+/// Timing simulator (re-export of `tdgraph-sim`).
+pub mod sim {
+    pub use tdgraph_sim::*;
+}
+
+/// Software engines (re-export of `tdgraph-engines`).
+pub mod engines {
+    pub use tdgraph_engines::*;
+}
+
+/// Accelerator models (re-export of `tdgraph-accel`).
+pub mod accel {
+    pub use tdgraph_accel::*;
+}

@@ -1,0 +1,39 @@
+//! Mini Fig 15: compare TDGraph-H against the four comparator accelerators
+//! (HATS, Minnow, PHI, DepGraph) on one dataset, reporting speedup and
+//! relative performance-per-watt.
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::report::{build_rows, render_table};
+use tdgraph::{EngineKind, Experiment};
+
+fn main() {
+    let experiment = Experiment::new(Dataset::Dblp).sizing(Sizing::Small);
+
+    let mut results = Vec::new();
+    for kind in EngineKind::ACCELERATORS.into_iter().chain([EngineKind::TdGraphH]) {
+        let res = experiment.run(kind);
+        assert!(res.verify.is_match(), "{kind:?} diverged: {:?}", res.verify);
+        println!("finished {}", res.metrics.engine);
+        results.push(res);
+    }
+
+    let metrics: Vec<_> = results.iter().map(|r| &r.metrics).collect();
+    print!("{}", render_table("SSSP on scaled com-DBLP — accelerators", &build_rows(&metrics)));
+
+    // Fig 15's second panel: Perf/Watt normalized to HATS.
+    let hats = &results[0].metrics;
+    println!("\nPerf/Watt relative to HATS:");
+    for r in &results {
+        println!(
+            "  {:<12} {:>6.2}x  (speedup {:.2}x, energy {:.1} uJ)",
+            r.metrics.engine,
+            r.metrics.perf_per_watt_over(hats),
+            r.metrics.speedup_over(hats),
+            r.metrics.energy.total_nj() / 1000.0
+        );
+    }
+}

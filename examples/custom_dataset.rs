@@ -1,0 +1,73 @@
+//! Running the reproduction on your own dataset: write/load a SNAP-format
+//! edge list, build a streaming workload from it, and compare engines.
+//!
+//! With a real SNAP file (e.g. soc-LiveJournal1.txt) on disk, point
+//! `load_edge_list` at it instead of the generated file below.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset
+//! ```
+
+use tdgraph::algos::traits::Algo;
+use tdgraph::engines::harness::{run_streaming_workload, RunOptions};
+use tdgraph::graph::datasets::StreamingWorkload;
+use tdgraph::graph::generate::{ClusteredRmat, RmatConfig};
+use tdgraph::graph::io::{load_edge_list, save_edge_list};
+use tdgraph::graph::stats::degree_stats;
+use tdgraph::EngineKind;
+use tdgraph_sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Produce an edge list on disk (stand-in for your own dataset).
+    let path = std::env::temp_dir().join("tdgraph_custom_dataset.txt");
+    let generator = ClusteredRmat::new(RmatConfig::new(8, 6).with_seed(99), 6, 32);
+    save_edge_list(&path, &generator.edges())?;
+    println!("wrote {} (replace with your own SNAP file)", path.display());
+
+    // 2. Load it back and inspect.
+    let loaded = load_edge_list(&path)?;
+    println!(
+        "loaded {} edges over {} vertices ({} comment lines skipped)",
+        loaded.edges.len(),
+        loaded.vertex_count,
+        loaded.skipped_lines
+    );
+
+    // 3. Build the streaming workload (50% preloaded, rest streamed in).
+    let workload =
+        StreamingWorkload::from_edges(loaded.edges, loaded.vertex_count, 42);
+    let snapshot = workload.initial_snapshot();
+    let skew = degree_stats(&snapshot);
+    println!(
+        "initial snapshot: {} edges, gini {:.2}, top-1% share {:.1}%",
+        snapshot.edge_count(),
+        skew.gini,
+        100.0 * skew.top1pct_edge_share
+    );
+
+    // 4. Run both engines over the same stream and compare.
+    let algo = Algo::sssp(workload.hub_vertex());
+    let opts = RunOptions { sim: SimConfig::scaled_reference(), batches: 3, ..RunOptions::default() };
+    let rebuild = || StreamingWorkload::from_edges(
+        load_edge_list(&path).expect("file still present").edges,
+        loaded.vertex_count,
+        42,
+    );
+
+    let mut baseline = EngineKind::LigraO.build();
+    let base = run_streaming_workload(baseline.as_mut(), algo, rebuild(), &opts);
+    let mut accel = EngineKind::TdGraphH.build();
+    let tdg = run_streaming_workload(accel.as_mut(), algo, rebuild(), &opts);
+    assert!(base.verify.is_match() && tdg.verify.is_match());
+
+    println!(
+        "{}: {} cycles | {}: {} cycles  ->  {:.2}x",
+        base.metrics.engine,
+        base.metrics.cycles,
+        tdg.metrics.engine,
+        tdg.metrics.cycles,
+        tdg.metrics.speedup_over(&base.metrics)
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Quickstart: run the TDGraph accelerator against the Ligra-o software
+//! baseline on a small streaming SSSP workload and print the comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::report::{build_rows, render_table, speedup_line};
+use tdgraph::{EngineKind, Experiment};
+
+fn main() {
+    let experiment = Experiment::new(Dataset::Amazon).sizing(Sizing::Small);
+
+    println!("running Ligra-o (software baseline) ...");
+    let baseline = experiment.run(EngineKind::LigraO);
+    println!("running TDGraph-H (the accelerator) ...");
+    let tdgraph = experiment.run(EngineKind::TdGraphH);
+
+    // Every run is verified against a from-scratch recomputation.
+    assert!(baseline.verify.is_match(), "baseline diverged: {:?}", baseline.verify);
+    assert!(tdgraph.verify.is_match(), "TDGraph diverged: {:?}", tdgraph.verify);
+
+    let rows = build_rows(&[&baseline.metrics, &tdgraph.metrics]);
+    print!("{}", render_table("SSSP on scaled com-Amazon (AZ)", &rows));
+    println!("{}", speedup_line(&tdgraph.metrics, &baseline.metrics));
+    println!(
+        "energy: baseline {:.1} uJ vs TDGraph-H {:.1} uJ",
+        baseline.metrics.energy.total_nj() / 1000.0,
+        tdgraph.metrics.energy.total_nj() / 1000.0
+    );
+}

@@ -1,0 +1,100 @@
+//! The strongest correctness property: every engine — four software
+//! systems, the TDGraph variants, and all comparator accelerators — must
+//! drive every algorithm to the same fixpoint the from-scratch oracle
+//! computes, on the same streaming workload.
+
+use tdgraph::algos::traits::Algo;
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::{EngineKind, Experiment, RunOptions};
+use tdgraph_sim::SimConfig;
+
+const ALL_ENGINES: [EngineKind; 16] = [
+    EngineKind::LigraO,
+    EngineKind::LigraDO,
+    EngineKind::GraphBolt,
+    EngineKind::KickStarter,
+    EngineKind::Dzig,
+    EngineKind::TdGraphH,
+    EngineKind::TdGraphHWithout,
+    EngineKind::TdGraphS,
+    EngineKind::TdGraphSWithout,
+    EngineKind::Hats,
+    EngineKind::Minnow,
+    EngineKind::Phi,
+    EngineKind::DepGraph,
+    EngineKind::JetStream,
+    EngineKind::JetStreamWith,
+    EngineKind::GraphPulse,
+];
+
+fn experiment(algo: Option<Algo>) -> Experiment {
+    let mut e = Experiment::new(Dataset::Amazon)
+        .sizing(Sizing::Tiny)
+        .options(RunOptions {
+            sim: SimConfig::small_test(),
+            batches: 2,
+            ..RunOptions::default()
+        });
+    if let Some(a) = algo {
+        e = e.algorithm(a);
+    }
+    e
+}
+
+#[test]
+fn all_engines_agree_on_sssp() {
+    let e = experiment(None);
+    for kind in ALL_ENGINES {
+        let res = e.run(kind);
+        assert!(res.verify.is_match(), "{kind:?} diverged on SSSP: {:?}", res.verify);
+    }
+}
+
+#[test]
+fn all_engines_agree_on_cc() {
+    let e = experiment(Some(Algo::cc()));
+    for kind in ALL_ENGINES {
+        let res = e.run(kind);
+        assert!(res.verify.is_match(), "{kind:?} diverged on CC: {:?}", res.verify);
+    }
+}
+
+#[test]
+fn all_engines_agree_on_pagerank() {
+    let e = experiment(Some(Algo::pagerank()));
+    for kind in ALL_ENGINES {
+        let res = e.run(kind);
+        assert!(res.verify.is_match(), "{kind:?} diverged on PageRank: {:?}", res.verify);
+    }
+}
+
+#[test]
+fn all_engines_agree_on_adsorption() {
+    let e = experiment(Some(Algo::adsorption()));
+    for kind in ALL_ENGINES {
+        let res = e.run(kind);
+        assert!(res.verify.is_match(), "{kind:?} diverged on Adsorption: {:?}", res.verify);
+    }
+}
+
+#[test]
+fn all_engines_agree_under_deletion_heavy_stream() {
+    let e = experiment(None).tune(|o| o.add_fraction = 0.2);
+    for kind in ALL_ENGINES {
+        let res = e.run(kind);
+        assert!(
+            res.verify.is_match(),
+            "{kind:?} diverged under deletions: {:?}",
+            res.verify
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_under_addition_only_stream() {
+    let e = experiment(Some(Algo::cc())).tune(|o| o.add_fraction = 1.0);
+    for kind in ALL_ENGINES {
+        let res = e.run(kind);
+        assert!(res.verify.is_match(), "{kind:?} diverged (adds only): {:?}", res.verify);
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end pipeline test spanning every crate: dataset generation →
+//! streaming updates → incremental seeding → engine execution on the
+//! simulated machine → metrics → oracle verification.
+
+use tdgraph::algos::traits::Algo;
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::{EngineKind, Experiment, RunOptions};
+use tdgraph_sim::SimConfig;
+
+fn tiny_options() -> RunOptions {
+    RunOptions { sim: SimConfig::small_test(), batches: 2, ..RunOptions::default() }
+}
+
+#[test]
+fn full_pipeline_baseline_vs_accelerator() {
+    let experiment = Experiment::new(Dataset::Amazon)
+        .sizing(Sizing::Tiny)
+        .options(tiny_options());
+    let baseline = experiment.run(EngineKind::LigraO);
+    let tdgraph = experiment.run(EngineKind::TdGraphH);
+
+    assert!(baseline.verify.is_match(), "baseline diverged: {:?}", baseline.verify);
+    assert!(tdgraph.verify.is_match(), "TDGraph diverged: {:?}", tdgraph.verify);
+    assert_eq!(baseline.metrics.batches, 2);
+    assert_eq!(tdgraph.metrics.batches, 2);
+    assert!(baseline.metrics.cycles > 0);
+    assert!(tdgraph.metrics.cycles > 0);
+}
+
+#[test]
+fn pipeline_works_for_every_algorithm_category() {
+    for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank(), Algo::adsorption()] {
+        let res = Experiment::new(Dataset::Dblp)
+            .sizing(Sizing::Tiny)
+            .algorithm(algo)
+            .options(tiny_options())
+            .run(EngineKind::TdGraphH);
+        assert!(
+            res.verify.is_match(),
+            "{} diverged end-to-end: {:?}",
+            algo.name(),
+            res.verify
+        );
+        assert_eq!(res.metrics.algo, algo.name());
+    }
+}
+
+#[test]
+fn deterministic_across_repeated_runs() {
+    let experiment = Experiment::new(Dataset::Gplus)
+        .sizing(Sizing::Tiny)
+        .options(tiny_options());
+    let a = experiment.run(EngineKind::TdGraphH);
+    let b = experiment.run(EngineKind::TdGraphH);
+    assert_eq!(a.metrics.cycles, b.metrics.cycles, "simulation must be deterministic");
+    assert_eq!(a.metrics.state_updates, b.metrics.state_updates);
+    assert_eq!(a.metrics.dram_bytes, b.metrics.dram_bytes);
+}
+
+#[test]
+fn every_dataset_profile_runs_end_to_end() {
+    for ds in Dataset::ALL {
+        let res = Experiment::new(ds)
+            .sizing(Sizing::Tiny)
+            .options(RunOptions {
+                sim: SimConfig::small_test(),
+                batches: 1,
+                ..RunOptions::default()
+            })
+            .run(EngineKind::LigraO);
+        assert!(res.verify.is_match(), "{ds:?} diverged: {:?}", res.verify);
+    }
+}
+
+#[test]
+fn table1_machine_configuration_also_runs() {
+    // The full Table 1 machine (64 cores, 64 MB LLC) must work, not just
+    // the scaled configs.
+    let res = Experiment::new(Dataset::Amazon)
+        .sizing(Sizing::Tiny)
+        .options(RunOptions { sim: SimConfig::table1(), batches: 1, ..RunOptions::default() })
+        .run(EngineKind::TdGraphH);
+    assert!(res.verify.is_match());
+}

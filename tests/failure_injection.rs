@@ -1,0 +1,123 @@
+//! Failure injection: malformed inputs must error (or be normalized per the
+//! documented policy) without corrupting state — never silently succeed.
+
+use tdgraph::graph::streaming::{ApplyError, StreamingGraph};
+use tdgraph::graph::types::Edge;
+use tdgraph::graph::update::{BatchError, EdgeUpdate, UpdateBatch};
+
+fn base_graph() -> StreamingGraph {
+    let mut g = StreamingGraph::with_capacity(8);
+    g.insert_edges([
+        Edge::new(0, 1, 1.0),
+        Edge::new(1, 2, 1.0),
+        Edge::new(2, 3, 1.0),
+    ])
+    .unwrap();
+    g
+}
+
+#[test]
+fn self_loop_addition_is_rejected_at_batch_construction() {
+    let err = UpdateBatch::from_updates(vec![EdgeUpdate::addition(5, 5, 1.0)]).unwrap_err();
+    assert_eq!(err, BatchError::SelfLoop { vertex: 5 });
+}
+
+#[test]
+fn conflicting_add_and_delete_is_rejected() {
+    let err = UpdateBatch::from_updates(vec![
+        EdgeUpdate::addition(1, 2, 1.0),
+        EdgeUpdate::deletion(1, 2),
+    ])
+    .unwrap_err();
+    assert_eq!(err, BatchError::ConflictingUpdates { src: 1, dst: 2 });
+}
+
+#[test]
+fn duplicate_updates_are_normalized_not_errored() {
+    let b = UpdateBatch::from_updates(vec![
+        EdgeUpdate::deletion(0, 1),
+        EdgeUpdate::deletion(0, 1),
+        EdgeUpdate::addition(3, 4, 2.0),
+        EdgeUpdate::addition(3, 4, 2.0),
+    ])
+    .unwrap();
+    assert_eq!(b.len(), 2, "duplicates collapse per documented policy");
+}
+
+#[test]
+fn deleting_an_absent_edge_fails_atomically() {
+    let mut g = base_graph();
+    let edges_before = g.edges_vec();
+    let batch = UpdateBatch::from_updates(vec![
+        EdgeUpdate::addition(4, 5, 1.0),
+        EdgeUpdate::deletion(6, 7), // not present
+    ])
+    .unwrap();
+    let err = g.apply_batch(&batch).unwrap_err();
+    assert_eq!(err, ApplyError::MissingEdge { src: 6, dst: 7 });
+    assert_eq!(g.edges_vec(), edges_before, "failed batch must leave the graph intact");
+    assert!(!g.contains_edge(4, 5), "the valid half must not have been applied");
+}
+
+#[test]
+fn out_of_range_vertices_fail_atomically() {
+    let mut g = base_graph();
+    let count_before = g.edge_count();
+    let batch =
+        UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 100, 1.0)]).unwrap();
+    assert!(matches!(
+        g.apply_batch(&batch),
+        Err(ApplyError::VertexOutOfBounds { vertex: 100, .. })
+    ));
+    assert_eq!(g.edge_count(), count_before);
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let mut g = base_graph();
+    let before = g.edges_vec();
+    let applied = g.apply_batch(&UpdateBatch::default()).unwrap();
+    assert!(applied.affected_vertices().is_empty());
+    assert_eq!(g.edges_vec(), before);
+}
+
+#[test]
+fn invalid_engine_configurations_panic() {
+    use tdgraph_accel::tdgraph::{TdGraph, TdGraphConfig};
+    assert!(std::panic::catch_unwind(|| {
+        TdGraph::with_config(TdGraphConfig { alpha: -0.5, ..TdGraphConfig::default() })
+    })
+    .is_err());
+    assert!(std::panic::catch_unwind(|| {
+        TdGraph::with_config(TdGraphConfig { stack_depth: 0, ..TdGraphConfig::default() })
+    })
+    .is_err());
+}
+
+#[test]
+fn invalid_machine_configurations_panic() {
+    use tdgraph_sim::address::AddressSpace;
+    use tdgraph_sim::machine::Machine;
+    use tdgraph_sim::SimConfig;
+    // Mesh too small for the cores.
+    assert!(std::panic::catch_unwind(|| {
+        let mut cfg = SimConfig::table1();
+        cfg.mesh_dim = 3;
+        Machine::new(cfg, AddressSpace::layout(16, 16, 4))
+    })
+    .is_err());
+    // More cores than the 64-bit directory mask supports.
+    assert!(std::panic::catch_unwind(|| {
+        let mut cfg = SimConfig::table1();
+        cfg.cores = 65;
+        cfg.mesh_dim = 9;
+        Machine::new(cfg, AddressSpace::layout(16, 16, 4))
+    })
+    .is_err());
+}
+
+#[test]
+fn bad_batch_composer_fraction_panics() {
+    use tdgraph::graph::update::BatchComposer;
+    assert!(std::panic::catch_unwind(|| BatchComposer::new(vec![], 1.5, 1)).is_err());
+}

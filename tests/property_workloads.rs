@@ -1,0 +1,263 @@
+//! Property-based tests: random graphs and random update streams must
+//! preserve the core invariants — incremental == from-scratch for every
+//! algorithm and engine category, CSR structural invariants, and batch
+//! normalization rules.
+
+use proptest::prelude::*;
+
+use tdgraph::algos::incremental::{seed_after_batch, AlgoState};
+use tdgraph::algos::scratch::solve;
+use tdgraph::algos::tap::NullTap;
+use tdgraph::algos::traits::{Algo, AlgorithmKind};
+use tdgraph::algos::verify::compare;
+use tdgraph::graph::csr::Csr;
+use tdgraph::graph::streaming::StreamingGraph;
+use tdgraph::graph::types::{Edge, VertexId};
+use tdgraph::graph::update::{EdgeUpdate, UpdateBatch};
+
+const N: u32 = 24;
+
+fn arb_edge() -> impl Strategy<Value = Edge> {
+    (0..N, 0..N, 1u32..5).prop_filter_map("no self-loops", |(s, d, w)| {
+        (s != d).then(|| Edge::new(s, d, w as f32))
+    })
+}
+
+fn arb_graph_edges() -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::vec(arb_edge(), 0..80)
+}
+
+/// Reference propagation to the fixpoint from an affected set.
+fn propagate(algo: &Algo, graph: &Csr, state: &mut AlgoState, affected: &[VertexId]) {
+    let mass = tdgraph::algos::scratch::out_mass(algo, graph);
+    let eps = algo.epsilon();
+    let mut queue: Vec<VertexId> = affected.to_vec();
+    while let Some(v) = queue.pop() {
+        match algo.kind() {
+            AlgorithmKind::Monotonic => {
+                let s = state.states[v as usize];
+                if !s.is_finite() {
+                    continue;
+                }
+                for (n, w) in graph.out_edges(v) {
+                    let cand = algo.mono_propagate(s, w);
+                    if algo.mono_better(cand, state.states[n as usize]) {
+                        state.states[n as usize] = cand;
+                        state.parents[n as usize] = v;
+                        queue.push(n);
+                    }
+                }
+            }
+            AlgorithmKind::Accumulative => {
+                let r = state.residuals[v as usize];
+                if r.abs() < eps {
+                    continue;
+                }
+                state.residuals[v as usize] = 0.0;
+                state.states[v as usize] += r;
+                if mass[v as usize] <= 0.0 {
+                    continue;
+                }
+                for (n, w) in graph.out_edges(v) {
+                    state.residuals[n as usize] += algo.acc_scale(r, w, mass[v as usize]);
+                    if state.residuals[n as usize].abs() >= eps {
+                        queue.push(n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds a valid batch from raw proposals against the current graph:
+/// additions of absent pairs, deletions of present pairs.
+fn normalize_batch(graph: &StreamingGraph, proposals: &[(Edge, bool)]) -> UpdateBatch {
+    let mut updates = Vec::new();
+    let mut touched = std::collections::HashSet::new();
+    for (e, is_add) in proposals {
+        if !touched.insert((e.src, e.dst)) {
+            continue;
+        }
+        if *is_add {
+            updates.push(EdgeUpdate::addition(e.src, e.dst, e.weight));
+        } else if graph.contains_edge(e.src, e.dst) {
+            updates.push(EdgeUpdate::deletion(e.src, e.dst));
+        }
+    }
+    UpdateBatch::from_updates(updates).expect("normalized batch is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_roundtrips_through_edge_iteration(edges in arb_graph_edges()) {
+        let csr = Csr::from_edges(N as usize, &edges);
+        let rebuilt = Csr::from_edges(N as usize, &csr.iter_edges().collect::<Vec<_>>());
+        prop_assert_eq!(&csr, &rebuilt);
+        prop_assert_eq!(csr.edge_count(), edges.len());
+        // Transpose is an involution.
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn chunk_partitions_are_exact_covers(edges in arb_graph_edges(), chunks in 1usize..9) {
+        let csr = Csr::from_edges(N as usize, &edges);
+        let parts = tdgraph::graph::partition::partition_by_edges(&csr, chunks);
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, csr.vertex_count());
+        let edge_total: usize = parts.iter().map(|c| c.edges).sum();
+        prop_assert_eq!(edge_total, csr.edge_count());
+    }
+
+    #[test]
+    fn incremental_matches_oracle_for_all_algorithms(
+        initial in arb_graph_edges(),
+        proposals in proptest::collection::vec((arb_edge(), any::<bool>()), 1..24),
+    ) {
+        let mut graph = StreamingGraph::with_capacity(N as usize);
+        graph.insert_edges(initial.iter().copied()).unwrap();
+        let snapshot = graph.snapshot();
+
+        for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank(), Algo::adsorption()] {
+            let mut g = graph.clone();
+            let mut state =
+                AlgoState::from_solution(solve(&algo, &snapshot), N as usize);
+            let batch = normalize_batch(&g, &proposals);
+            let applied = g.apply_batch(&batch).expect("normalized batch applies");
+            let new_snapshot = g.snapshot();
+            let transpose = new_snapshot.transpose();
+            let affected = seed_after_batch(
+                &algo, &new_snapshot, &transpose, &mut state, &applied, &mut NullTap,
+            );
+            propagate(&algo, &new_snapshot, &mut state, &affected);
+            let oracle = solve(&algo, &new_snapshot);
+            let verdict = compare(&algo, &state.states, &oracle.states);
+            prop_assert!(
+                verdict.is_match(),
+                "{} diverged: {:?} (batch {:?})",
+                algo.name(), verdict, batch
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_batches_stay_correct(
+        initial in arb_graph_edges(),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((arb_edge(), any::<bool>()), 1..10), 1..4),
+    ) {
+        let algo = Algo::sssp(0);
+        let mut graph = StreamingGraph::with_capacity(N as usize);
+        graph.insert_edges(initial.iter().copied()).unwrap();
+        let mut state =
+            AlgoState::from_solution(solve(&algo, &graph.snapshot()), N as usize);
+        for proposals in &rounds {
+            let batch = normalize_batch(&graph, proposals);
+            let applied = graph.apply_batch(&batch).expect("valid batch");
+            let snapshot = graph.snapshot();
+            let transpose = snapshot.transpose();
+            let affected = seed_after_batch(
+                &algo, &snapshot, &transpose, &mut state, &applied, &mut NullTap,
+            );
+            propagate(&algo, &snapshot, &mut state, &affected);
+            let oracle = solve(&algo, &snapshot);
+            prop_assert!(compare(&algo, &state.states, &oracle.states).is_match());
+        }
+    }
+
+    #[test]
+    fn prng_bounded_draws_respect_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = tdgraph::graph::prng::Xoshiro256StarStar::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn mesh_hops_form_a_metric(dim in 1usize..12, a in 0usize..144, b in 0usize..144, c in 0usize..144) {
+        let mesh = tdgraph::sim::noc::Mesh::new(dim, 3);
+        let (a, b, c) = (a % mesh.tiles(), b % mesh.tiles(), c % mesh.tiles());
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+        prop_assert_eq!(mesh.hops(a, a), 0);
+        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+    }
+
+    #[test]
+    fn address_space_regions_roundtrip(
+        vertices in 1usize..100_000,
+        edges in 1usize..500_000,
+        hot in 1usize..1024,
+        index in 0u64..64,
+    ) {
+        use tdgraph::sim::address::{AddressSpace, Region};
+        let a = AddressSpace::layout(vertices, edges, hot);
+        for r in Region::ALL {
+            let addr = a.addr(r, index);
+            prop_assert!(addr < a.total_bytes());
+            prop_assert_eq!(a.region_of(addr), Some(r));
+        }
+    }
+
+    #[test]
+    fn cache_contains_agrees_with_access_outcome(
+        lines in proptest::collection::vec(0u64..256, 1..200),
+        sets in 1usize..16,
+        ways in 1usize..8,
+    ) {
+        use tdgraph::sim::cache::SetAssocCache;
+        use tdgraph::sim::policy::PolicyKind;
+        use tdgraph::sim::address::Region;
+        let mut c = SetAssocCache::new(sets, ways, PolicyKind::Lru);
+        let mut resident = std::collections::HashSet::new();
+        for &l in &lines {
+            let out = c.access(l, 0, false, Region::VertexStates);
+            // A hit must have been predicted by our resident model; a line
+            // the model says is absent must miss.
+            prop_assert_eq!(out.hit, resident.contains(&l));
+            resident.insert(l);
+            if let Some(ev) = out.evicted {
+                prop_assert!(resident.remove(&ev.line), "evicted a non-resident line");
+            }
+            prop_assert!(c.contains(l));
+        }
+        // The model and the cache agree on every line's residency.
+        for l in 0u64..256 {
+            prop_assert_eq!(c.contains(l), resident.contains(&l));
+        }
+    }
+
+    #[test]
+    fn degree_stats_are_internally_consistent(edges in arb_graph_edges()) {
+        let g = Csr::from_edges(N as usize, &edges);
+        let s = tdgraph::graph::stats::degree_stats(&g);
+        prop_assert_eq!(s.edges, g.edge_count());
+        prop_assert!((0.0..=1.0).contains(&s.top1pct_edge_share));
+        prop_assert!(s.top_half_pct_edge_share <= s.top1pct_edge_share + 1e-12);
+        prop_assert!((-1e-9..=1.0).contains(&s.gini));
+        prop_assert!(s.max_degree <= s.edges.max(1));
+    }
+}
+
+/// The TDGraph engine itself under random workloads — termination (no
+/// livelock on random cyclic graphs) and oracle agreement, via the full
+/// harness. Kept outside `proptest!` batching with a tiny machine so the
+/// whole property run stays fast.
+#[test]
+fn tdgraph_engine_random_workload_spotcheck() {
+    use tdgraph::graph::datasets::{Dataset, Sizing};
+    use tdgraph::{EngineKind, Experiment, RunOptions};
+    for (fraction, batches) in [(1.0, 2), (0.5, 3), (0.1, 2)] {
+        let res = Experiment::new(Dataset::Orkut)
+            .sizing(Sizing::Tiny)
+            .options(RunOptions {
+                sim: tdgraph_sim::SimConfig::small_test(),
+                batches,
+                add_fraction: fraction,
+                ..RunOptions::default()
+            })
+            .run(EngineKind::TdGraphH);
+        assert!(res.verify.is_match(), "fraction {fraction} diverged: {:?}", res.verify);
+    }
+}
