@@ -101,12 +101,7 @@ impl Engine for DepGraph {
 }
 
 impl DepGraph {
-    fn fetch_edge(
-        &self,
-        ctx: &mut BatchCtx<'_>,
-        core: usize,
-        i: usize,
-    ) -> (VertexId, f32) {
+    fn fetch_edge(&self, ctx: &mut BatchCtx<'_>, core: usize, i: usize) -> (VertexId, f32) {
         ctx.machine.access(core, Actor::Accel, Region::NeighborArray, i as u64, false);
         ctx.machine.access(core, Actor::Accel, Region::WeightArray, i as u64, false);
         ctx.counters.record_edges(1);

@@ -89,12 +89,7 @@ impl Engine for Hats {
 impl Hats {
     /// Structure fetch through the traversal unit; the core's update
     /// computation is charged separately.
-    fn fetch_edge(
-        &self,
-        ctx: &mut BatchCtx<'_>,
-        core: usize,
-        i: usize,
-    ) -> (VertexId, f32) {
+    fn fetch_edge(&self, ctx: &mut BatchCtx<'_>, core: usize, i: usize) -> (VertexId, f32) {
         ctx.machine.access(core, Actor::Accel, Region::NeighborArray, i as u64, false);
         ctx.machine.access(core, Actor::Accel, Region::WeightArray, i as u64, false);
         ctx.counters.record_edges(1);

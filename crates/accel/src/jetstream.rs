@@ -125,7 +125,13 @@ impl Engine for JetStream {
                 }
                 AlgorithmKind::Accumulative => {
                     let r = {
-                        ctx.machine.access(core, Actor::Accel, Region::AuxMeta, u64::from(v), false);
+                        ctx.machine.access(
+                            core,
+                            Actor::Accel,
+                            Region::AuxMeta,
+                            u64::from(v),
+                            false,
+                        );
                         ctx.state.residuals[v as usize]
                     };
                     if r.abs() < eps {
@@ -146,8 +152,20 @@ impl Engine for JetStream {
                     for i in lo..hi {
                         let (dst, w) = self.fetch_edge(ctx, core, i);
                         let push = algo.acc_scale(r, w, mass);
-                        ctx.machine.access(core, Actor::Accel, Region::AuxMeta, u64::from(dst), false);
-                        ctx.machine.access(core, Actor::Accel, Region::AuxMeta, u64::from(dst), true);
+                        ctx.machine.access(
+                            core,
+                            Actor::Accel,
+                            Region::AuxMeta,
+                            u64::from(dst),
+                            false,
+                        );
+                        ctx.machine.access(
+                            core,
+                            Actor::Accel,
+                            Region::AuxMeta,
+                            u64::from(dst),
+                            true,
+                        );
                         ctx.state.residuals[dst as usize] += push;
                         if ctx.state.residuals[dst as usize].abs() >= eps {
                             self.emit(ctx, core, dst, &mut queue, &mut queued);

@@ -66,7 +66,12 @@ impl Engine for Phi {
                             let cand = algo.mono_propagate(s, w);
                             let cur = ctx.state.states[dst as usize];
                             if algo.mono_better(cand, cur) {
-                                Self::buffered_update(ctx, core, Region::VertexStates, u64::from(dst));
+                                Self::buffered_update(
+                                    ctx,
+                                    core,
+                                    Region::VertexStates,
+                                    u64::from(dst),
+                                );
                                 ctx.state.states[dst as usize] = cand;
                                 ctx.counters.record_write(dst);
                                 ctx.state.parents[dst as usize] = v;

@@ -334,10 +334,7 @@ impl TdGraph {
                     continue;
                 }
                 let (dlo, dhi) = ctx.read_offsets(core, actor, dst);
-                if stack
-                    .push(Level { vertex: dst, cursor: dlo, end: dhi, carry: 0.0 })
-                    .is_err()
-                {
+                if stack.push(Level { vertex: dst, cursor: dlo, end: dhi, carry: 0.0 }).is_err() {
                     // Depth bound: re-root from this vertex later.
                     self.stats.stack_reroots += 1;
                     if !queued[dst as usize] {
@@ -417,12 +414,7 @@ impl TdGraph {
                     if let Some(r) = r {
                         // Bit-vector scan cost (one op per 16 scanned words).
                         let core = ctx.owner(r);
-                        ctx.machine.compute(
-                            core,
-                            actor,
-                            Op::ScheduleOp,
-                            (n as u64 / 512).max(1),
-                        );
+                        ctx.machine.compute(core, actor, Op::ScheduleOp, (n as u64 / 512).max(1));
                         self.stats.fallback_roots += 1;
                     }
                     r
@@ -680,10 +672,8 @@ mod tests {
 
     #[test]
     fn tiny_stack_still_converges_via_reroots() {
-        let mut e = TdGraph::with_config(TdGraphConfig {
-            stack_depth: 2,
-            ..TdGraphConfig::default()
-        });
+        let mut e =
+            TdGraph::with_config(TdGraphConfig { stack_depth: 2, ..TdGraphConfig::default() });
         converges_to_oracle(&mut e, Algo::sssp(0));
         converges_to_oracle(&mut e, Algo::cc());
     }

@@ -64,12 +64,7 @@ impl Vscu {
     /// Installs the new hot set for a batch, charging the `Hot_Vertices`
     /// bitvector writes to `core`. Clears the previous slot assignment
     /// (callers must have written back first).
-    pub fn set_hot(
-        &mut self,
-        machine: &mut Machine,
-        core: usize,
-        hot_vertices: &[VertexId],
-    ) {
+    pub fn set_hot(&mut self, machine: &mut Machine, core: usize, hot_vertices: &[VertexId]) {
         debug_assert!(self.slots.is_empty(), "set_hot before writeback loses states");
         self.hot.iter_mut().for_each(|h| *h = false);
         for &v in hot_vertices {
@@ -129,8 +124,7 @@ impl Vscu {
     /// Writes every coalesced state back to `Vertex_States_Array` (end of
     /// batch), charging the copies to `core`, and clears the slot map.
     pub fn writeback(&mut self, machine: &mut Machine, core: usize) {
-        let mut entries: Vec<(VertexId, u32)> =
-            self.slots.drain().collect();
+        let mut entries: Vec<(VertexId, u32)> = self.slots.drain().collect();
         entries.sort_by_key(|&(_, slot)| slot);
         for (v, slot) in entries {
             machine.access(core, Actor::Core, Region::CoalescedStates, u64::from(slot), false);
@@ -221,9 +215,6 @@ mod tests {
     #[test]
     fn target_maps_locations_to_regions() {
         assert_eq!(Vscu::target(StateLoc::Direct, 9), (Region::VertexStates, 9));
-        assert_eq!(
-            Vscu::target(StateLoc::Coalesced(3), 9),
-            (Region::CoalescedStates, 3)
-        );
+        assert_eq!(Vscu::target(StateLoc::Coalesced(3), 9), (Region::CoalescedStates, 3));
     }
 }

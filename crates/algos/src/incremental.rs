@@ -19,7 +19,7 @@
 //! [`crate::tap::AccessTap`] so engines can charge the work to the
 //! simulator.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use tdgraph_graph::csr::Csr;
 use tdgraph_graph::streaming::AppliedBatch;
@@ -44,11 +44,7 @@ impl AlgoState {
     /// Wraps a converged from-scratch [`Solution`].
     #[must_use]
     pub fn from_solution(sol: Solution, vertex_count: usize) -> Self {
-        let mut s = Self {
-            states: sol.states,
-            parents: sol.parents,
-            residuals: sol.residuals,
-        };
+        let mut s = Self { states: sol.states, parents: sol.parents, residuals: sol.residuals };
         s.states.resize(vertex_count, 0.0);
         s.parents.resize(vertex_count, NO_PARENT);
         s.residuals.resize(vertex_count, 0.0);
@@ -210,7 +206,11 @@ fn seed_accumulative<T: AccessTap>(
         deleted: Vec<(VertexId, Weight)>,
         reweighted: Vec<(VertexId, Weight, Weight)>, // (dst, new_w, old_w)
     }
-    let mut by_src: HashMap<VertexId, SourceDelta> = HashMap::new();
+    // Ordered map: the injection loop below both emits tap events and
+    // accumulates f32 residuals per destination, so its iteration order
+    // must be reproducible run to run for the cycle counts and affected
+    // sets to be deterministic.
+    let mut by_src: BTreeMap<VertexId, SourceDelta> = BTreeMap::new();
     for e in applied.added_edges() {
         by_src.entry(e.src).or_default().added.push((e.dst, e.weight));
     }
@@ -300,7 +300,12 @@ mod tests {
     /// Full reference propagation from the affected set (what every engine
     /// implements with its own schedule): used here to check seeding leads
     /// to the correct fixpoint.
-    fn propagate_to_fixpoint(algo: &Algo, graph: &Csr, state: &mut AlgoState, affected: &[VertexId]) {
+    fn propagate_to_fixpoint(
+        algo: &Algo,
+        graph: &Csr,
+        state: &mut AlgoState,
+        affected: &[VertexId],
+    ) {
         match algo.kind() {
             AlgorithmKind::Monotonic => {
                 let mut queue: Vec<VertexId> = affected.to_vec();
@@ -331,8 +336,7 @@ mod tests {
                         continue;
                     }
                     for (n, w) in graph.out_edges(v) {
-                        state.residuals[n as usize] +=
-                            algo.acc_scale(r, w, mass[v as usize]);
+                        state.residuals[n as usize] += algo.acc_scale(r, w, mass[v as usize]);
                         if state.residuals[n as usize].abs() >= eps {
                             queue.push(n);
                         }
@@ -385,11 +389,7 @@ mod tests {
     #[test]
     fn sssp_addition_creates_shortcut() {
         let algo = Algo::sssp(0);
-        let initial = vec![
-            Edge::new(0, 1, 5.0),
-            Edge::new(1, 2, 5.0),
-            Edge::new(2, 3, 5.0),
-        ];
+        let initial = vec![Edge::new(0, 1, 5.0), Edge::new(1, 2, 5.0), Edge::new(2, 3, 5.0)];
         let (got, want) =
             run_incremental(&algo, &initial, 4, vec![EdgeUpdate::addition(0, 3, 1.0)]);
         assert_states_close(&algo, &got, &want);
@@ -406,8 +406,7 @@ mod tests {
             Edge::new(2, 3, 1.0),
             Edge::new(0, 2, 10.0),
         ];
-        let (got, want) =
-            run_incremental(&algo, &initial, 4, vec![EdgeUpdate::deletion(1, 2)]);
+        let (got, want) = run_incremental(&algo, &initial, 4, vec![EdgeUpdate::deletion(1, 2)]);
         assert_states_close(&algo, &got, &want);
         assert_eq!(got.states[2], 10.0);
         assert_eq!(got.states[3], 11.0);
@@ -417,8 +416,7 @@ mod tests {
     fn sssp_deletion_makes_vertices_unreachable() {
         let algo = Algo::sssp(0);
         let initial = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)];
-        let (got, want) =
-            run_incremental(&algo, &initial, 3, vec![EdgeUpdate::deletion(0, 1)]);
+        let (got, want) = run_incremental(&algo, &initial, 3, vec![EdgeUpdate::deletion(0, 1)]);
         assert_states_close(&algo, &got, &want);
         assert!(got.states[1].is_infinite());
         assert!(got.states[2].is_infinite());
@@ -427,11 +425,7 @@ mod tests {
     #[test]
     fn sssp_mixed_batch() {
         let algo = Algo::sssp(0);
-        let initial = vec![
-            Edge::new(0, 1, 2.0),
-            Edge::new(1, 2, 2.0),
-            Edge::new(0, 3, 9.0),
-        ];
+        let initial = vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 2.0), Edge::new(0, 3, 9.0)];
         let (got, want) = run_incremental(
             &algo,
             &initial,
@@ -459,8 +453,7 @@ mod tests {
     fn cc_deletion_splits_component() {
         let algo = Algo::cc();
         let initial = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)];
-        let (got, want) =
-            run_incremental(&algo, &initial, 3, vec![EdgeUpdate::deletion(0, 1)]);
+        let (got, want) = run_incremental(&algo, &initial, 3, vec![EdgeUpdate::deletion(0, 1)]);
         assert_states_close(&algo, &got, &want);
         assert_eq!(got.states[1], 1.0);
         assert_eq!(got.states[2], 1.0);
@@ -479,11 +472,7 @@ mod tests {
     #[test]
     fn pagerank_addition_matches_oracle() {
         let algo = Algo::pagerank();
-        let initial = vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 1.0),
-            Edge::new(2, 0, 1.0),
-        ];
+        let initial = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 0, 1.0)];
         let (got, want) =
             run_incremental(&algo, &initial, 4, vec![EdgeUpdate::addition(1, 3, 1.0)]);
         assert_states_close(&algo, &got, &want);
@@ -498,8 +487,7 @@ mod tests {
             Edge::new(1, 2, 1.0),
             Edge::new(2, 0, 1.0),
         ];
-        let (got, want) =
-            run_incremental(&algo, &initial, 3, vec![EdgeUpdate::deletion(0, 2)]);
+        let (got, want) = run_incremental(&algo, &initial, 3, vec![EdgeUpdate::deletion(0, 2)]);
         assert_states_close(&algo, &got, &want);
     }
 
@@ -528,8 +516,7 @@ mod tests {
         g.insert_edges([Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)]).unwrap();
         let snap0 = g.snapshot();
         let mut state = AlgoState::from_solution(solve(&algo, &snap0), 4);
-        let batch =
-            UpdateBatch::from_updates(vec![EdgeUpdate::deletion(1, 2)]).unwrap();
+        let batch = UpdateBatch::from_updates(vec![EdgeUpdate::deletion(1, 2)]).unwrap();
         let applied = g.apply_batch(&batch).unwrap();
         let snap1 = g.snapshot();
         let t = snap1.transpose();
@@ -545,14 +532,8 @@ mod tests {
         let g = Csr::from_edges(2, &[Edge::new(0, 1, 1.0)]);
         let t = g.transpose();
         let mut state = AlgoState::from_solution(solve(&algo, &g), 2);
-        let affected = seed_after_batch(
-            &algo,
-            &g,
-            &t,
-            &mut state,
-            &AppliedBatch::default(),
-            &mut NullTap,
-        );
+        let affected =
+            seed_after_batch(&algo, &g, &t, &mut state, &AppliedBatch::default(), &mut NullTap);
         assert!(affected.is_empty());
     }
 }

@@ -123,10 +123,7 @@ mod tests {
     use tdgraph_graph::types::Edge;
 
     fn chain() -> Csr {
-        Csr::from_edges(
-            4,
-            &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(2, 3, 3.0)],
-        )
+        Csr::from_edges(4, &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(2, 3, 3.0)])
     }
 
     #[test]

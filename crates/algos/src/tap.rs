@@ -72,9 +72,7 @@ impl AccessTap for CountingTap {
             AccessEvent::ReadNeighbor(_) => self.neighbor_reads += 1,
             AccessEvent::ReadWeight(_) => self.weight_reads += 1,
             AccessEvent::ReadAux(_) | AccessEvent::WriteAux(_) => self.aux_accesses += 1,
-            AccessEvent::ReadActive(_) | AccessEvent::WriteActive(_) => {
-                self.active_accesses += 1
-            }
+            AccessEvent::ReadActive(_) | AccessEvent::WriteActive(_) => self.active_accesses += 1,
         }
     }
 }

@@ -183,7 +183,7 @@ impl Algo {
         match self {
             Algo::PageRank(p) => 1.0 - p.damping,
             Algo::Adsorption(a) => {
-                if v % a.seed_stride == 0 {
+                if v.is_multiple_of(a.seed_stride) {
                     1.0 - a.alpha
                 } else {
                     0.0

@@ -46,9 +46,8 @@ fn bench_engines(c: &mut Criterion) {
     ] {
         let label = format!("{kind:?}");
         group.bench_function(&label, |b| {
-            let experiment = Experiment::new(Dataset::Amazon)
-                .sizing(Sizing::Tiny)
-                .tune(|o| o.batches = 1);
+            let experiment =
+                Experiment::new(Dataset::Amazon).sizing(Sizing::Tiny).tune(|o| o.batches = 1);
             b.iter(|| {
                 let res = experiment.run(kind);
                 assert!(res.verify.is_match());
@@ -84,7 +83,7 @@ fn bench_substrate(c: &mut Criterion) {
                     Actor::Core,
                     Region::VertexStates,
                     i,
-                    i % 7 == 0,
+                    i.is_multiple_of(7),
                 );
             }
         });

@@ -18,10 +18,7 @@ fn main() {
         return;
     }
     let scope = if args.iter().any(|a| a == "--quick") { Scope::Quick } else { Scope::Full };
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned());
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1).cloned());
 
     let mut ids: Vec<ExperimentId> = Vec::new();
     for a in args.iter().filter(|a| !a.starts_with("--")) {

@@ -18,21 +18,11 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     )];
     let configs: [(&str, TdGraphConfig); 4] = [
         ("full (dagify + defer)", TdGraphConfig::default()),
-        (
-            "no dagify",
-            TdGraphConfig { dagify: false, ..TdGraphConfig::default() },
-        ),
-        (
-            "no defer",
-            TdGraphConfig { defer_reactivations: false, ..TdGraphConfig::default() },
-        ),
+        ("no dagify", TdGraphConfig { dagify: false, ..TdGraphConfig::default() }),
+        ("no defer", TdGraphConfig { defer_reactivations: false, ..TdGraphConfig::default() }),
         (
             "neither",
-            TdGraphConfig {
-                dagify: false,
-                defer_reactivations: false,
-                ..TdGraphConfig::default()
-            },
+            TdGraphConfig { dagify: false, defer_reactivations: false, ..TdGraphConfig::default() },
         ),
     ];
     for (name, algo) in [("SSSP", None), ("PageRank", Some(Algo::pagerank()))] {

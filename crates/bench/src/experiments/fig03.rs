@@ -13,17 +13,11 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         "ds", "engine", "cycles", "norm(GB)", "prop%", "useless%", "useful%"
     )];
     for ds in Dataset::ALL {
-        let experiment = Experiment::new(ds)
-            .sizing(scope.sweep_sizing())
-            .options(scope.options());
+        let experiment = Experiment::new(ds).sizing(scope.sweep_sizing()).options(scope.options());
         let results = experiment.run_all(&EngineKind::SOFTWARE);
         let graphbolt_cycles = results[0].1.metrics.cycles.max(1);
         for (kind, res) in &results {
-            assert!(
-                res.verify.is_match(),
-                "{kind:?} on {ds:?} diverged: {:?}",
-                res.verify
-            );
+            assert!(res.verify.is_match(), "{kind:?} on {ds:?} diverged: {:?}", res.verify);
             let m = &res.metrics;
             lines.push(format!(
                 "{:<4} {:<12} {:>11} {:>10.3} {:>6.1}% {:>8.1}% {:>8.1}%",

@@ -7,9 +7,9 @@ use std::collections::HashMap;
 
 use tdgraph::algos::incremental::{seed_after_batch, AlgoState};
 use tdgraph::algos::scratch::solve;
+use tdgraph::algos::tap::AccessTap;
 use tdgraph::algos::tap::{NullTap, StateTraceTap};
 use tdgraph::algos::traits::Algo;
-use tdgraph::algos::tap::AccessTap;
 use tdgraph::graph::datasets::{Dataset, StreamingWorkload};
 use tdgraph::graph::types::VertexId;
 use tdgraph::graph::update::BatchComposer;
@@ -52,9 +52,8 @@ fn analyze(ds: Dataset, scope: Scope) -> (f64, usize, usize, [f64; 4]) {
     let StreamingWorkload { mut graph, pending, .. } =
         StreamingWorkload::prepare(ds, scope.sweep_sizing());
     let snapshot = graph.snapshot();
-    let hub = (0..snapshot.vertex_count() as VertexId)
-        .max_by_key(|&v| snapshot.degree(v))
-        .unwrap_or(0);
+    let hub =
+        (0..snapshot.vertex_count() as VertexId).max_by_key(|&v| snapshot.degree(v)).unwrap_or(0);
     let algo = Algo::sssp(hub);
     let mut state = AlgoState::from_solution(solve(&algo, &snapshot), snapshot.vertex_count());
 

@@ -5,56 +5,48 @@
 
 use tdgraph::algos::traits::Algo;
 use tdgraph::graph::datasets::Dataset;
-use tdgraph::{EngineKind, Experiment};
+use tdgraph::{EngineKind, SweepRunner, SweepSpec};
 
 use super::{ExperimentId, ExperimentOutput, Scope};
 
-const ENGINES: [EngineKind; 3] =
-    [EngineKind::LigraO, EngineKind::TdGraphS, EngineKind::TdGraphH];
+const ENGINES: [EngineKind; 3] = [EngineKind::LigraO, EngineKind::TdGraphS, EngineKind::TdGraphH];
 
 pub fn run(scope: Scope) -> ExperimentOutput {
     let mut lines = vec![format!(
         "{:<11} {:<4} {:<12} {:>11} {:>9} {:>7} {:>9} {:>9} {:>9}",
         "algo", "ds", "engine", "cycles", "norm(LO)", "prop%", "norm.upd", "useless%", "useful%"
     )];
-    let algos: [(&str, Option<Algo>); 4] = [
-        ("PageRank", Some(Algo::pagerank())),
-        ("Adsorption", Some(Algo::adsorption())),
-        ("SSSP", None), // hub SSSP chosen per workload
-        ("CC", Some(Algo::cc())),
-    ];
-    for (name, algo) in algos {
-        for ds in Dataset::ALL {
-            let mut experiment = Experiment::new(ds)
-                .sizing(scope.sweep_sizing())
-                .options(scope.options());
-            if let Some(a) = algo {
-                experiment = experiment.algorithm(a);
-            }
-            let results = experiment.run_all(&ENGINES);
-            let base = &results[0].1.metrics;
-            let (base_cycles, base_updates) =
-                (base.cycles.max(1), base.state_updates.max(1));
-            for (kind, res) in &results {
-                assert!(
-                    res.verify.is_match(),
-                    "{kind:?} {name} on {ds:?} diverged: {:?}",
-                    res.verify
-                );
-                let m = &res.metrics;
-                lines.push(format!(
-                    "{:<11} {:<4} {:<12} {:>11} {:>9.3} {:>6.1}% {:>9.3} {:>8.1}% {:>8.1}%",
-                    name,
-                    ds.abbrev(),
-                    m.engine,
-                    m.cycles,
-                    m.cycles as f64 / base_cycles as f64,
-                    100.0 * m.propagation_cycles as f64 / m.cycles.max(1) as f64,
-                    m.state_updates as f64 / base_updates as f64,
-                    100.0 * m.useless_update_ratio(),
-                    100.0 * m.useful_state_ratio,
-                ));
-            }
+    // Expansion order (algorithms → datasets → engines) matches the old
+    // serial loops, so each consecutive chunk of |ENGINES| cells is one
+    // (algo, dataset) group with Ligra-o first as the normalization base.
+    let spec = SweepSpec::new()
+        .algo(Algo::pagerank())
+        .algo(Algo::adsorption())
+        .hub_sssp()
+        .algo(Algo::cc())
+        .datasets(Dataset::ALL)
+        .sizing(scope.sweep_sizing())
+        .engines(ENGINES)
+        .options(scope.options());
+    let report = SweepRunner::new().run(&spec);
+    report.assert_all_verified();
+    for group in report.cells.chunks(ENGINES.len()) {
+        let base = &group[0].result.metrics;
+        let (base_cycles, base_updates) = (base.cycles.max(1), base.state_updates.max(1));
+        for c in group {
+            let m = &c.result.metrics;
+            lines.push(format!(
+                "{:<11} {:<4} {:<12} {:>11} {:>9.3} {:>6.1}% {:>9.3} {:>8.1}% {:>8.1}%",
+                c.cell.algo.label(),
+                c.cell.dataset.abbrev(),
+                m.engine,
+                m.cycles,
+                m.cycles as f64 / base_cycles as f64,
+                100.0 * m.propagation_cycles as f64 / m.cycles.max(1) as f64,
+                m.state_updates as f64 / base_updates as f64,
+                100.0 * m.useless_update_ratio(),
+                100.0 * m.useful_state_ratio,
+            ));
         }
     }
     lines.push(String::new());
@@ -65,8 +57,7 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     );
     ExperimentOutput {
         id: ExperimentId::Fig10,
-        title: "Execution time / updates / useful data: Ligra-o vs TDGraph-S vs TDGraph-H"
-            .into(),
+        title: "Execution time / updates / useful data: Ligra-o vs TDGraph-S vs TDGraph-H".into(),
         lines,
     }
 }

@@ -2,37 +2,40 @@
 //! normalized to Ligra-o.
 
 use tdgraph::graph::datasets::Dataset;
-use tdgraph::{EngineKind, Experiment};
+use tdgraph::{EngineKind, SweepRunner, SweepSpec};
 
 use super::{ExperimentId, ExperimentOutput, Scope};
+
+const ENGINES: [EngineKind; 3] =
+    [EngineKind::LigraO, EngineKind::TdGraphHWithout, EngineKind::TdGraphH];
 
 pub fn run(scope: Scope) -> ExperimentOutput {
     let mut lines = vec![format!(
         "{:<4} {:<18} {:>11} {:>12} {:>10}",
         "ds", "engine", "cycles", "speedup(LO)", "vscu gain"
     )];
-    for ds in Dataset::ALL {
-        let experiment = Experiment::new(ds)
-            .sizing(scope.sweep_sizing())
-            .options(scope.options());
-        let results = experiment.run_all(&[
-            EngineKind::LigraO,
-            EngineKind::TdGraphHWithout,
-            EngineKind::TdGraphH,
-        ]);
-        let base = results[0].1.metrics.cycles.max(1);
-        let without = results[1].1.metrics.cycles.max(1);
-        for (kind, res) in &results {
-            assert!(res.verify.is_match(), "{kind:?} diverged on {ds:?}");
-            let m = &res.metrics;
-            let vscu_gain = if *kind == EngineKind::TdGraphH {
+    // One chunk of |ENGINES| cells per dataset: Ligra-o (the speedup
+    // base), then TDTU-only, then the full design.
+    let spec = SweepSpec::new()
+        .datasets(Dataset::ALL)
+        .sizing(scope.sweep_sizing())
+        .engines(ENGINES)
+        .options(scope.options());
+    let report = SweepRunner::new().run(&spec);
+    report.assert_all_verified();
+    for group in report.cells.chunks(ENGINES.len()) {
+        let base = group[0].result.metrics.cycles.max(1);
+        let without = group[1].result.metrics.cycles.max(1);
+        for c in group {
+            let m = &c.result.metrics;
+            let vscu_gain = if c.cell.engine.key() == EngineKind::TdGraphH.key() {
                 format!("{:>9.2}x", without as f64 / m.cycles.max(1) as f64)
             } else {
                 format!("{:>10}", "-")
             };
             lines.push(format!(
                 "{:<4} {:<18} {:>11} {:>11.2}x {}",
-                ds.abbrev(),
+                c.cell.dataset.abbrev(),
                 m.engine,
                 m.cycles,
                 base as f64 / m.cycles.max(1) as f64,
@@ -41,9 +44,7 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         }
     }
     lines.push(String::new());
-    lines.push(
-        "paper: TDTU alone gives 5.3~10.8x over Ligra-o; VSCU adds another 1.5~1.9x".into(),
-    );
+    lines.push("paper: TDTU alone gives 5.3~10.8x over Ligra-o; VSCU adds another 1.5~1.9x".into());
     ExperimentOutput {
         id: ExperimentId::Fig13,
         title: "Speedups of TDGraph-H-without (TDTU only) and full TDGraph-H".into(),

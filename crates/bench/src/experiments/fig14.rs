@@ -2,6 +2,7 @@
 //! substitutes for the paper's Xeon Phi 7210; DESIGN.md §3).
 
 use tdgraph::graph::datasets::Dataset;
+use tdgraph::SweepRunner;
 
 use crate::native::{run_native, NativeEngine};
 
@@ -9,20 +10,18 @@ use super::{ExperimentId, ExperimentOutput, Scope};
 
 pub fn run(scope: Scope) -> ExperimentOutput {
     let sizing = scope.focus_sizing();
-    let ligra = run_native(NativeEngine::LigraO, None, Dataset::Friendster, sizing, 3);
-    let tdg = run_native(
-        NativeEngine::TdGraphSWithout,
-        None,
-        Dataset::Friendster,
-        sizing,
-        3,
-    );
+    // Host-native runs are not simulator cells, so they go through the
+    // runner's index-stable map rather than a sweep spec — serially,
+    // because both runs are wall-clock timed and concurrent execution
+    // would let them contend for the host cores and skew the ratio.
+    let engines = [NativeEngine::LigraO, NativeEngine::TdGraphSWithout];
+    let results = SweepRunner::new()
+        .threads(1)
+        .map(&engines, |_, &e| run_native(e, None, Dataset::Friendster, sizing, 3));
+    let (ligra, tdg) = (&results[0], &results[1]);
     assert!(ligra.verified && tdg.verified, "native runs diverged from oracle");
     let lines = vec![
-        format!(
-            "{:<28} {:>12} {:>10}",
-            "engine", "time (us)", "updates"
-        ),
+        format!("{:<28} {:>12} {:>10}", "engine", "time (us)", "updates"),
         format!(
             "{:<28} {:>12} {:>10}",
             ligra.engine.name(),

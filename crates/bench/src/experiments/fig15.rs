@@ -30,9 +30,8 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     let mut miss_sums = vec![(0.0f64, 0u32); ENGINES.len()];
     for (name, algo) in algos {
         for ds in Dataset::ALL {
-            let mut experiment = Experiment::new(ds)
-                .sizing(scope.sweep_sizing())
-                .options(scope.options());
+            let mut experiment =
+                Experiment::new(ds).sizing(scope.sweep_sizing()).options(scope.options());
             if let Some(a) = algo {
                 experiment = experiment.algorithm(a);
             }

@@ -9,9 +9,8 @@ use tdgraph::{EngineKind, Experiment};
 use super::{ExperimentId, ExperimentOutput, Scope};
 
 pub fn run(scope: Scope) -> ExperimentOutput {
-    let experiment = Experiment::new(Dataset::Friendster)
-        .sizing(scope.focus_sizing())
-        .options(scope.options());
+    let experiment =
+        Experiment::new(Dataset::Friendster).sizing(scope.focus_sizing()).options(scope.options());
     let results = experiment.run_all(&[
         EngineKind::JetStream,
         EngineKind::JetStreamWith,

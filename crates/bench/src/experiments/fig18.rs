@@ -9,9 +9,8 @@ use tdgraph_sim::policy::PolicyKind;
 use super::{ExperimentId, ExperimentOutput, Scope};
 
 pub fn run(scope: Scope) -> ExperimentOutput {
-    let base_exp = Experiment::new(Dataset::Friendster)
-        .sizing(scope.focus_sizing())
-        .options(scope.options());
+    let base_exp =
+        Experiment::new(Dataset::Friendster).sizing(scope.focus_sizing()).options(scope.options());
     let grasp_exp = base_exp.clone().tune(|o| o.sim.llc.policy = PolicyKind::Grasp);
 
     let rows = [

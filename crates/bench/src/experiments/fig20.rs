@@ -26,8 +26,7 @@ pub fn run(scope: Scope) -> ExperimentOutput {
                 base[i] = res.metrics.cycles.max(1);
             }
             let peak = channels as f64 * 10.24;
-            let util =
-                res.metrics.dram_bytes as f64 / (res.metrics.cycles.max(1) as f64 * peak);
+            let util = res.metrics.dram_bytes as f64 / (res.metrics.cycles.max(1) as f64 * peak);
             lines.push(format!(
                 "{:<9} {:<12} {:>11} {:>10} {:>7.1}%",
                 channels,

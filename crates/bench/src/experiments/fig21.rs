@@ -7,9 +7,8 @@ use tdgraph_accel::tdgraph::TdGraphConfig;
 use super::{ExperimentId, ExperimentOutput, Scope};
 
 pub fn run(scope: Scope) -> ExperimentOutput {
-    let experiment = Experiment::new(Dataset::Friendster)
-        .sizing(scope.focus_sizing())
-        .options(scope.options());
+    let experiment =
+        Experiment::new(Dataset::Friendster).sizing(scope.focus_sizing()).options(scope.options());
     let mut lines = vec![format!("{:<7} {:>11} {:>11}", "depth", "cycles", "norm(d=10)")];
     let mut at_ten = 0u64;
     let mut rows = Vec::new();
@@ -23,12 +22,7 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         rows.push((depth, res.metrics.cycles));
     }
     for (depth, cycles) in rows {
-        lines.push(format!(
-            "{:<7} {:>11} {:>11.3}",
-            depth,
-            cycles,
-            cycles as f64 / at_ten as f64
-        ));
+        lines.push(format!("{:<7} {:>11} {:>11.3}", depth, cycles, cycles as f64 / at_ten as f64));
     }
     lines.push(String::new());
     lines.push(

@@ -7,21 +7,15 @@ use tdgraph_accel::tdgraph::TdGraphConfig;
 use super::{ExperimentId, ExperimentOutput, Scope};
 
 pub fn run(scope: Scope) -> ExperimentOutput {
-    let experiment = Experiment::new(Dataset::Friendster)
-        .sizing(scope.focus_sizing())
-        .options(scope.options());
-    let mut lines = vec![format!(
-        "{:<8} {:>11} {:>12} {:>9}",
-        "alpha", "cycles", "norm(0.5%)", "useful%"
-    )];
+    let experiment =
+        Experiment::new(Dataset::Friendster).sizing(scope.focus_sizing()).options(scope.options());
+    let mut lines =
+        vec![format!("{:<8} {:>11} {:>12} {:>9}", "alpha", "cycles", "norm(0.5%)", "useful%")];
     let mut at_default = 0u64;
     let mut rows = Vec::new();
     for alpha in [0.0005f64, 0.001, 0.0025, 0.005, 0.01, 0.02, 0.05] {
         let cfg = TdGraphConfig { alpha, ..TdGraphConfig::default() };
-        let res = experiment
-            .clone()
-            .tune(|o| o.alpha = alpha)
-            .run(EngineKind::TdGraphCustom(cfg));
+        let res = experiment.clone().tune(|o| o.alpha = alpha).run(EngineKind::TdGraphCustom(cfg));
         assert!(res.verify.is_match(), "alpha {alpha} diverged");
         if (alpha - 0.005).abs() < 1e-12 {
             at_default = res.metrics.cycles.max(1);
@@ -44,8 +38,6 @@ pub fn run(scope: Scope) -> ExperimentOutput {
             .into(),
     );
     ExperimentOutput {
-        id: ExperimentId::Fig22,
-        title: "Impact of α on SSSP over FR".into(),
-        lines,
+        id: ExperimentId::Fig22, title: "Impact of α on SSSP over FR".into(), lines
     }
 }

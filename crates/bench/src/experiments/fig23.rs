@@ -16,9 +16,7 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         "llc", "policy", "engine", "cycles", "llcmiss%"
     )];
     for size_kb in [128usize, 256, 512, 1024, 2048] {
-        for policy in
-            [PolicyKind::Lru, PolicyKind::Drrip, PolicyKind::Popt, PolicyKind::Grasp]
-        {
+        for policy in [PolicyKind::Lru, PolicyKind::Drrip, PolicyKind::Popt, PolicyKind::Grasp] {
             let experiment = Experiment::new(Dataset::Friendster)
                 .sizing(scope.focus_sizing())
                 .options(scope.options())

@@ -8,13 +8,12 @@ use super::{ExperimentId, ExperimentOutput, Scope};
 
 pub fn run(scope: Scope) -> ExperimentOutput {
     let sizing = scope.focus_sizing();
-    let default_batch = StreamingWorkload::prepare(Dataset::Friendster, sizing)
-        .default_batch_size();
-    let mut lines =
-        vec!["(a) batch size sweep".to_string(), format!(
-            "{:<10} {:<12} {:>11} {:>12}",
-            "batch", "engine", "cycles", "speedup(LO)"
-        )];
+    let default_batch =
+        StreamingWorkload::prepare(Dataset::Friendster, sizing).default_batch_size();
+    let mut lines = vec![
+        "(a) batch size sweep".to_string(),
+        format!("{:<10} {:<12} {:>11} {:>12}", "batch", "engine", "cycles", "speedup(LO)"),
+    ];
     for factor in [4usize, 2, 1] {
         let batch = (default_batch / factor).max(64);
         let experiment = Experiment::new(Dataset::Friendster)
@@ -39,10 +38,8 @@ pub fn run(scope: Scope) -> ExperimentOutput {
 
     lines.push(String::new());
     lines.push("(b) batch composition sweep (additions : deletions)".to_string());
-    lines.push(format!(
-        "{:<10} {:<12} {:>11} {:>12}",
-        "add:del", "engine", "cycles", "speedup(LO)"
-    ));
+    lines
+        .push(format!("{:<10} {:<12} {:>11} {:>12}", "add:del", "engine", "cycles", "speedup(LO)"));
     for add_fraction in [1.0f64, 0.75, 0.5, 0.25] {
         let experiment = Experiment::new(Dataset::Friendster)
             .sizing(sizing)

@@ -151,11 +151,7 @@ impl Scope {
     /// Default run options at this scope.
     #[must_use]
     pub fn options(self) -> RunOptions {
-        RunOptions {
-            sim: SimConfig::scaled_reference(),
-            batches: 2,
-            ..RunOptions::default()
-        }
+        RunOptions { sim: SimConfig::scaled_reference(), batches: 2, ..RunOptions::default() }
     }
 }
 

@@ -60,12 +60,10 @@ pub fn run_native(
     sizing: Sizing,
     batches: usize,
 ) -> NativeRun {
-    let StreamingWorkload { mut graph, pending, .. } =
-        StreamingWorkload::prepare(dataset, sizing);
+    let StreamingWorkload { mut graph, pending, .. } = StreamingWorkload::prepare(dataset, sizing);
     let snapshot = graph.snapshot();
-    let hub = (0..snapshot.vertex_count() as VertexId)
-        .max_by_key(|&v| snapshot.degree(v))
-        .unwrap_or(0);
+    let hub =
+        (0..snapshot.vertex_count() as VertexId).max_by_key(|&v| snapshot.degree(v)).unwrap_or(0);
     let algo = algo_sel.unwrap_or(Algo::sssp(hub));
     let mut state = AlgoState::from_solution(solve(&algo, &snapshot), snapshot.vertex_count());
 
@@ -81,14 +79,8 @@ pub fn run_native(
         let applied = graph.apply_batch(&batch).expect("valid batch");
         let snapshot = graph.snapshot();
         let transpose = snapshot.transpose();
-        let affected = seed_after_batch(
-            &algo,
-            &snapshot,
-            &transpose,
-            &mut state,
-            &applied,
-            &mut NullTap,
-        );
+        let affected =
+            seed_after_batch(&algo, &snapshot, &transpose, &mut state, &applied, &mut NullTap);
         let start = Instant::now();
         updates += match engine {
             NativeEngine::LigraO => sync_push(&algo, &snapshot, &mut state, &affected),
@@ -150,9 +142,7 @@ fn sync_push(algo: &Algo, graph: &Csr, state: &mut AlgoState, affected: &[Vertex
                     for (nbr, w) in graph.out_edges(v) {
                         let push = algo.acc_scale(r, w, mass[v as usize]);
                         state.residuals[nbr as usize] += push;
-                        if state.residuals[nbr as usize].abs() >= eps
-                            && !queued[nbr as usize]
-                        {
+                        if state.residuals[nbr as usize].abs() >= eps && !queued[nbr as usize] {
                             queued[nbr as usize] = true;
                             next.push(nbr);
                         }
@@ -168,12 +158,7 @@ fn sync_push(algo: &Algo, graph: &Csr, state: &mut AlgoState, affected: &[Vertex
 /// Software topology-driven execution: DFS tracking (discovery-ordered
 /// counters) followed by gated propagation — the TDGraph-S algorithm
 /// without any hardware support.
-fn topology_driven(
-    algo: &Algo,
-    graph: &Csr,
-    state: &mut AlgoState,
-    affected: &[VertexId],
-) -> u64 {
+fn topology_driven(algo: &Algo, graph: &Csr, state: &mut AlgoState, affected: &[VertexId]) -> u64 {
     let n = graph.vertex_count();
     let mass = out_mass(algo, graph);
     let eps = algo.epsilon();
@@ -312,16 +297,9 @@ mod tests {
 
     #[test]
     fn native_tdgraph_s_verifies_on_all_algorithms() {
-        for algo in
-            [None, Some(Algo::cc()), Some(Algo::pagerank()), Some(Algo::adsorption())]
-        {
-            let run = run_native(
-                NativeEngine::TdGraphSWithout,
-                algo,
-                Dataset::Amazon,
-                Sizing::Tiny,
-                2,
-            );
+        for algo in [None, Some(Algo::cc()), Some(Algo::pagerank()), Some(Algo::adsorption())] {
+            let run =
+                run_native(NativeEngine::TdGraphSWithout, algo, Dataset::Amazon, Sizing::Tiny, 2);
             assert!(run.verified, "native TDGraph-S diverged for {algo:?}");
         }
     }
@@ -329,13 +307,7 @@ mod tests {
     #[test]
     fn both_native_engines_count_updates() {
         let a = run_native(NativeEngine::LigraO, None, Dataset::Dblp, Sizing::Tiny, 1);
-        let b = run_native(
-            NativeEngine::TdGraphSWithout,
-            None,
-            Dataset::Dblp,
-            Sizing::Tiny,
-            1,
-        );
+        let b = run_native(NativeEngine::TdGraphSWithout, None, Dataset::Dblp, Sizing::Tiny, 1);
         assert!(a.updates > 0 && b.updates > 0);
     }
 }

@@ -1,0 +1,151 @@
+//! A minimal, fully offline benchmarking shim exposing the subset of the
+//! `criterion` crate's API this repository uses.
+//!
+//! The build environment has no network access and its registry mirror
+//! does not carry the real `criterion`, so the workspace resolves the
+//! dependency to this path crate instead (see the root `Cargo.toml`).
+//! Benchmarks compile and run: each `bench_function` performs a short
+//! warm-up, then times `sample_size` batches and prints min/mean per-batch
+//! wall-clock times. There are no statistical analyses, plots, or saved
+//! baselines — swap the real `criterion` back in for those.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", id.as_ref(), 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.name, id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { sample: Duration::ZERO, iters: 0 };
+    // Warm-up sample (untimed in the report).
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut iters = 0u64;
+    for _ in 0..samples {
+        b.sample = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        total += b.sample;
+        min = min.min(b.sample);
+        iters += b.iters;
+    }
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    eprintln!(
+        "bench {label:<40} samples {samples:>3}  iters {iters:>6}  \
+         min {min:>12.3?}  mean {:>12.3?}",
+        total / u32::try_from(samples.max(1)).unwrap_or(1),
+    );
+}
+
+/// Per-benchmark timing handle passed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (one iteration per sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.sample += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group runner (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        // 1 warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+}

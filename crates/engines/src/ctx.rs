@@ -41,12 +41,25 @@ pub struct BatchCtx<'a> {
 
 impl<'a> BatchCtx<'a> {
     /// Core owning vertex `v` (its chunk dealt round-robin over cores).
+    ///
+    /// Every vertex of the snapshot must fall inside a chunk; an unowned
+    /// vertex means the partition is stale or `v` is out of range, which
+    /// would silently skew per-core attribution — debug builds panic
+    /// instead, release builds charge core 0.
     #[must_use]
     pub fn owner(&self, v: VertexId) -> usize {
         let cores = self.machine.cores();
         match owner_of(self.chunks, v) {
             Some(chunk) => chunk % cores,
-            None => 0,
+            None => {
+                debug_assert!(
+                    false,
+                    "vertex {v} is outside every chunk ({} chunks); \
+                     partition does not cover the snapshot",
+                    self.chunks.len()
+                );
+                0
+            }
         }
     }
 
@@ -95,12 +108,7 @@ impl<'a> BatchCtx<'a> {
     }
 
     /// Reads the offset pair of `v` in the transpose.
-    pub fn read_offsets_in(
-        &mut self,
-        core: usize,
-        actor: Actor,
-        v: VertexId,
-    ) -> (usize, usize) {
+    pub fn read_offsets_in(&mut self, core: usize, actor: Actor, v: VertexId) -> (usize, usize) {
         self.machine.access(core, actor, Region::OffsetArray, u64::from(v), false);
         self.transpose.neighbor_range(v)
     }
@@ -116,12 +124,7 @@ impl<'a> BatchCtx<'a> {
     }
 
     /// Like [`BatchCtx::read_edge`] but over the transpose (pull engines).
-    pub fn read_edge_in(
-        &mut self,
-        core: usize,
-        actor: Actor,
-        i: usize,
-    ) -> (VertexId, Weight) {
+    pub fn read_edge_in(&mut self, core: usize, actor: Actor, i: usize) -> (VertexId, Weight) {
         self.machine.access(core, actor, Region::NeighborArray, i as u64, false);
         self.machine.access(core, actor, Region::WeightArray, i as u64, false);
         self.counters.record_edges(1);
@@ -197,13 +200,7 @@ impl AccessTap for MachineTap<'_> {
                 self.machine.access(c, Actor::Core, Region::OffsetArray, u64::from(v), false);
             }
             AccessEvent::ReadNeighbor(i) => {
-                self.machine.access(
-                    self.last_core,
-                    Actor::Core,
-                    Region::NeighborArray,
-                    i,
-                    false,
-                );
+                self.machine.access(self.last_core, Actor::Core, Region::NeighborArray, i, false);
             }
             AccessEvent::ReadWeight(i) => {
                 self.machine.access(self.last_core, Actor::Core, Region::WeightArray, i, false);
@@ -227,13 +224,7 @@ impl AccessTap for MachineTap<'_> {
             }
             AccessEvent::ReadActive(v) => {
                 let c = self.core_of(v);
-                self.machine.access(
-                    c,
-                    Actor::Core,
-                    Region::ActiveVertices,
-                    u64::from(v),
-                    false,
-                );
+                self.machine.access(c, Actor::Core, Region::ActiveVertices, u64::from(v), false);
             }
             AccessEvent::WriteActive(v) => {
                 let c = self.core_of(v);
@@ -331,6 +322,26 @@ mod tests {
         for v in 0..8 {
             assert!(ctx.owner(v) < 4);
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside every chunk")]
+    fn owner_rejects_unowned_vertices_in_debug() {
+        let (g, t, mut state, mut machine, chunks) = fixture();
+        let mut counters = UpdateCounters::new(8);
+        let mass = vec![0.0; 8];
+        let ctx = BatchCtx {
+            machine: &mut machine,
+            graph: &g,
+            transpose: &t,
+            algo: Algo::sssp(0),
+            state: &mut state,
+            chunks: &chunks,
+            counters: &mut counters,
+            out_mass: &mass,
+        };
+        let _ = ctx.owner(1_000_000);
     }
 
     #[test]

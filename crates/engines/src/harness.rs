@@ -123,8 +123,7 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
         let applied = graph.apply_batch(&batch).expect("composer emits valid batches");
         let snapshot = graph.snapshot();
         let transpose = snapshot.transpose();
-        let chunks =
-            partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
+        let chunks = partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
         let mass = out_mass(&algo, &snapshot);
 
         states_before.clear();
@@ -223,12 +222,7 @@ mod tests {
                 Sizing::Tiny,
                 &RunOptions::small(),
             );
-            assert!(
-                res.verify.is_match(),
-                "{} failed verification: {:?}",
-                algo.name(),
-                res.verify
-            );
+            assert!(res.verify.is_match(), "{} failed verification: {:?}", algo.name(), res.verify);
             assert!(res.metrics.cycles > 0);
             assert_eq!(res.metrics.batches, 2);
         }
@@ -255,8 +249,7 @@ mod tests {
         let mut opts = RunOptions::small();
         opts.add_fraction = 0.2;
         for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank()] {
-            let res =
-                run_streaming(&mut LigraO, algo, Dataset::Amazon, Sizing::Tiny, &opts);
+            let res = run_streaming(&mut LigraO, algo, Dataset::Amazon, Sizing::Tiny, &opts);
             assert!(
                 res.verify.is_match(),
                 "{} deletion-heavy failed: {:?}",

@@ -44,9 +44,11 @@ pub mod kickstarter;
 pub mod ligra_do;
 pub mod ligra_o;
 pub mod metrics;
+pub mod registry;
 pub mod testutil;
 
 pub use ctx::BatchCtx;
 pub use engine::Engine;
 pub use harness::{run_streaming, run_streaming_workload, RunOptions, RunResult};
 pub use metrics::{RunMetrics, UpdateCounters};
+pub use registry::{EngineFactory, EngineRegistry};

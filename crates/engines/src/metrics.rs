@@ -23,8 +23,16 @@ impl UpdateCounters {
     }
 
     /// Records a state write to `v`.
+    ///
+    /// Vertices beyond the constructed size grow the table instead of
+    /// panicking — engines built for an older snapshot may legitimately
+    /// write states for vertices added by the current batch.
     pub fn record_write(&mut self, v: VertexId) {
-        self.writes_per_vertex[v as usize] += 1;
+        let i = v as usize;
+        if i >= self.writes_per_vertex.len() {
+            self.writes_per_vertex.resize(i + 1, 0);
+        }
+        self.writes_per_vertex[i] += 1;
         self.total_writes += 1;
     }
 
@@ -64,10 +72,11 @@ impl UpdateCounters {
         self.writes_per_vertex.iter_mut().for_each(|w| *w = 0);
     }
 
-    /// Writes recorded for `v` in the current batch.
+    /// Writes recorded for `v` in the current batch (0 if `v` was never
+    /// written).
     #[must_use]
     pub fn writes_for(&self, v: VertexId) -> u32 {
-        self.writes_per_vertex[v as usize]
+        self.writes_per_vertex.get(v as usize).copied().unwrap_or(0)
     }
 }
 
@@ -181,6 +190,22 @@ mod tests {
         let a = RunMetrics { cycles: 100, ..Default::default() };
         let b = RunMetrics { cycles: 400, ..Default::default() };
         assert_eq!(a.speedup_over(&b), 4.0);
+    }
+
+    #[test]
+    fn record_write_grows_past_constructed_size() {
+        let mut c = UpdateCounters::new(2);
+        c.record_write(5); // beyond the constructed size: must not panic
+        c.record_write(5);
+        c.record_write(0);
+        assert_eq!(c.total_writes(), 3);
+        assert_eq!(c.writes_for(5), 2);
+        assert_eq!(c.writes_for(4), 0);
+        assert_eq!(c.writes_for(100), 0, "unwritten out-of-range vertex reads as 0");
+        // The grown vertex participates in classification.
+        let changed = vec![false, false, false, false, false, true];
+        let (useful, useless) = c.classify(&changed);
+        assert_eq!((useful, useless), (1, 2));
     }
 
     #[test]

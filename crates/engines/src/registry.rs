@@ -1,0 +1,158 @@
+//! Name → engine-factory registry.
+//!
+//! [`EngineRegistry`] decouples *naming* an engine from *constructing* it:
+//! every engine the workspace provides registers a boxed factory under a
+//! stable kebab-case key, and sweep specifications refer to engines purely
+//! by key. Downstream crates register their own engines the same way and
+//! immediately gain access to the whole experiment pipeline — no enum to
+//! extend, no match to patch.
+//!
+//! This crate's [`EngineRegistry::with_software`] registers the software
+//! systems; the `tdgraph` facade layers the accelerator models on top in
+//! its `default_registry`.
+
+use std::fmt;
+
+use crate::dzig::Dzig;
+use crate::engine::Engine;
+use crate::graphbolt::GraphBolt;
+use crate::kickstarter::KickStarter;
+use crate::ligra_do::LigraDO;
+use crate::ligra_o::LigraO;
+
+/// A boxed engine constructor. Factories are shared across sweep worker
+/// threads, hence `Send + Sync`.
+pub type EngineFactory = Box<dyn Fn() -> Box<dyn Engine> + Send + Sync>;
+
+/// Registry keys of the software engines registered by
+/// [`EngineRegistry::with_software`], in registration order.
+pub const SOFTWARE_KEYS: [&str; 5] = ["ligra-o", "ligra-do", "graphbolt", "kickstarter", "dzig"];
+
+/// An ordered name → factory map of execution engines.
+///
+/// Registration order is preserved: [`EngineRegistry::names`] and every
+/// sweep expansion built from it are deterministic.
+#[derive(Default)]
+pub struct EngineRegistry {
+    entries: Vec<(String, EngineFactory)>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the five software systems pre-registered under
+    /// [`SOFTWARE_KEYS`].
+    #[must_use]
+    pub fn with_software() -> Self {
+        let mut r = Self::new();
+        r.register("ligra-o", || Box::new(LigraO));
+        r.register("ligra-do", || Box::new(LigraDO));
+        r.register("graphbolt", || Box::new(GraphBolt));
+        r.register("kickstarter", || Box::new(KickStarter));
+        r.register("dzig", || Box::new(Dzig));
+        r
+    }
+
+    /// Registers `factory` under `key`, replacing any previous
+    /// registration of the same key in place (its position in the
+    /// iteration order is kept).
+    pub fn register<F>(&mut self, key: impl Into<String>, factory: F) -> &mut Self
+    where
+        F: Fn() -> Box<dyn Engine> + Send + Sync + 'static,
+    {
+        let key = key.into();
+        let boxed: EngineFactory = Box::new(factory);
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = boxed,
+            None => self.entries.push((key, boxed)),
+        }
+        self
+    }
+
+    /// Instantiates the engine registered under `key`.
+    #[must_use]
+    pub fn build(&self, key: &str) -> Option<Box<dyn Engine>> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, f)| f())
+    }
+
+    /// Whether `key` is registered.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Registered keys, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Number of registered engines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineRegistry").field("names", &self.names().collect::<Vec<_>>()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::BatchCtx;
+    use tdgraph_graph::types::VertexId;
+
+    #[test]
+    fn software_registry_builds_every_key() {
+        let r = EngineRegistry::with_software();
+        assert_eq!(r.len(), SOFTWARE_KEYS.len());
+        for key in SOFTWARE_KEYS {
+            let engine = r.build(key).expect("software key registered");
+            assert!(!engine.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_key_builds_nothing() {
+        let r = EngineRegistry::with_software();
+        assert!(r.build("warp-drive").is_none());
+        assert!(!r.contains("warp-drive"));
+    }
+
+    #[test]
+    fn register_replaces_in_place() {
+        struct Nop(&'static str);
+        impl Engine for Nop {
+            fn name(&self) -> &'static str {
+                self.0
+            }
+            fn process_batch(&mut self, _: &mut BatchCtx<'_>, _: &[VertexId]) {}
+        }
+
+        let mut r = EngineRegistry::new();
+        r.register("a", || Box::new(Nop("first")));
+        r.register("b", || Box::new(Nop("b")));
+        r.register("a", || Box::new(Nop("second")));
+        assert_eq!(r.names().collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(r.build("a").unwrap().name(), "second");
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineRegistry>();
+    }
+}

@@ -69,9 +69,8 @@ impl Csr {
     fn sort_neighbor_runs(&mut self) {
         for v in 0..self.vertex_count() {
             let (lo, hi) = self.neighbor_range(v as VertexId);
-            let mut run: Vec<(VertexId, Weight)> = (lo..hi)
-                .map(|i| (self.neighbors[i], self.weights[i]))
-                .collect();
+            let mut run: Vec<(VertexId, Weight)> =
+                (lo..hi).map(|i| (self.neighbors[i], self.weights[i])).collect();
             run.sort_by_key(|&(n, _)| n);
             for (k, (n, w)) in run.into_iter().enumerate() {
                 self.neighbors[lo + k] = n;
@@ -144,10 +143,7 @@ impl Csr {
     /// Panics if `v` is out of bounds.
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let (lo, hi) = self.neighbor_range(v);
-        self.neighbors[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.weights[lo..hi].iter().copied())
+        self.neighbors[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
     }
 
     /// The neighbor/weight stored at flat edge index `i` (used by the
@@ -163,9 +159,8 @@ impl Csr {
 
     /// Iterates all edges as [`Edge`] values.
     pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        (0..self.vertex_count() as VertexId).flat_map(move |v| {
-            self.out_edges(v).map(move |(n, w)| Edge::new(v, n, w))
-        })
+        (0..self.vertex_count() as VertexId)
+            .flat_map(move |v| self.out_edges(v).map(move |(n, w)| Edge::new(v, n, w)))
     }
 
     /// Returns the transposed graph (every edge reversed). Monotonic
@@ -310,7 +305,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_edge_panics() {
-        Csr::from_edges(2, &[Edge::new(0, 5, 1.0)]);
+        let _ = Csr::from_edges(2, &[Edge::new(0, 5, 1.0)]);
     }
 
     #[test]

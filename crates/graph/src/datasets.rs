@@ -60,13 +60,9 @@ impl Dataset {
             Dataset::Amazon => PaperStats::new("com-Amazon", 334_863, 925_872, 44, 6),
             Dataset::Dblp => PaperStats::new("com-DBLP", 317_080, 1_049_866, 21, 7),
             Dataset::Gplus => PaperStats::new("ego-Gplus", 2_394_385, 5_021_410, 9, 2),
-            Dataset::LiveJournal => {
-                PaperStats::new("LiveJournal", 4_847_571, 68_993_773, 17, 17)
-            }
+            Dataset::LiveJournal => PaperStats::new("LiveJournal", 4_847_571, 68_993_773, 17, 17),
             Dataset::Orkut => PaperStats::new("Orkut", 3_072_441, 117_185_083, 9, 76),
-            Dataset::Friendster => {
-                PaperStats::new("Friendster", 65_608_366, 1_806_067_135, 32, 29)
-            }
+            Dataset::Friendster => PaperStats::new("Friendster", 65_608_366, 1_806_067_135, 32, 29),
         }
     }
 
@@ -160,9 +156,7 @@ impl StreamingWorkload {
         let half = edges.len() / 2;
         let pending = edges.split_off(half);
         let mut graph = StreamingGraph::with_capacity(cfg.vertex_count());
-        graph
-            .insert_edges(edges)
-            .expect("generated edges are in bounds by construction");
+        graph.insert_edges(edges).expect("generated edges are in bounds by construction");
         Self { graph, pending, dataset }
     }
 
@@ -200,9 +194,7 @@ impl StreamingWorkload {
     #[must_use]
     pub fn hub_vertex(&self) -> u32 {
         let snap = self.graph.snapshot();
-        (0..snap.vertex_count() as u32)
-            .max_by_key(|&v| snap.degree(v))
-            .unwrap_or(0)
+        (0..snap.vertex_count() as u32).max_by_key(|&v| snap.degree(v)).unwrap_or(0)
     }
 }
 

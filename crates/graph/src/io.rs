@@ -126,18 +126,14 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, LoadError> 
             edges.push(Edge::new(src, dst, weight));
         }
     }
-    let vertex_count = if edges.is_empty() && max_vertex == 0 {
-        0
-    } else {
-        max_vertex as usize + 1
-    };
+    let vertex_count =
+        if edges.is_empty() && max_vertex == 0 { 0 } else { max_vertex as usize + 1 };
     Ok(LoadedGraph { edges, vertex_count, skipped_lines: skipped })
 }
 
 /// Deterministic small-integer weight for an unweighted edge.
 fn synthetic_weight(src: VertexId, dst: VertexId) -> f32 {
-    let mut rng =
-        Xoshiro256StarStar::new((u64::from(src) << 32) ^ u64::from(dst) ^ 0x7D6);
+    let mut rng = Xoshiro256StarStar::new((u64::from(src) << 32) ^ u64::from(dst) ^ 0x7D6);
     (rng.next_below(64) + 1) as f32
 }
 
@@ -219,8 +215,7 @@ mod tests {
         let dir = std::env::temp_dir().join("tdgraph_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.txt");
-        let edges =
-            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.5), Edge::new(2, 0, 1.0)];
+        let edges = vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.5), Edge::new(2, 0, 1.0)];
         save_edge_list(&path, &edges).unwrap();
         let loaded = load_edge_list(&path).unwrap();
         assert_eq!(loaded.edges, edges);

@@ -152,11 +152,7 @@ impl Schedule {
     /// Makespan under the given per-chunk costs (max summed load per core).
     #[must_use]
     pub fn makespan(&self, costs: &[u64]) -> u64 {
-        self.assignments
-            .iter()
-            .map(|q| q.iter().map(|&c| costs[c]).sum())
-            .max()
-            .unwrap_or(0)
+        self.assignments.iter().map(|q| q.iter().map(|&c| costs[c]).sum()).max().unwrap_or(0)
     }
 }
 
@@ -175,7 +171,7 @@ mod tests {
     fn chunks_cover_all_vertices_exactly_once() {
         let g = star(100);
         let chunks = partition_by_edges(&g, 8);
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         for c in &chunks {
             for v in c.vertices() {
                 assert!(!covered[v as usize], "vertex {v} in two chunks");
@@ -231,8 +227,7 @@ mod tests {
     fn balance_assigns_every_chunk_once() {
         let costs = vec![5, 3, 8, 1, 9, 2];
         let s = Schedule::balance(&costs, 3);
-        let mut all: Vec<usize> =
-            (0..s.cores()).flat_map(|c| s.chunks_for(c).to_vec()).collect();
+        let mut all: Vec<usize> = (0..s.cores()).flat_map(|c| s.chunks_for(c).to_vec()).collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
     }

@@ -33,8 +33,7 @@ pub struct DegreeStats {
 #[must_use]
 pub fn degree_stats(graph: &Csr) -> DegreeStats {
     let n = graph.vertex_count();
-    let mut degrees: Vec<usize> =
-        (0..n as VertexId).map(|v| graph.degree(v)).collect();
+    let mut degrees: Vec<usize> = (0..n as VertexId).map(|v| graph.degree(v)).collect();
     degrees.sort_unstable();
     let edges: usize = degrees.iter().sum();
     let max_degree = degrees.last().copied().unwrap_or(0);
@@ -53,11 +52,8 @@ pub fn degree_stats(graph: &Csr) -> DegreeStats {
     let gini = if edges == 0 || n == 0 {
         0.0
     } else {
-        let weighted: f64 = degrees
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-            .sum();
+        let weighted: f64 =
+            degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
         (2.0 * weighted) / (n as f64 * edges as f64) - (n as f64 + 1.0) / n as f64
     };
 
@@ -95,9 +91,7 @@ pub fn degree_histogram(graph: &Csr) -> Vec<usize> {
 /// Number of vertices with no outgoing edges.
 #[must_use]
 pub fn zero_degree_count(graph: &Csr) -> usize {
-    (0..graph.vertex_count() as VertexId)
-        .filter(|&v| graph.degree(v) == 0)
-        .count()
+    (0..graph.vertex_count() as VertexId).filter(|&v| graph.degree(v) == 0).count()
 }
 
 #[cfg(test)]
@@ -121,11 +115,7 @@ mod tests {
         let g = Csr::from_edges(cfg.vertex_count(), &Rmat::new(cfg).edges());
         let s = degree_stats(&g);
         assert!(s.gini > 0.5, "rmat gini {}", s.gini);
-        assert!(
-            s.top1pct_edge_share > 0.15,
-            "top-1% share {}",
-            s.top1pct_edge_share
-        );
+        assert!(s.top1pct_edge_share > 0.15, "top-1% share {}", s.top1pct_edge_share);
         assert!(s.top_half_pct_edge_share < s.top1pct_edge_share);
     }
 

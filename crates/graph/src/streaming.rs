@@ -120,9 +120,7 @@ impl StreamingGraph {
     /// Whether edge `(src, dst)` is present.
     #[must_use]
     pub fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
-        self.adjacency
-            .get(src as usize)
-            .is_some_and(|row| row.iter().any(|&(n, _)| n == dst))
+        self.adjacency.get(src as usize).is_some_and(|row| row.iter().any(|&(n, _)| n == dst))
     }
 
     /// Grows the vertex set so `vertex` is addressable.
@@ -214,9 +212,7 @@ impl StreamingGraph {
                     applied.affected.push(u.dst);
                 }
                 UpdateKind::Deletion => {
-                    let w = self
-                        .remove_edge_unchecked(u.src, u.dst)
-                        .expect("validated above");
+                    let w = self.remove_edge_unchecked(u.src, u.dst).expect("validated above");
                     applied.deleted.push(Edge::new(u.src, u.dst, w));
                     applied.affected.push(u.dst);
                 }
@@ -236,9 +232,10 @@ impl StreamingGraph {
 
     /// Iterates all currently present edges.
     pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(v, row)| {
-            row.iter().map(move |&(n, w)| Edge::new(v as VertexId, n, w))
-        })
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(v, row)| row.iter().map(move |&(n, w)| Edge::new(v as VertexId, n, w)))
     }
 
     /// All present edges as a vector (deletion sampling pool for
@@ -256,12 +253,7 @@ mod tests {
 
     fn base() -> StreamingGraph {
         let mut g = StreamingGraph::with_capacity(6);
-        g.insert_edges([
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 1.0),
-            Edge::new(2, 3, 1.0),
-        ])
-        .unwrap();
+        g.insert_edges([Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)]).unwrap();
         g
     }
 
@@ -314,8 +306,7 @@ mod tests {
     #[test]
     fn apply_batch_out_of_bounds() {
         let mut g = base();
-        let batch =
-            UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 99, 1.0)]).unwrap();
+        let batch = UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 99, 1.0)]).unwrap();
         assert!(matches!(
             g.apply_batch(&batch),
             Err(ApplyError::VertexOutOfBounds { vertex: 99, .. })
@@ -325,8 +316,7 @@ mod tests {
     #[test]
     fn apply_batch_records_reweights_separately() {
         let mut g = base();
-        let batch =
-            UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 1, 9.0)]).unwrap();
+        let batch = UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 1, 9.0)]).unwrap();
         let applied = g.apply_batch(&batch).unwrap();
         assert!(applied.added_edges().is_empty());
         assert_eq!(applied.reweighted_edges(), &[(Edge::new(0, 1, 9.0), 1.0)]);

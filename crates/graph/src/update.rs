@@ -197,16 +197,11 @@ impl BatchComposer {
     /// candidates are sampled (without replacement within the batch) from
     /// `present_edges`. Returns `None` once both the addition pool and the
     /// requested deletions are exhausted.
-    pub fn next_batch(
-        &mut self,
-        batch_size: usize,
-        present_edges: &[Edge],
-    ) -> Option<UpdateBatch> {
+    pub fn next_batch(&mut self, batch_size: usize, present_edges: &[Edge]) -> Option<UpdateBatch> {
         if batch_size == 0 {
             return None;
         }
-        let want_adds =
-            ((batch_size as f64) * self.add_fraction).round() as usize;
+        let want_adds = ((batch_size as f64) * self.add_fraction).round() as usize;
         let want_adds = want_adds.min(self.pending_additions.len());
         let want_dels = (batch_size - want_adds).min(present_edges.len());
         if want_adds == 0 && want_dels == 0 {

@@ -1,0 +1,157 @@
+//! A minimal, fully offline property-testing shim exposing the subset of
+//! the `proptest` crate's API this repository uses.
+//!
+//! The build environment has no network access and its registry mirror
+//! does not carry the real `proptest`, so the workspace resolves the
+//! dependency to this path crate instead (see the root `Cargo.toml`).
+//! Semantics:
+//!
+//! * generation is **deterministic**: every test function derives its RNG
+//!   seed from its fully-qualified name, so runs are reproducible across
+//!   processes and thread schedules (override with `PROPTEST_SHIM_SEED`);
+//! * failing cases are reported with their case number and seed but are
+//!   **not shrunk** — the input values are printed instead;
+//! * `prop_assert!`/`prop_assert_eq!` panic like their `std` counterparts.
+//!
+//! Swapping the real `proptest` back in requires only restoring the
+//! registry dependency; the test sources compile against either.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the two forms used in this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0u64..4, 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let __seed = $crate::test_runner::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    let __info = ::std::format!(
+                        concat!(
+                            "[proptest-shim {} case {}/{} seed {:#x}]",
+                            $(" ", stringify!($arg), " = {:?}",)*
+                        ),
+                        stringify!($name), __case, __cfg.cases, __seed,
+                        $(&$arg,)*
+                    );
+                    let __guard = $crate::test_runner::CaseGuard::new(__info);
+                    { $body }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_filter_map_compose(
+            pair in (0u32..8, 0u32..8).prop_filter_map("distinct", |(a, b)| {
+                (a != b).then_some((a, b))
+            }),
+            flag in any::<bool>(),
+        ) {
+            prop_assert_ne!(pair.0, pair.1);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(0u64..100, 2..9)
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::new(42);
+        let mut b = crate::test_runner::TestRng::new(42);
+        let s = crate::collection::vec(0u64..1000, 0..50);
+        for _ in 0..32 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        assert_eq!(Strategy::sample(&Just(7u8), &mut rng), 7);
+    }
+}

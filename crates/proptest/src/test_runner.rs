@@ -1,0 +1,121 @@
+//! Test configuration, RNG, and failure reporting for the shim.
+
+/// Per-`proptest!` block configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Derives the deterministic seed for a test from its fully-qualified
+/// name (FNV-1a), unless `PROPTEST_SHIM_SEED` overrides it globally.
+#[must_use]
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SHIM_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic RNG driving all strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` via rejection-free multiply-shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Failure annotator: prints the failing case's inputs when the test body
+/// panics (the shim's substitute for shrinking).
+pub struct CaseGuard {
+    info: Option<String>,
+}
+
+impl CaseGuard {
+    /// Arms the guard with a description of the current case.
+    #[must_use]
+    pub fn new(info: String) -> Self {
+        Self { info: Some(info) }
+    }
+
+    /// Disarms the guard: the case passed.
+    pub fn disarm(mut self) {
+        self.info = None;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if let Some(info) = self.info.take() {
+            if std::thread::panicking() {
+                eprintln!("{info}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_test_name() {
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+
+    #[test]
+    fn next_below_stays_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+}

@@ -72,10 +72,7 @@ impl Region {
     /// Whether indexes address bits (packed 8 per byte).
     #[must_use]
     pub fn is_bitvector(self) -> bool {
-        matches!(
-            self,
-            Region::ActiveVertices | Region::HotVertices | Region::EdgeVisited
-        )
+        matches!(self, Region::ActiveVertices | Region::HotVertices | Region::EdgeVisited)
     }
 
     /// Whether the region holds vertex states (for the line-utilization
@@ -104,11 +101,9 @@ impl AddressSpace {
             let elems = match r {
                 Region::OffsetArray => vertices as u64 + 1,
                 Region::NeighborArray | Region::WeightArray => edges as u64,
-                Region::VertexStates | Region::TopologyList | Region::AuxMeta => {
-                    vertices as u64
-                }
-                Region::ActiveVertices | Region::HotVertices => (vertices as u64 + 7) / 8,
-                Region::EdgeVisited => (edges as u64 + 7) / 8,
+                Region::VertexStates | Region::TopologyList | Region::AuxMeta => vertices as u64,
+                Region::ActiveVertices | Region::HotVertices => (vertices as u64).div_ceil(8),
+                Region::EdgeVisited => (edges as u64).div_ceil(8),
                 Region::CoalescedStates => coalesced_entries as u64,
                 // σ = 0.75 load factor (§3.3.1): table entries = slots/σ.
                 Region::HashTable => (coalesced_entries as f64 / 0.75).ceil() as u64,
@@ -117,7 +112,7 @@ impl AddressSpace {
             let bytes = if r.is_bitvector() { elems } else { elems * r.element_bytes() };
             // Round up to a page, minimum one page, so regions never share
             // cache lines.
-            ((bytes.max(1) + PAGE - 1) / PAGE) * PAGE
+            bytes.max(1).div_ceil(PAGE) * PAGE
         };
         let mut bases = [0u64; Region::ALL.len()];
         let mut cursor = PAGE; // leave page 0 unmapped
@@ -135,10 +130,7 @@ impl AddressSpace {
     }
 
     fn base(&self, region: Region) -> u64 {
-        let idx = Region::ALL
-            .iter()
-            .position(|&r| r == region)
-            .expect("region is in ALL");
+        let idx = Region::ALL.iter().position(|&r| r == region).expect("region is in ALL");
         self.bases[idx]
     }
 

@@ -40,14 +40,8 @@ struct Line {
     region: Region,
 }
 
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    meta: 0,
-    touched: 0,
-    region: Region::VertexStates,
-};
+const INVALID: Line =
+    Line { tag: 0, valid: false, dirty: false, meta: 0, touched: 0, region: Region::VertexStates };
 
 /// DRRIP set-dueling state (Jaleel et al., ISCA'10): a few leader sets are
 /// dedicated to SRRIP and BRRIP insertion; misses in leader sets steer a
@@ -95,7 +89,7 @@ impl DuelState {
         };
         if use_brrip {
             self.brip_tick = self.brip_tick.wrapping_add(1);
-            if self.brip_tick % 32 == 0 {
+            if self.brip_tick.is_multiple_of(32) {
                 2
             } else {
                 3
@@ -159,13 +153,7 @@ impl SetAssocCache {
     /// Accesses `line` (byte address >> 6), touching 4 B word `word`
     /// (0..16). On a miss the line is filled (allocate-on-miss for reads
     /// and writes) and the displaced line, if any, is reported.
-    pub fn access(
-        &mut self,
-        line: u64,
-        word: u8,
-        write: bool,
-        region: Region,
-    ) -> AccessOutcome {
+    pub fn access(&mut self, line: u64, word: u8, write: bool, region: Region) -> AccessOutcome {
         debug_assert!(word < 16);
         self.stamp = self.stamp.wrapping_add(1);
         let stamp = self.stamp;
@@ -211,14 +199,8 @@ impl SetAssocCache {
             policy.insert_meta(region, stamp)
         };
         let ways = self.slice(set);
-        ways[victim_idx] = Line {
-            tag: line,
-            valid: true,
-            dirty: write,
-            meta,
-            touched: 1 << word,
-            region,
-        };
+        ways[victim_idx] =
+            Line { tag: line, valid: true, dirty: write, meta, touched: 1 << word, region };
         AccessOutcome { hit: false, evicted }
     }
 
@@ -226,9 +208,7 @@ impl SetAssocCache {
     #[must_use]
     pub fn contains(&self, line: u64) -> bool {
         let set = self.set_of(line);
-        self.sets[set * self.ways..(set + 1) * self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == line)
+        self.sets[set * self.ways..(set + 1) * self.ways].iter().any(|l| l.valid && l.tag == line)
     }
 
     /// Marks an additional touched word on a resident line (used by the
@@ -426,7 +406,7 @@ mod tests {
         let mut duel = DuelState::new();
         duel.psel = 100; // followers on BRRIP
         let rrpvs: Vec<u32> = (0..64).map(|_| duel.insert_rrpv(7)).collect();
-        assert!(rrpvs.iter().any(|&r| r == 2), "BRRIP must rarely insert near");
+        assert!(rrpvs.contains(&2), "BRRIP must rarely insert near");
         assert!(rrpvs.iter().filter(|&&r| r == 3).count() >= 60);
     }
 

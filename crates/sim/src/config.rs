@@ -24,7 +24,7 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / 64;
-        assert!(lines % self.ways == 0, "cache geometry must divide evenly");
+        assert!(lines.is_multiple_of(self.ways), "cache geometry must divide evenly");
         lines / self.ways
     }
 }
@@ -145,11 +145,7 @@ impl SimConfig {
             },
             mesh_dim: 8,
             hop_cycles: 3,
-            memory: MemoryConfig {
-                channels: 12,
-                latency: 160,
-                bytes_per_cycle_per_channel: 10.24,
-            },
+            memory: MemoryConfig { channels: 12, latency: 160, bytes_per_cycle_per_channel: 10.24 },
             instr: InstrCost::skylake_like(),
             accel_mlp: 8,
         }

@@ -85,11 +85,8 @@ impl EnergyBreakdown {
         let ops: u64 = Op::ALL.iter().map(|&o| stats.op_count(o)).sum();
         let llc_lookups = stats.llc_hits + stats.llc_misses;
         // Static energy: P_static × t, in nJ.
-        let static_nj = if freq_ghz > 0.0 {
-            constants.static_w * cycles as f64 / freq_ghz
-        } else {
-            0.0
-        };
+        let static_nj =
+            if freq_ghz > 0.0 { constants.static_w * cycles as f64 / freq_ghz } else { 0.0 };
         Self {
             core_nj: ops as f64 * constants.core_op_nj + 0.60 * static_nj,
             cache_nj: stats.accesses as f64 * constants.l1_nj
@@ -120,9 +117,7 @@ mod tests {
 
     #[test]
     fn dram_dominates_when_misses_dominate() {
-        let mut s = MachineStats::default();
-        s.accesses = 100;
-        s.llc_misses = 100;
+        let s = MachineStats { accesses: 100, llc_misses: 100, ..Default::default() };
         let e = EnergyBreakdown::from_stats(&s, 100, 0, 2.5, EnergyConstants::nominal());
         assert!(e.dram_nj > e.cache_nj);
         assert!(e.dram_nj > e.noc_nj);
@@ -130,11 +125,13 @@ mod tests {
 
     #[test]
     fn total_is_sum_of_parts() {
-        let mut s = MachineStats::default();
-        s.accesses = 10;
-        s.l2_hits = 5;
-        s.llc_hits = 3;
-        s.noc_hop_cycles = 7;
+        let mut s = MachineStats {
+            accesses: 10,
+            l2_hits: 5,
+            llc_hits: 3,
+            noc_hop_cycles: 7,
+            ..Default::default()
+        };
         s.op_counts[0] = 20;
         let e = EnergyBreakdown::from_stats(&s, 2, 0, 2.5, EnergyConstants::nominal());
         let sum = e.core_nj + e.cache_nj + e.noc_nj + e.dram_nj;

@@ -162,19 +162,11 @@ impl Machine {
 
         let charged = match actor {
             Actor::Core => latency,
-            Actor::Accel => (latency + self.cfg.accel_mlp - 1) / self.cfg.accel_mlp,
+            Actor::Accel => latency.div_ceil(self.cfg.accel_mlp),
         };
         self.timeline(core, actor, charged);
         if let Some(trace) = &mut self.trace {
-            trace.record(TraceEntry {
-                core,
-                actor,
-                region,
-                index,
-                write,
-                level,
-                latency: charged,
-            });
+            trace.record(TraceEntry { core, actor, region, index, write, level, latency: charged });
         }
         charged
     }
@@ -342,7 +334,7 @@ mod tests {
         let accel_lat = m2.access(0, Actor::Accel, Region::NeighborArray, 0, false);
         assert!(accel_lat < core_lat);
         let mlp = m2.config().accel_mlp;
-        assert_eq!(accel_lat, (core_lat + mlp - 1) / mlp);
+        assert_eq!(accel_lat, core_lat.div_ceil(mlp));
     }
 
     #[test]

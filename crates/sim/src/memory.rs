@@ -51,11 +51,8 @@ impl DramModel {
     /// returns the phase duration after the bandwidth envelope is applied.
     pub fn close_phase(&mut self, compute_cycles: u64) -> u64 {
         let peak = self.config.peak_bytes_per_cycle();
-        let bound = if peak > 0.0 {
-            (self.phase_bytes as f64 / peak).ceil() as u64
-        } else {
-            u64::MAX
-        };
+        let bound =
+            if peak > 0.0 { (self.phase_bytes as f64 / peak).ceil() as u64 } else { u64::MAX };
         self.phase_bytes = 0;
         compute_cycles.max(bound)
     }

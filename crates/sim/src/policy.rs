@@ -65,17 +65,12 @@ impl PolicyKind {
 
     /// Meta value after a hit on a line with current `meta`.
     #[must_use]
-    pub fn hit_meta(self, region: Region, _meta: u32, stamp: u32) -> u32 {
+    pub fn hit_meta(self, _region: Region, _meta: u32, stamp: u32) -> u32 {
         match self {
             PolicyKind::Lru => stamp,
-            PolicyKind::Drrip | PolicyKind::Popt => 0,
-            PolicyKind::Grasp => {
-                if matches!(region, Region::CoalescedStates | Region::HashTable) {
-                    0
-                } else {
-                    0
-                }
-            }
+            // GRASP promotes hot-region hits the same as other hits at this
+            // layer; its preferential treatment is applied at insertion.
+            PolicyKind::Drrip | PolicyKind::Popt | PolicyKind::Grasp => 0,
         }
     }
 
@@ -94,16 +89,14 @@ impl PolicyKind {
                 }
                 best
             }
-            PolicyKind::Drrip | PolicyKind::Grasp | PolicyKind::Popt => {
-                loop {
-                    if let Some(i) = metas.iter().position(|&m| m >= RRPV_MAX) {
-                        return i;
-                    }
-                    for m in metas.iter_mut() {
-                        *m += 1;
-                    }
+            PolicyKind::Drrip | PolicyKind::Grasp | PolicyKind::Popt => loop {
+                if let Some(i) = metas.iter().position(|&m| m >= RRPV_MAX) {
+                    return i;
                 }
-            }
+                for m in metas.iter_mut() {
+                    *m += 1;
+                }
+            },
         }
     }
 }

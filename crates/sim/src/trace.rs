@@ -58,11 +58,7 @@ impl AccessTrace {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
-        Self {
-            entries: std::collections::VecDeque::with_capacity(capacity),
-            capacity,
-            dropped: 0,
-        }
+        Self { entries: std::collections::VecDeque::with_capacity(capacity), capacity, dropped: 0 }
     }
 
     /// Records an entry, evicting the oldest when full.
@@ -75,7 +71,6 @@ impl AccessTrace {
     }
 
     /// The retained entries, oldest first.
-    #[must_use]
     pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
         self.entries.iter()
     }
@@ -105,11 +100,7 @@ impl AccessTrace {
         if total == 0 {
             return 0.0;
         }
-        let at = self
-            .entries
-            .iter()
-            .filter(|e| e.region == region && e.level == level)
-            .count();
+        let at = self.entries.iter().filter(|e| e.region == region && e.level == level).count();
         at as f64 / total as f64
     }
 }

@@ -1,22 +1,30 @@
 //! High-level experiment API.
 //!
-//! [`Experiment`] is the one-stop entry point downstream users need: pick a
-//! dataset, an algorithm, and an engine, optionally tune the machine or the
-//! update stream, and run — the result carries the paper's metrics and the
-//! oracle verdict.
+//! [`Experiment`] is the one-cell entry point downstream users need: pick
+//! a dataset, an algorithm, and an engine, optionally tune the machine or
+//! the update stream, and run — the result carries the paper's metrics and
+//! the oracle verdict. Internally it is a thin wrapper over a one-cell
+//! [`SweepSpec`](crate::SweepSpec); grids of experiments should build a
+//! sweep directly and execute it with a
+//! [`SweepRunner`](crate::SweepRunner).
+//!
+//! Engine construction goes through the [`EngineRegistry`]: every built-in
+//! engine is registered by a stable kebab-case key in
+//! [`registry_with_defaults`], and [`EngineKind::build`] resolves through
+//! the shared [`default_registry`].
+
+use std::sync::OnceLock;
 
 use tdgraph_accel::jetstream::{GraphPulse, JetStream};
 use tdgraph_accel::tdgraph::{TdGraph, TdGraphConfig};
 use tdgraph_accel::{DepGraph, Hats, Minnow, Phi};
 use tdgraph_algos::traits::Algo;
-use tdgraph_engines::dzig::Dzig;
 use tdgraph_engines::engine::Engine;
-use tdgraph_engines::graphbolt::GraphBolt;
-use tdgraph_engines::harness::{run_streaming_workload, RunOptions, RunResult};
-use tdgraph_engines::kickstarter::KickStarter;
-use tdgraph_engines::ligra_do::LigraDO;
-use tdgraph_engines::ligra_o::LigraO;
-use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_engines::harness::{RunOptions, RunResult};
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_graph::datasets::{Dataset, Sizing};
+
+use crate::sweep::{ExperimentCell, SweepSpec};
 
 /// Every execution engine the reproduction provides.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,48 +66,112 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Instantiates the engine.
-    #[must_use]
-    pub fn build(self) -> Box<dyn Engine> {
-        match self {
-            EngineKind::LigraO => Box::new(LigraO),
-            EngineKind::LigraDO => Box::new(LigraDO),
-            EngineKind::GraphBolt => Box::new(GraphBolt),
-            EngineKind::KickStarter => Box::new(KickStarter),
-            EngineKind::Dzig => Box::new(Dzig),
-            EngineKind::TdGraphH => Box::new(TdGraph::hardware()),
-            EngineKind::TdGraphHWithout => Box::new(TdGraph::hardware_without_vscu()),
-            EngineKind::TdGraphS => Box::new(TdGraph::software()),
-            EngineKind::TdGraphSWithout => Box::new(TdGraph::software_without_vscu()),
-            EngineKind::TdGraphCustom(cfg) => Box::new(TdGraph::with_config(cfg)),
-            EngineKind::Hats => Box::new(Hats),
-            EngineKind::Minnow => Box::new(Minnow),
-            EngineKind::Phi => Box::new(Phi),
-            EngineKind::DepGraph => Box::new(DepGraph),
-            EngineKind::JetStream => Box::new(JetStream::new()),
-            EngineKind::JetStreamWith => Box::new(JetStream::with_coalescing()),
-            EngineKind::GraphPulse => Box::new(GraphPulse),
-        }
-    }
-
-    /// The software systems of Fig 3.
-    pub const SOFTWARE: [EngineKind; 4] = [
+    /// Every fixed-configuration engine (i.e. all kinds except
+    /// [`EngineKind::TdGraphCustom`]), in registry order.
+    pub const ALL: [EngineKind; 16] = [
+        EngineKind::LigraO,
+        EngineKind::LigraDO,
         EngineKind::GraphBolt,
         EngineKind::KickStarter,
         EngineKind::Dzig,
-        EngineKind::LigraO,
-    ];
-
-    /// The comparator accelerators of Fig 15.
-    pub const ACCELERATORS: [EngineKind; 4] = [
+        EngineKind::TdGraphH,
+        EngineKind::TdGraphHWithout,
+        EngineKind::TdGraphS,
+        EngineKind::TdGraphSWithout,
         EngineKind::Hats,
         EngineKind::Minnow,
         EngineKind::Phi,
         EngineKind::DepGraph,
+        EngineKind::JetStream,
+        EngineKind::JetStreamWith,
+        EngineKind::GraphPulse,
     ];
+
+    /// The engine's stable registry key (kebab-case; what sweeps, progress
+    /// events, and [`EngineRegistry::build`] use).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            EngineKind::LigraO => "ligra-o",
+            EngineKind::LigraDO => "ligra-do",
+            EngineKind::GraphBolt => "graphbolt",
+            EngineKind::KickStarter => "kickstarter",
+            EngineKind::Dzig => "dzig",
+            EngineKind::TdGraphH => "tdgraph-h",
+            EngineKind::TdGraphHWithout => "tdgraph-h-without",
+            EngineKind::TdGraphS => "tdgraph-s",
+            EngineKind::TdGraphSWithout => "tdgraph-s-without",
+            EngineKind::TdGraphCustom(_) => "tdgraph-custom",
+            EngineKind::Hats => "hats",
+            EngineKind::Minnow => "minnow",
+            EngineKind::Phi => "phi",
+            EngineKind::DepGraph => "depgraph",
+            EngineKind::JetStream => "jetstream",
+            EngineKind::JetStreamWith => "jetstream-with",
+            EngineKind::GraphPulse => "graphpulse",
+        }
+    }
+
+    /// Instantiates the engine through the [`default_registry`].
+    ///
+    /// [`EngineKind::TdGraphCustom`] is the one kind carrying run-time
+    /// configuration, so it is built directly; its registry key resolves
+    /// to the default configuration.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Engine> {
+        if let EngineKind::TdGraphCustom(cfg) = self {
+            return Box::new(TdGraph::with_config(cfg));
+        }
+        default_registry()
+            .build(self.key())
+            .unwrap_or_else(|| panic!("built-in engine '{}' not registered", self.key()))
+    }
+
+    /// The software systems of Fig 3.
+    pub const SOFTWARE: [EngineKind; 4] =
+        [EngineKind::GraphBolt, EngineKind::KickStarter, EngineKind::Dzig, EngineKind::LigraO];
+
+    /// The comparator accelerators of Fig 15.
+    pub const ACCELERATORS: [EngineKind; 4] =
+        [EngineKind::Hats, EngineKind::Minnow, EngineKind::Phi, EngineKind::DepGraph];
+}
+
+/// Builds a fresh registry holding every engine the workspace provides —
+/// the software systems plus the accelerator models. This is the single
+/// registration point: a new engine shows up in sweeps, the experiments
+/// binary, and `EngineKind::build` by being registered here (or, for
+/// external engines, on a copy of this registry).
+#[must_use]
+pub fn registry_with_defaults() -> EngineRegistry {
+    let mut r = EngineRegistry::with_software();
+    r.register(EngineKind::TdGraphH.key(), || Box::new(TdGraph::hardware()));
+    r.register(EngineKind::TdGraphHWithout.key(), || Box::new(TdGraph::hardware_without_vscu()));
+    r.register(EngineKind::TdGraphS.key(), || Box::new(TdGraph::software()));
+    r.register(EngineKind::TdGraphSWithout.key(), || Box::new(TdGraph::software_without_vscu()));
+    r.register(EngineKind::TdGraphCustom(TdGraphConfig::default()).key(), || {
+        Box::new(TdGraph::with_config(TdGraphConfig::default()))
+    });
+    r.register(EngineKind::Hats.key(), || Box::new(Hats));
+    r.register(EngineKind::Minnow.key(), || Box::new(Minnow));
+    r.register(EngineKind::Phi.key(), || Box::new(Phi));
+    r.register(EngineKind::DepGraph.key(), || Box::new(DepGraph));
+    r.register(EngineKind::JetStream.key(), || Box::new(JetStream::new()));
+    r.register(EngineKind::JetStreamWith.key(), || Box::new(JetStream::with_coalescing()));
+    r.register(EngineKind::GraphPulse.key(), || Box::new(GraphPulse));
+    r
+}
+
+/// The shared process-wide registry of built-in engines.
+pub fn default_registry() -> &'static EngineRegistry {
+    static REGISTRY: OnceLock<EngineRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(registry_with_defaults)
 }
 
 /// Builder for one streaming-graph experiment.
+///
+/// Compatibility guarantee: this type stays a thin wrapper over a one-cell
+/// sweep — same defaults, same run path, same results as the pre-sweep
+/// API. Existing callers never need to touch [`SweepSpec`] directly.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     dataset: Dataset,
@@ -152,13 +224,27 @@ impl Experiment {
         self
     }
 
+    /// The equivalent one-cell sweep spec (shares every default).
+    #[must_use]
+    pub fn to_spec(&self, engine: EngineKind) -> SweepSpec {
+        let spec = SweepSpec::new()
+            .dataset(self.dataset)
+            .sizing(self.sizing)
+            .engine(engine)
+            .options(self.options.clone());
+        match self.algo {
+            Some(a) => spec.algo(a),
+            None => spec,
+        }
+    }
+
     /// Runs the experiment with `engine`.
     #[must_use]
     pub fn run(&self, engine: EngineKind) -> RunResult {
-        let workload = StreamingWorkload::prepare(self.dataset, self.sizing);
-        let algo = self.algo.unwrap_or_else(|| Algo::sssp(workload.hub_vertex()));
-        let mut e = engine.build();
-        run_streaming_workload(e.as_mut(), algo, workload, &self.options)
+        let cells = self.to_spec(engine).expand();
+        debug_assert_eq!(cells.len(), 1, "Experiment expands to exactly one cell");
+        let cell: &ExperimentCell = &cells[0];
+        cell.run(default_registry())
     }
 
     /// Runs the experiment for several engines, returning `(engine, result)`
@@ -200,26 +286,29 @@ mod tests {
     }
 
     #[test]
-    fn every_engine_kind_builds_with_its_name() {
-        for kind in [
-            EngineKind::LigraO,
-            EngineKind::LigraDO,
-            EngineKind::GraphBolt,
-            EngineKind::KickStarter,
-            EngineKind::Dzig,
-            EngineKind::TdGraphH,
-            EngineKind::TdGraphHWithout,
-            EngineKind::TdGraphS,
-            EngineKind::TdGraphSWithout,
-            EngineKind::Hats,
-            EngineKind::Minnow,
-            EngineKind::Phi,
-            EngineKind::DepGraph,
-            EngineKind::JetStream,
-            EngineKind::JetStreamWith,
-            EngineKind::GraphPulse,
-        ] {
-            assert!(!kind.build().name().is_empty());
+    fn every_engine_kind_resolves_through_the_registry() {
+        let registry = default_registry();
+        for kind in EngineKind::ALL {
+            assert!(
+                registry.contains(kind.key()),
+                "{kind:?} ('{}') missing from the default registry",
+                kind.key()
+            );
+            let engine = registry.build(kind.key()).expect("key registered");
+            assert!(!engine.name().is_empty());
+            assert_eq!(engine.name(), kind.build().name());
         }
+        // The custom kind resolves to the default configuration.
+        let custom = EngineKind::TdGraphCustom(TdGraphConfig::default());
+        assert!(registry.contains(custom.key()));
+        assert_eq!(custom.build().name(), "TDGraph-H");
+    }
+
+    #[test]
+    fn registry_keys_are_unique() {
+        let mut keys: Vec<&str> = EngineKind::ALL.iter().map(EngineKind::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), EngineKind::ALL.len());
     }
 }

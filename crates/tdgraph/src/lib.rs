@@ -8,7 +8,9 @@
 //! TDGraph engine (TDTU + VSCU) and every comparator accelerator the paper
 //! evaluates.
 //!
-//! The quickest way in is [`Experiment`]:
+//! The quickest way in is [`Experiment`] for one run, or a
+//! [`SweepSpec`] executed by the parallel [`SweepRunner`] for a grid
+//! (see the [`sweep`] module). One run:
 //!
 //! ```
 //! use tdgraph::{Experiment, EngineKind};
@@ -30,10 +32,16 @@
 
 pub mod experiment;
 pub mod report;
+pub mod sweep;
 
-pub use experiment::{EngineKind, Experiment};
+pub use experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
+pub use sweep::{
+    AlgoSel, CellResult, EngineSel, ExperimentCell, ProgressEvent, SweepReport, SweepRunner,
+    SweepSpec,
+};
 pub use tdgraph_engines::harness::{RunOptions, RunResult};
 pub use tdgraph_engines::metrics::RunMetrics;
+pub use tdgraph_engines::registry::EngineRegistry;
 
 /// Streaming-graph substrate (re-export of `tdgraph-graph`).
 pub mod graph {

@@ -1,0 +1,885 @@
+//! Declarative experiment sweeps and the parallel multi-experiment runner.
+//!
+//! The paper's evaluation is a grid: engines × algorithms × datasets (×
+//! batch size, α, add-fraction for the sensitivity studies). This module
+//! makes the grid a first-class value:
+//!
+//! * [`SweepSpec`] — a builder describing the axes of a sweep. Expanding a
+//!   spec yields independent [`ExperimentCell`]s, each carrying its own
+//!   fully-resolved [`RunOptions`] (machine config, seed, overrides), so a
+//!   cell's result depends only on the cell, never on the schedule.
+//! * [`SweepRunner`] — executes cells across scoped worker threads,
+//!   resolves engines through an [`EngineRegistry`], emits JSON-lines
+//!   progress events, and collects a stable-ordered [`SweepReport`] with
+//!   per-cell wall-clock timing and oracle verdicts.
+//! * [`SweepReport`] — lookup helpers for figure renderers plus a
+//!   canonical, timing-free serialization used to assert determinism.
+//!
+//! ```
+//! use tdgraph::graph::datasets::{Dataset, Sizing};
+//! use tdgraph::{EngineKind, RunOptions, SweepRunner, SweepSpec};
+//!
+//! let spec = SweepSpec::new()
+//!     .datasets([Dataset::Amazon, Dataset::Dblp])
+//!     .sizing(Sizing::Tiny)
+//!     .engines([EngineKind::LigraO, EngineKind::TdGraphH])
+//!     .tune(|o| {
+//!         o.sim = tdgraph::sim::SimConfig::small_test();
+//!         o.batches = 1;
+//!     });
+//! let report = SweepRunner::new().threads(2).run(&spec);
+//! assert_eq!(report.len(), 4);
+//! report.assert_all_verified();
+//! ```
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tdgraph_algos::traits::Algo;
+use tdgraph_engines::harness::{run_streaming_workload, RunOptions, RunResult};
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+
+use crate::experiment::{default_registry, EngineKind};
+
+/// How a cell names the engine it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineSel {
+    /// A built-in engine.
+    Kind(EngineKind),
+    /// A registry key — built-in or registered by the caller.
+    Named(String),
+}
+
+impl EngineSel {
+    /// The registry key this selection resolves through.
+    #[must_use]
+    pub fn key(&self) -> &str {
+        match self {
+            EngineSel::Kind(k) => k.key(),
+            EngineSel::Named(n) => n,
+        }
+    }
+}
+
+impl From<EngineKind> for EngineSel {
+    fn from(kind: EngineKind) -> Self {
+        EngineSel::Kind(kind)
+    }
+}
+
+impl From<&str> for EngineSel {
+    fn from(name: &str) -> Self {
+        EngineSel::Named(name.to_string())
+    }
+}
+
+/// The algorithm axis: a concrete algorithm or the workload's hub SSSP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgoSel {
+    /// A fixed algorithm.
+    Fixed(Algo),
+    /// SSSP rooted at the workload's highest-degree vertex (the
+    /// methodology default; the root depends on the dataset).
+    HubSssp,
+}
+
+impl AlgoSel {
+    /// Display label (paper benchmark name; hub SSSP is labelled `SSSP`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgoSel::Fixed(a) => a.name(),
+            AlgoSel::HubSssp => "SSSP",
+        }
+    }
+
+    /// Resolves to a concrete algorithm for `workload`.
+    #[must_use]
+    pub fn resolve(&self, workload: &StreamingWorkload) -> Algo {
+        match self {
+            AlgoSel::Fixed(a) => *a,
+            AlgoSel::HubSssp => Algo::sssp(workload.hub_vertex()),
+        }
+    }
+}
+
+impl From<Algo> for AlgoSel {
+    fn from(a: Algo) -> Self {
+        AlgoSel::Fixed(a)
+    }
+}
+
+/// A declarative sweep: datasets × algorithms × engines, optionally
+/// crossed with batch-size / α / add-fraction / seed override axes.
+///
+/// Unset override axes inherit the base [`RunOptions`] value, so the
+/// minimal spec — datasets and engines — reproduces the serial
+/// [`Experiment`](crate::Experiment) loops cell for cell.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    datasets: Vec<Dataset>,
+    sizing: Sizing,
+    algos: Vec<AlgoSel>,
+    engines: Vec<EngineSel>,
+    base: RunOptions,
+    batch_sizes: Vec<Option<usize>>,
+    alphas: Vec<f64>,
+    add_fractions: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepSpec {
+    /// An empty spec: no datasets, no engines, hub SSSP, the
+    /// scaled-reference machine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            datasets: Vec::new(),
+            sizing: Sizing::Small,
+            algos: Vec::new(),
+            engines: Vec::new(),
+            base: RunOptions {
+                sim: tdgraph_sim::SimConfig::scaled_reference(),
+                ..RunOptions::default()
+            },
+            batch_sizes: Vec::new(),
+            alphas: Vec::new(),
+            add_fractions: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Appends one dataset.
+    #[must_use]
+    pub fn dataset(mut self, ds: Dataset) -> Self {
+        self.datasets.push(ds);
+        self
+    }
+
+    /// Appends several datasets.
+    #[must_use]
+    pub fn datasets(mut self, ds: impl IntoIterator<Item = Dataset>) -> Self {
+        self.datasets.extend(ds);
+        self
+    }
+
+    /// Sets the workload sizing (default [`Sizing::Small`]).
+    #[must_use]
+    pub fn sizing(mut self, sizing: Sizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Appends one fixed algorithm.
+    #[must_use]
+    pub fn algo(mut self, algo: impl Into<AlgoSel>) -> Self {
+        self.algos.push(algo.into());
+        self
+    }
+
+    /// Appends several fixed algorithms.
+    #[must_use]
+    pub fn algos(mut self, algos: impl IntoIterator<Item = Algo>) -> Self {
+        self.algos.extend(algos.into_iter().map(AlgoSel::Fixed));
+        self
+    }
+
+    /// Appends the hub-SSSP algorithm selection (the default when no
+    /// algorithm is given).
+    #[must_use]
+    pub fn hub_sssp(mut self) -> Self {
+        self.algos.push(AlgoSel::HubSssp);
+        self
+    }
+
+    /// Appends one engine.
+    #[must_use]
+    pub fn engine(mut self, engine: impl Into<EngineSel>) -> Self {
+        self.engines.push(engine.into());
+        self
+    }
+
+    /// Appends several built-in engines.
+    #[must_use]
+    pub fn engines(mut self, engines: impl IntoIterator<Item = EngineKind>) -> Self {
+        self.engines.extend(engines.into_iter().map(EngineSel::Kind));
+        self
+    }
+
+    /// Appends an engine by registry key (for engines registered by the
+    /// caller on the runner's [`EngineRegistry`]).
+    #[must_use]
+    pub fn engine_named(mut self, key: impl Into<String>) -> Self {
+        self.engines.push(EngineSel::Named(key.into()));
+        self
+    }
+
+    /// Replaces the base run options.
+    #[must_use]
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.base = options;
+        self
+    }
+
+    /// Mutates the base run options in place.
+    #[must_use]
+    pub fn tune(mut self, f: impl FnOnce(&mut RunOptions)) -> Self {
+        f(&mut self.base);
+        self
+    }
+
+    /// Adds a batch-size override axis (Fig 24a).
+    #[must_use]
+    pub fn batch_sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.batch_sizes.extend(sizes.into_iter().map(Some));
+        self
+    }
+
+    /// Adds an α override axis (Fig 22).
+    #[must_use]
+    pub fn alphas(mut self, alphas: impl IntoIterator<Item = f64>) -> Self {
+        self.alphas.extend(alphas);
+        self
+    }
+
+    /// Adds an add-fraction override axis (Fig 24b).
+    #[must_use]
+    pub fn add_fractions(mut self, fractions: impl IntoIterator<Item = f64>) -> Self {
+        self.add_fractions.extend(fractions);
+        self
+    }
+
+    /// Adds a workload-seed override axis (replication studies).
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Number of cells this spec expands to.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        let or1 = |n: usize| n.max(1);
+        self.datasets.len()
+            * or1(self.algos.len())
+            * self.engines.len()
+            * or1(self.batch_sizes.len())
+            * or1(self.alphas.len())
+            * or1(self.add_fractions.len())
+            * or1(self.seeds.len())
+    }
+
+    /// Expands the grid into independent cells, in the documented stable
+    /// order: algorithms → datasets → engines → batch sizes → α →
+    /// add-fractions → seeds, each axis in insertion order.
+    ///
+    /// Every cell owns a fully-resolved copy of the run options (its own
+    /// `SimConfig` and PRNG seed), so running a cell is deterministic no
+    /// matter which worker executes it or when.
+    #[must_use]
+    pub fn expand(&self) -> Vec<ExperimentCell> {
+        fn axis<T: Copy>(overrides: &[T], base: T) -> Vec<T> {
+            if overrides.is_empty() {
+                vec![base]
+            } else {
+                overrides.to_vec()
+            }
+        }
+        let algos = if self.algos.is_empty() { vec![AlgoSel::HubSssp] } else { self.algos.clone() };
+        let batch_sizes = axis(&self.batch_sizes, self.base.batch_size);
+        let alphas = axis(&self.alphas, self.base.alpha);
+        let add_fractions = axis(&self.add_fractions, self.base.add_fraction);
+        let seeds = axis(&self.seeds, self.base.seed);
+
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for algo in &algos {
+            for &dataset in &self.datasets {
+                for engine in &self.engines {
+                    for &batch_size in &batch_sizes {
+                        for &alpha in &alphas {
+                            for &add_fraction in &add_fractions {
+                                for &seed in &seeds {
+                                    let mut options = self.base.clone();
+                                    options.batch_size = batch_size;
+                                    options.alpha = alpha;
+                                    options.add_fraction = add_fraction;
+                                    options.seed = seed;
+                                    cells.push(ExperimentCell {
+                                        index: cells.len(),
+                                        dataset,
+                                        sizing: self.sizing,
+                                        algo: *algo,
+                                        engine: engine.clone(),
+                                        options,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One independent point of a sweep: everything needed to run it, with no
+/// shared mutable state.
+#[derive(Debug, Clone)]
+pub struct ExperimentCell {
+    /// Position in the expansion order (stable report index).
+    pub index: usize,
+    /// Dataset to stream.
+    pub dataset: Dataset,
+    /// Workload sizing.
+    pub sizing: Sizing,
+    /// Algorithm selection.
+    pub algo: AlgoSel,
+    /// Engine selection.
+    pub engine: EngineSel,
+    /// Fully-resolved run options (own machine config and seed).
+    pub options: RunOptions,
+}
+
+impl ExperimentCell {
+    /// Runs this cell, resolving the engine through `registry`.
+    ///
+    /// [`EngineKind::TdGraphCustom`] carries run-time configuration that a
+    /// registry key cannot express, so it is the one selection built
+    /// directly instead of by key lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine key is not registered.
+    #[must_use]
+    pub fn run(&self, registry: &EngineRegistry) -> RunResult {
+        let workload = StreamingWorkload::prepare(self.dataset, self.sizing);
+        let algo = self.algo.resolve(&workload);
+        let mut engine = match &self.engine {
+            EngineSel::Kind(kind @ EngineKind::TdGraphCustom(_)) => kind.build(),
+            sel => registry.build(sel.key()).unwrap_or_else(|| {
+                panic!(
+                    "engine '{}' is not registered (known: {})",
+                    sel.key(),
+                    registry.names().collect::<Vec<_>>().join(", ")
+                )
+            }),
+        };
+        run_streaming_workload(engine.as_mut(), algo, workload, &self.options)
+    }
+}
+
+/// A finished cell: its spec, run result, and wall-clock time.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: ExperimentCell,
+    /// Metrics and oracle verdict.
+    pub result: RunResult,
+    /// Wall-clock execution time of the cell (schedule-dependent; excluded
+    /// from [`SweepReport::canonical_lines`]).
+    pub wall: Duration,
+}
+
+/// Stable-ordered results of a sweep (cell order == expansion order).
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Per-cell results, indexed by [`ExperimentCell::index`].
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepReport {
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the report is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether every cell matched the oracle.
+    #[must_use]
+    pub fn all_verified(&self) -> bool {
+        self.cells.iter().all(|c| c.result.verify.is_match())
+    }
+
+    /// Panics with a per-cell description if any cell diverged from the
+    /// oracle.
+    pub fn assert_all_verified(&self) {
+        for c in &self.cells {
+            assert!(
+                c.result.verify.is_match(),
+                "{} {} on {:?} diverged: {:?}",
+                c.cell.engine.key(),
+                c.cell.algo.label(),
+                c.cell.dataset,
+                c.result.verify
+            );
+        }
+    }
+
+    /// The first cell matching dataset, algorithm label, and engine key.
+    #[must_use]
+    pub fn cell(
+        &self,
+        dataset: Dataset,
+        algo_label: &str,
+        engine_key: &str,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.cell.dataset == dataset
+                && c.cell.algo.label() == algo_label
+                && c.cell.engine.key() == engine_key
+        })
+    }
+
+    /// All cells satisfying `pred`, in report order.
+    pub fn select(&self, pred: impl Fn(&CellResult) -> bool) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| pred(c)).collect()
+    }
+
+    /// Canonical timing-free serialization: one JSON line per cell with
+    /// the cell coordinates, the headline metrics, and the oracle verdict.
+    ///
+    /// Two runs of the same spec produce byte-identical canonical lines
+    /// regardless of thread count or schedule — the determinism contract
+    /// the test suite asserts.
+    #[must_use]
+    pub fn canonical_lines(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            let m = &c.result.metrics;
+            out.push_str(&format!(
+                "{{\"cell\":{},\"dataset\":\"{}\",\"sizing\":\"{:?}\",\
+                 \"algo\":\"{}\",\"engine\":\"{}\",\"seed\":{},\
+                 \"cycles\":{},\"propagation_cycles\":{},\"other_cycles\":{},\
+                 \"state_updates\":{},\"useful_updates\":{},\
+                 \"edges_processed\":{},\"dram_bytes\":{},\"batches\":{},\
+                 \"verified\":{}}}\n",
+                c.cell.index,
+                c.cell.dataset.abbrev(),
+                c.cell.sizing,
+                c.cell.algo.label(),
+                c.cell.engine.key(),
+                c.cell.options.seed,
+                m.cycles,
+                m.propagation_cycles,
+                m.other_cycles,
+                m.state_updates,
+                m.useful_updates,
+                m.edges_processed,
+                m.dram_bytes,
+                m.batches,
+                c.result.verify.is_match(),
+            ));
+        }
+        out
+    }
+
+    /// Total wall-clock time across cells (sum, not critical path).
+    #[must_use]
+    pub fn total_wall(&self) -> Duration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+}
+
+/// A JSON-lines progress event emitted by [`SweepRunner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// The sweep started.
+    SweepStarted {
+        /// Total cells to run.
+        cells: usize,
+        /// Worker threads used.
+        threads: usize,
+    },
+    /// A worker picked up a cell.
+    CellStarted {
+        /// Cell index.
+        cell: usize,
+        /// Dataset abbreviation.
+        dataset: &'static str,
+        /// Algorithm label.
+        algo: &'static str,
+        /// Engine registry key.
+        engine: String,
+    },
+    /// A cell finished.
+    CellFinished {
+        /// Cell index.
+        cell: usize,
+        /// Dataset abbreviation.
+        dataset: &'static str,
+        /// Algorithm label.
+        algo: &'static str,
+        /// Engine registry key.
+        engine: String,
+        /// Simulated cycles.
+        cycles: u64,
+        /// Oracle verdict.
+        verified: bool,
+        /// Wall-clock microseconds.
+        wall_micros: u128,
+    },
+    /// The sweep finished.
+    SweepFinished {
+        /// Total cells run.
+        cells: usize,
+        /// Cells that matched the oracle.
+        verified: usize,
+        /// Wall-clock microseconds for the whole sweep.
+        wall_micros: u128,
+    },
+}
+
+impl ProgressEvent {
+    /// Renders the event as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match self {
+            ProgressEvent::SweepStarted { cells, threads } => {
+                format!("{{\"event\":\"sweep_started\",\"cells\":{cells},\"threads\":{threads}}}")
+            }
+            ProgressEvent::CellStarted { cell, dataset, algo, engine } => format!(
+                "{{\"event\":\"cell_started\",\"cell\":{cell},\
+                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
+                 \"engine\":\"{engine}\"}}"
+            ),
+            ProgressEvent::CellFinished {
+                cell,
+                dataset,
+                algo,
+                engine,
+                cycles,
+                verified,
+                wall_micros,
+            } => format!(
+                "{{\"event\":\"cell_finished\",\"cell\":{cell},\
+                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
+                 \"engine\":\"{engine}\",\"cycles\":{cycles},\
+                 \"verified\":{verified},\"wall_micros\":{wall_micros}}}"
+            ),
+            ProgressEvent::SweepFinished { cells, verified, wall_micros } => format!(
+                "{{\"event\":\"sweep_finished\",\"cells\":{cells},\
+                 \"verified\":{verified},\"wall_micros\":{wall_micros}}}"
+            ),
+        }
+    }
+}
+
+type ProgressSink = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// Executes sweeps (and generic index-stable parallel maps) across scoped
+/// worker threads.
+///
+/// Workers pull cells from a shared cursor, so long cells do not starve
+/// the rest of the grid; results land in expansion order regardless of
+/// completion order.
+#[derive(Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    registry: Option<Arc<EngineRegistry>>,
+    progress: Option<ProgressSink>,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("threads", &self.threads)
+            .field("custom_registry", &self.registry.is_some())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available core and the default registry.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+        Self { threads, registry: None, progress: None }
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Replaces the engine registry (default: [`default_registry`]), e.g.
+    /// to add caller-defined engines for [`SweepSpec::engine_named`].
+    #[must_use]
+    pub fn registry(mut self, registry: EngineRegistry) -> Self {
+        self.registry = Some(Arc::new(registry));
+        self
+    }
+
+    /// Installs a progress-event callback.
+    #[must_use]
+    pub fn on_progress(mut self, f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Streams progress events as JSON lines into `writer` (e.g. stderr or
+    /// a log file). Write errors are ignored — observability must not kill
+    /// a sweep.
+    #[must_use]
+    pub fn progress_jsonl(self, writer: impl Write + Send + 'static) -> Self {
+        let writer = Mutex::new(writer);
+        self.on_progress(move |event| {
+            if let Ok(mut w) = writer.lock() {
+                let _ = writeln!(w, "{}", event.to_json_line());
+            }
+        })
+    }
+
+    fn emit(&self, event: &ProgressEvent) {
+        if let Some(p) = &self.progress {
+            p(event);
+        }
+    }
+
+    /// Runs every cell of `spec` and collects the stable-ordered report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names an unregistered engine (checked up front,
+    /// before any cell runs) or if a cell's engine diverges hard enough to
+    /// panic the harness; worker panics propagate to the caller.
+    #[must_use]
+    pub fn run(&self, spec: &SweepSpec) -> SweepReport {
+        let cells = spec.expand();
+        let registry: &EngineRegistry = match &self.registry {
+            Some(r) => r,
+            None => default_registry(),
+        };
+        for cell in &cells {
+            assert!(
+                registry.contains(cell.engine.key()),
+                "engine '{}' is not registered (known: {})",
+                cell.engine.key(),
+                registry.names().collect::<Vec<_>>().join(", ")
+            );
+        }
+
+        let started = Instant::now();
+        self.emit(&ProgressEvent::SweepStarted {
+            cells: cells.len(),
+            threads: self.threads.min(cells.len().max(1)),
+        });
+        let results = self.map(&cells, |_, cell| {
+            self.emit(&ProgressEvent::CellStarted {
+                cell: cell.index,
+                dataset: cell.dataset.abbrev(),
+                algo: cell.algo.label(),
+                engine: cell.engine.key().to_string(),
+            });
+            let t0 = Instant::now();
+            let result = cell.run(registry);
+            let wall = t0.elapsed();
+            self.emit(&ProgressEvent::CellFinished {
+                cell: cell.index,
+                dataset: cell.dataset.abbrev(),
+                algo: cell.algo.label(),
+                engine: cell.engine.key().to_string(),
+                cycles: result.metrics.cycles,
+                verified: result.verify.is_match(),
+                wall_micros: wall.as_micros(),
+            });
+            CellResult { cell: cell.clone(), result, wall }
+        });
+        let report = SweepReport { cells: results };
+        self.emit(&ProgressEvent::SweepFinished {
+            cells: report.len(),
+            verified: report.cells.iter().filter(|c| c.result.verify.is_match()).count(),
+            wall_micros: started.elapsed().as_micros(),
+        });
+        report
+    }
+
+    /// Index-stable parallel map over arbitrary items: applies `f` to each
+    /// item on the worker pool and returns outputs in input order.
+    ///
+    /// This is the primitive `run` is built on; experiments whose unit of
+    /// work is not a simulator cell (native host runs, dataset statistics)
+    /// use it directly.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let threads = self.threads.min(items.len());
+        if threads <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let out = f(i, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdgraph_sim::SimConfig;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new()
+            .datasets([Dataset::Amazon, Dataset::Dblp])
+            .sizing(Sizing::Tiny)
+            .engines([EngineKind::LigraO, EngineKind::TdGraphH])
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            })
+    }
+
+    #[test]
+    fn expansion_covers_the_grid_in_stable_order() {
+        let spec = tiny_spec()
+            .algos([Algo::pagerank(), Algo::cc()])
+            .alphas([0.005, 0.02])
+            .batch_sizes([128]);
+        assert_eq!(spec.cell_count(), (2 * 2 * 2) * 2);
+        let cells = spec.expand();
+        assert_eq!(cells.len(), spec.cell_count());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Outermost axis is the algorithm, innermost the α override.
+        assert_eq!(cells[0].algo.label(), "PageRank");
+        assert_eq!(cells[0].options.alpha, 0.005);
+        assert_eq!(cells[1].options.alpha, 0.02);
+        assert_eq!(cells[8].algo.label(), "CC");
+        assert!(cells.iter().all(|c| c.options.batch_size == Some(128)));
+    }
+
+    #[test]
+    fn unset_axes_inherit_base_options() {
+        let cells = tiny_spec().expand();
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert_eq!(c.options.seed, RunOptions::default().seed);
+            assert_eq!(c.options.alpha, RunOptions::default().alpha);
+            assert_eq!(c.algo, AlgoSel::HubSssp);
+        }
+    }
+
+    #[test]
+    fn runner_runs_and_verifies_in_parallel() {
+        let events: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let report = SweepRunner::new()
+            .threads(2)
+            .on_progress(move |e| sink.lock().unwrap().push(e.to_json_line()))
+            .run(&tiny_spec());
+        assert_eq!(report.len(), 4);
+        report.assert_all_verified();
+        // Stable order: report order equals expansion order.
+        for (i, c) in report.cells.iter().enumerate() {
+            assert_eq!(c.cell.index, i);
+        }
+        let events = events.lock().unwrap();
+        assert!(events[0].contains("sweep_started"));
+        assert!(events.last().unwrap().contains("sweep_finished"));
+        assert_eq!(events.iter().filter(|e| e.contains("cell_finished")).count(), 4);
+        for e in events.iter() {
+            assert!(e.starts_with('{') && e.ends_with('}'), "not a JSON line: {e}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let runner = SweepRunner::new().threads(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = runner.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_named_engine_panics_before_running() {
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine_named("warp-drive");
+        let _ = SweepRunner::new().run(&spec);
+    }
+
+    #[test]
+    fn custom_kind_cells_keep_their_configuration() {
+        use tdgraph_accel::tdgraph::TdGraphConfig;
+        let cfg = TdGraphConfig { vscu_enabled: false, ..TdGraphConfig::default() };
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine(EngineKind::TdGraphCustom(cfg))
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            });
+        let report = SweepRunner::new().run(&spec);
+        report.assert_all_verified();
+        // The cell's config survives key-based resolution: disabling the
+        // VSCU must not fall back to the default ("TDGraph-H") build.
+        assert_eq!(report.cells[0].result.metrics.engine, "TDGraph-H-without");
+    }
+
+    #[test]
+    fn custom_registry_engines_run_by_name() {
+        let mut registry = EngineRegistry::with_software();
+        registry.register("my-ligra", || Box::new(tdgraph_engines::ligra_o::LigraO));
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine_named("my-ligra")
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            });
+        let report = SweepRunner::new().registry(registry).run(&spec);
+        assert_eq!(report.len(), 1);
+        report.assert_all_verified();
+        assert_eq!(report.cells[0].result.metrics.engine, "Ligra-o");
+    }
+}

@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Build the streaming workload (50% preloaded, rest streamed in).
-    let workload =
-        StreamingWorkload::from_edges(loaded.edges, loaded.vertex_count, 42);
+    let workload = StreamingWorkload::from_edges(loaded.edges, loaded.vertex_count, 42);
     let snapshot = workload.initial_snapshot();
     let skew = degree_stats(&snapshot);
     println!(
@@ -47,12 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run both engines over the same stream and compare.
     let algo = Algo::sssp(workload.hub_vertex());
-    let opts = RunOptions { sim: SimConfig::scaled_reference(), batches: 3, ..RunOptions::default() };
-    let rebuild = || StreamingWorkload::from_edges(
-        load_edge_list(&path).expect("file still present").edges,
-        loaded.vertex_count,
-        42,
-    );
+    let opts =
+        RunOptions { sim: SimConfig::scaled_reference(), batches: 3, ..RunOptions::default() };
+    let rebuild = || {
+        StreamingWorkload::from_edges(
+            load_edge_list(&path).expect("file still present").edges,
+            loaded.vertex_count,
+            42,
+        )
+    };
 
     let mut baseline = EngineKind::LigraO.build();
     let base = run_streaming_workload(baseline.as_mut(), algo, rebuild(), &opts);

@@ -13,16 +13,15 @@ use tdgraph::algos::tap::NullTap;
 use tdgraph::algos::traits::Algo;
 use tdgraph::algos::verify::compare;
 use tdgraph::graph::datasets::{Dataset, Sizing, StreamingWorkload};
-use tdgraph::graph::update::BatchComposer;
 use tdgraph::graph::types::VertexId;
+use tdgraph::graph::update::BatchComposer;
 
 fn main() {
     let StreamingWorkload { mut graph, pending, .. } =
         StreamingWorkload::prepare(Dataset::Dblp, Sizing::Small);
     let snapshot = graph.snapshot();
-    let source = (0..snapshot.vertex_count() as VertexId)
-        .max_by_key(|&v| snapshot.degree(v))
-        .unwrap_or(0);
+    let source =
+        (0..snapshot.vertex_count() as VertexId).max_by_key(|&v| snapshot.degree(v)).unwrap_or(0);
     let algo = Algo::sssp(source);
     println!(
         "initial snapshot: {} vertices, {} edges, SSSP source = hub {}",
@@ -32,8 +31,7 @@ fn main() {
     );
 
     let mut state = AlgoState::from_solution(solve(&algo, &snapshot), snapshot.vertex_count());
-    let reachable =
-        state.states.iter().filter(|s| s.is_finite()).count();
+    let reachable = state.states.iter().filter(|s| s.is_finite()).count();
     println!("initial fixed point: {reachable} reachable vertices");
 
     // Stream five mixed batches (75 % additions / 25 % deletions).
@@ -47,14 +45,8 @@ fn main() {
         let applied = graph.apply_batch(&batch).expect("composer emits valid batches");
         let snapshot = graph.snapshot();
         let transpose = snapshot.transpose();
-        let affected = seed_after_batch(
-            &algo,
-            &snapshot,
-            &transpose,
-            &mut state,
-            &applied,
-            &mut NullTap,
-        );
+        let affected =
+            seed_after_batch(&algo, &snapshot, &transpose, &mut state, &applied, &mut NullTap);
 
         // Reference propagation to the new fixpoint (what an engine does
         // with its own schedule).

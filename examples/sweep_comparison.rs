@@ -1,0 +1,49 @@
+//! Sweep API: run a dataset × engine grid across worker threads with
+//! JSON-lines progress on stderr, then print per-dataset speedups.
+//!
+//! ```text
+//! cargo run --release --example sweep_comparison
+//! ```
+
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::{EngineKind, SweepRunner, SweepSpec};
+
+fn main() {
+    // Axes: 3 datasets × 1 algorithm (hub SSSP, the methodology default)
+    // × 3 engines = 9 independent cells. Each cell carries its own fully
+    // resolved options and seed, so the grid can run on any number of
+    // threads and still produce the same numbers.
+    let engines = [EngineKind::LigraO, EngineKind::TdGraphS, EngineKind::TdGraphH];
+    let spec = SweepSpec::new()
+        .datasets([Dataset::Amazon, Dataset::Dblp, Dataset::Gplus])
+        .sizing(Sizing::Small)
+        .engines(engines)
+        .tune(|o| o.batches = 2);
+
+    let report = SweepRunner::new()
+        .progress_jsonl(std::io::stderr()) // one JSON line per event
+        .run(&spec);
+    report.assert_all_verified();
+
+    println!(
+        "{} cells in {:.2}s of simulation work",
+        report.len(),
+        report.total_wall().as_secs_f64()
+    );
+    println!("{:<6} {:<12} {:>12} {:>9}", "ds", "engine", "cycles", "speedup");
+    // Expansion order puts each dataset's engines consecutively, with the
+    // baseline first.
+    for group in report.cells.chunks(engines.len()) {
+        let base = group[0].result.metrics.cycles.max(1);
+        for cell in group {
+            let m = &cell.result.metrics;
+            println!(
+                "{:<6} {:<12} {:>12} {:>8.2}x",
+                cell.cell.dataset.abbrev(),
+                m.engine,
+                m.cycles,
+                base as f64 / m.cycles.max(1) as f64
+            );
+        }
+    }
+}

@@ -28,13 +28,11 @@ const ALL_ENGINES: [EngineKind; 16] = [
 ];
 
 fn experiment(algo: Option<Algo>) -> Experiment {
-    let mut e = Experiment::new(Dataset::Amazon)
-        .sizing(Sizing::Tiny)
-        .options(RunOptions {
-            sim: SimConfig::small_test(),
-            batches: 2,
-            ..RunOptions::default()
-        });
+    let mut e = Experiment::new(Dataset::Amazon).sizing(Sizing::Tiny).options(RunOptions {
+        sim: SimConfig::small_test(),
+        batches: 2,
+        ..RunOptions::default()
+    });
     if let Some(a) = algo {
         e = e.algorithm(a);
     }
@@ -82,11 +80,7 @@ fn all_engines_agree_under_deletion_heavy_stream() {
     let e = experiment(None).tune(|o| o.add_fraction = 0.2);
     for kind in ALL_ENGINES {
         let res = e.run(kind);
-        assert!(
-            res.verify.is_match(),
-            "{kind:?} diverged under deletions: {:?}",
-            res.verify
-        );
+        assert!(res.verify.is_match(), "{kind:?} diverged under deletions: {:?}", res.verify);
     }
 }
 

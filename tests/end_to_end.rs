@@ -13,9 +13,7 @@ fn tiny_options() -> RunOptions {
 
 #[test]
 fn full_pipeline_baseline_vs_accelerator() {
-    let experiment = Experiment::new(Dataset::Amazon)
-        .sizing(Sizing::Tiny)
-        .options(tiny_options());
+    let experiment = Experiment::new(Dataset::Amazon).sizing(Sizing::Tiny).options(tiny_options());
     let baseline = experiment.run(EngineKind::LigraO);
     let tdgraph = experiment.run(EngineKind::TdGraphH);
 
@@ -35,21 +33,14 @@ fn pipeline_works_for_every_algorithm_category() {
             .algorithm(algo)
             .options(tiny_options())
             .run(EngineKind::TdGraphH);
-        assert!(
-            res.verify.is_match(),
-            "{} diverged end-to-end: {:?}",
-            algo.name(),
-            res.verify
-        );
+        assert!(res.verify.is_match(), "{} diverged end-to-end: {:?}", algo.name(), res.verify);
         assert_eq!(res.metrics.algo, algo.name());
     }
 }
 
 #[test]
 fn deterministic_across_repeated_runs() {
-    let experiment = Experiment::new(Dataset::Gplus)
-        .sizing(Sizing::Tiny)
-        .options(tiny_options());
+    let experiment = Experiment::new(Dataset::Gplus).sizing(Sizing::Tiny).options(tiny_options());
     let a = experiment.run(EngineKind::TdGraphH);
     let b = experiment.run(EngineKind::TdGraphH);
     assert_eq!(a.metrics.cycles, b.metrics.cycles, "simulation must be deterministic");

@@ -7,12 +7,7 @@ use tdgraph::graph::update::{BatchError, EdgeUpdate, UpdateBatch};
 
 fn base_graph() -> StreamingGraph {
     let mut g = StreamingGraph::with_capacity(8);
-    g.insert_edges([
-        Edge::new(0, 1, 1.0),
-        Edge::new(1, 2, 1.0),
-        Edge::new(2, 3, 1.0),
-    ])
-    .unwrap();
+    g.insert_edges([Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)]).unwrap();
     g
 }
 
@@ -63,8 +58,7 @@ fn deleting_an_absent_edge_fails_atomically() {
 fn out_of_range_vertices_fail_atomically() {
     let mut g = base_graph();
     let count_before = g.edge_count();
-    let batch =
-        UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 100, 1.0)]).unwrap();
+    let batch = UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 100, 1.0)]).unwrap();
     assert!(matches!(
         g.apply_batch(&batch),
         Err(ApplyError::VertexOutOfBounds { vertex: 100, .. })

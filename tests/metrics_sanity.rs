@@ -7,13 +7,11 @@ use tdgraph::{EngineKind, Experiment, RunOptions};
 use tdgraph_sim::SimConfig;
 
 fn experiment() -> Experiment {
-    Experiment::new(Dataset::Dblp)
-        .sizing(Sizing::Tiny)
-        .options(RunOptions {
-            sim: SimConfig::small_test(),
-            batches: 2,
-            ..RunOptions::default()
-        })
+    Experiment::new(Dataset::Dblp).sizing(Sizing::Tiny).options(RunOptions {
+        sim: SimConfig::small_test(),
+        batches: 2,
+        ..RunOptions::default()
+    })
 }
 
 #[test]
@@ -90,10 +88,7 @@ fn speedup_and_perf_per_watt_helpers_are_consistent() {
 #[test]
 fn bandwidth_starvation_increases_cycles() {
     let base = experiment().run(EngineKind::LigraO).metrics.cycles;
-    let starved = experiment()
-        .tune(|o| o.sim.memory.channels = 1)
-        .run(EngineKind::LigraO)
-        .metrics
-        .cycles;
+    let starved =
+        experiment().tune(|o| o.sim.memory.channels = 1).run(EngineKind::LigraO).metrics.cycles;
     assert!(starved >= base, "fewer channels cannot speed the run up");
 }

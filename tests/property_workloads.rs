@@ -18,9 +18,8 @@ use tdgraph::graph::update::{EdgeUpdate, UpdateBatch};
 const N: u32 = 24;
 
 fn arb_edge() -> impl Strategy<Value = Edge> {
-    (0..N, 0..N, 1u32..5).prop_filter_map("no self-loops", |(s, d, w)| {
-        (s != d).then(|| Edge::new(s, d, w as f32))
-    })
+    (0..N, 0..N, 1u32..5)
+        .prop_filter_map("no self-loops", |(s, d, w)| (s != d).then(|| Edge::new(s, d, w as f32)))
 }
 
 fn arb_graph_edges() -> impl Strategy<Value = Vec<Edge>> {
