@@ -22,14 +22,17 @@
 //! use tdgraph_engines::harness::{run_streaming, RunOptions};
 //! use tdgraph_graph::datasets::{Dataset, Sizing};
 //!
+//! # fn main() -> Result<(), tdgraph_engines::error::EngineError> {
 //! let res = run_streaming(
 //!     &mut TdGraph::hardware(),
 //!     Algo::sssp(0),
 //!     Dataset::Amazon,
 //!     Sizing::Tiny,
 //!     &RunOptions::small(),
-//! );
+//! )?;
 //! assert!(res.verify.is_match());
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod area;

@@ -31,10 +31,11 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     let report = SweepRunner::new().run(&spec);
     report.assert_all_verified();
     for group in report.cells.chunks(ENGINES.len()) {
-        let base = &group[0].result.metrics;
+        // `assert_all_verified` above guarantees every cell completed.
+        let base = group[0].metrics().expect("cell completed");
         let (base_cycles, base_updates) = (base.cycles.max(1), base.state_updates.max(1));
         for c in group {
-            let m = &c.result.metrics;
+            let m = c.metrics().expect("cell completed");
             lines.push(format!(
                 "{:<11} {:<4} {:<12} {:>11} {:>9.3} {:>6.1}% {:>9.3} {:>8.1}% {:>8.1}%",
                 c.cell.algo.label(),

@@ -24,10 +24,11 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     let report = SweepRunner::new().run(&spec);
     report.assert_all_verified();
     for group in report.cells.chunks(ENGINES.len()) {
-        let base = group[0].result.metrics.cycles.max(1);
-        let without = group[1].result.metrics.cycles.max(1);
+        // `assert_all_verified` above guarantees every cell completed.
+        let base = group[0].metrics().expect("cell completed").cycles.max(1);
+        let without = group[1].metrics().expect("cell completed").cycles.max(1);
         for c in group {
-            let m = &c.result.metrics;
+            let m = c.metrics().expect("cell completed");
             let vscu_gain = if c.cell.engine.key() == EngineKind::TdGraphH.key() {
                 format!("{:>9.2}x", without as f64 / m.cycles.max(1) as f64)
             } else {

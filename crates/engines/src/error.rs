@@ -1,0 +1,115 @@
+//! Typed errors for the engine layer.
+//!
+//! [`EngineError`] covers every way a streaming run can fail before or
+//! during execution: an engine key that resolves to nothing, run options
+//! that are out of range, an invalid machine configuration, or a graph-
+//! layer failure while applying updates. The sweep runner converts these
+//! into per-cell outcomes instead of letting them abort a worker thread.
+
+use std::error::Error;
+use std::fmt;
+
+use tdgraph_graph::error::GraphError;
+use tdgraph_graph::streaming::ApplyError;
+use tdgraph_graph::update::BatchError;
+use tdgraph_sim::SimError;
+
+/// Any error produced by the engine layer.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A registry lookup found no engine under the requested key.
+    UnknownEngine {
+        /// The key that failed to resolve.
+        key: String,
+        /// Every key the registry does know, in registration order.
+        known: Vec<String>,
+    },
+    /// Run options failed validation (e.g. `add_fraction` outside `[0, 1]`).
+    InvalidOptions {
+        /// Human-readable description of the invalid option.
+        reason: String,
+    },
+    /// The graph substrate failed (batch validation, update application).
+    Graph(GraphError),
+    /// The machine configuration is inconsistent.
+    Sim(SimError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownEngine { key, known } => {
+                write!(f, "engine '{key}' is not registered (known: {})", known.join(", "))
+            }
+            EngineError::InvalidOptions { reason } => {
+                write!(f, "invalid run options: {reason}")
+            }
+            EngineError::Graph(e) => write!(f, "graph error during run: {e}"),
+            EngineError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Graph(e) => Some(e),
+            EngineError::Sim(e) => Some(e),
+            EngineError::UnknownEngine { .. } | EngineError::InvalidOptions { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<ApplyError> for EngineError {
+    fn from(e: ApplyError) -> Self {
+        EngineError::Graph(e.into())
+    }
+}
+
+impl From<BatchError> for EngineError {
+    fn from(e: BatchError) -> Self {
+        EngineError::Graph(e.into())
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_engine_lists_known_keys() {
+        let e = EngineError::UnknownEngine {
+            key: "warp-drive".into(),
+            known: vec!["ligra-o".into(), "dzig".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("warp-drive"));
+        assert!(msg.contains("ligra-o, dzig"));
+    }
+
+    #[test]
+    fn graph_errors_convert_with_source() {
+        let e: EngineError = ApplyError::MissingEdge { src: 0, dst: 1 }.into();
+        assert!(matches!(e, EngineError::Graph(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: EngineError =
+            SimError::InvalidConfig { field: "cores", reason: "zero".into() }.into();
+        assert!(e.to_string().contains("cores"));
+    }
+}

@@ -22,6 +22,7 @@ use tdgraph_sim::stats::{Actor, Op, PhaseKind};
 
 use crate::ctx::{BatchCtx, MachineTap};
 use crate::engine::Engine;
+use crate::error::EngineError;
 use crate::metrics::{RunMetrics, UpdateCounters};
 
 /// Options controlling a streaming run.
@@ -75,24 +76,55 @@ pub struct RunResult {
 }
 
 /// Runs `engine` with `algo` over the streaming workload of `dataset`.
+///
+/// # Errors
+///
+/// Same as [`run_streaming_workload`].
 pub fn run_streaming<E: Engine + ?Sized>(
     engine: &mut E,
     algo: Algo,
     dataset: Dataset,
     sizing: Sizing,
     opts: &RunOptions,
-) -> RunResult {
-    let workload = StreamingWorkload::prepare(dataset, sizing);
+) -> Result<RunResult, EngineError> {
+    let workload = StreamingWorkload::try_prepare(dataset, sizing)?;
     run_streaming_workload(engine, algo, workload, opts)
 }
 
+/// Validates run options before any simulation work starts, so a bad
+/// configuration is a typed error rather than a mid-run panic.
+fn validate_options(opts: &RunOptions) -> Result<(), EngineError> {
+    if !(0.0..=1.0).contains(&opts.add_fraction) {
+        return Err(EngineError::InvalidOptions {
+            reason: format!("add_fraction must be in [0, 1], got {}", opts.add_fraction),
+        });
+    }
+    if !(opts.alpha.is_finite() && opts.alpha > 0.0) {
+        return Err(EngineError::InvalidOptions {
+            reason: format!("alpha must be positive and finite, got {}", opts.alpha),
+        });
+    }
+    if opts.chunks_per_core == 0 {
+        return Err(EngineError::InvalidOptions { reason: "chunks_per_core must be >= 1".into() });
+    }
+    opts.sim.try_validate()?;
+    Ok(())
+}
+
 /// Runs over an already-prepared workload (lets callers customize graphs).
+///
+/// # Errors
+///
+/// [`EngineError::InvalidOptions`] or [`EngineError::Sim`] if `opts` fail
+/// validation, [`EngineError::Graph`] if an update batch cannot be applied
+/// to the graph (e.g. an out-of-range vertex id in caller-provided data).
 pub fn run_streaming_workload<E: Engine + ?Sized>(
     engine: &mut E,
     algo: Algo,
     workload: StreamingWorkload,
     opts: &RunOptions,
-) -> RunResult {
+) -> Result<RunResult, EngineError> {
+    validate_options(opts)?;
     let StreamingWorkload { mut graph, pending, .. } = workload;
     let n = graph.vertex_count();
     let edge_capacity = graph.edge_count() + pending.len();
@@ -120,7 +152,7 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
         let Some(batch) = composer.next_batch(batch_size, &present) else {
             break;
         };
-        let applied = graph.apply_batch(&batch).expect("composer emits valid batches");
+        let applied = graph.apply_batch(&batch)?;
         let snapshot = graph.snapshot();
         let transpose = snapshot.transpose();
         let chunks = partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
@@ -204,7 +236,7 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
         machine: stats,
         batches: batches_done,
     };
-    RunResult { metrics, verify }
+    Ok(RunResult { metrics, verify })
 }
 
 #[cfg(test)]
@@ -221,7 +253,8 @@ mod tests {
                 Dataset::Amazon,
                 Sizing::Tiny,
                 &RunOptions::small(),
-            );
+            )
+            .unwrap();
             assert!(res.verify.is_match(), "{} failed verification: {:?}", algo.name(), res.verify);
             assert!(res.metrics.cycles > 0);
             assert_eq!(res.metrics.batches, 2);
@@ -236,7 +269,8 @@ mod tests {
             Dataset::Dblp,
             Sizing::Tiny,
             &RunOptions::small(),
-        );
+        )
+        .unwrap();
         let m = &res.metrics;
         assert_eq!(m.cycles, m.propagation_cycles + m.other_cycles);
         assert!(m.useful_updates <= m.state_updates);
@@ -249,7 +283,8 @@ mod tests {
         let mut opts = RunOptions::small();
         opts.add_fraction = 0.2;
         for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank()] {
-            let res = run_streaming(&mut LigraO, algo, Dataset::Amazon, Sizing::Tiny, &opts);
+            let res =
+                run_streaming(&mut LigraO, algo, Dataset::Amazon, Sizing::Tiny, &opts).unwrap();
             assert!(
                 res.verify.is_match(),
                 "{} deletion-heavy failed: {:?}",
@@ -257,5 +292,24 @@ mod tests {
                 res.verify
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_add_fraction_is_a_typed_error() {
+        let mut opts = RunOptions::small();
+        opts.add_fraction = 1.5;
+        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
+        assert!(err.to_string().contains("add_fraction"));
+    }
+
+    #[test]
+    fn invalid_machine_config_is_a_typed_error() {
+        let mut opts = RunOptions::small();
+        opts.sim.mesh_dim = 1; // cannot host 4 cores
+        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Sim(_)), "got {err}");
     }
 }

@@ -14,7 +14,9 @@
 //! * [`dzig::Dzig`] — sparsity-aware synchronous refinement.
 //!
 //! [`harness::run_streaming`] reproduces the §4.1 methodology end to end
-//! and verifies every run against the from-scratch oracle.
+//! and verifies every run against the from-scratch oracle. Fallible setup
+//! (bad options, invalid machine, unapplicable batches) surfaces as a
+//! typed [`error::EngineError`] instead of a panic.
 //!
 //! # Example
 //!
@@ -24,20 +26,28 @@
 //! use tdgraph_algos::traits::Algo;
 //! use tdgraph_graph::datasets::{Dataset, Sizing};
 //!
+//! # fn main() -> Result<(), tdgraph_engines::error::EngineError> {
 //! let res = run_streaming(
 //!     &mut LigraO,
 //!     Algo::sssp(0),
 //!     Dataset::Amazon,
 //!     Sizing::Tiny,
 //!     &RunOptions::small(),
-//! );
+//! )?;
 //! assert!(res.verify.is_match());
+//! # Ok(())
+//! # }
 //! ```
+
+// Robustness gate: non-test engine code must route failures through typed
+// errors, never unwrap/expect (CHANGES PR 2; enforced by CI clippy).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod common;
 pub mod ctx;
 pub mod dzig;
 pub mod engine;
+pub mod error;
 pub mod graphbolt;
 pub mod harness;
 pub mod kickstarter;
@@ -49,6 +59,7 @@ pub mod testutil;
 
 pub use ctx::BatchCtx;
 pub use engine::Engine;
+pub use error::EngineError;
 pub use harness::{run_streaming, run_streaming_workload, RunOptions, RunResult};
 pub use metrics::{RunMetrics, UpdateCounters};
 pub use registry::{EngineFactory, EngineRegistry};

@@ -15,6 +15,7 @@ use std::fmt;
 
 use crate::dzig::Dzig;
 use crate::engine::Engine;
+use crate::error::EngineError;
 use crate::graphbolt::GraphBolt;
 use crate::kickstarter::KickStarter;
 use crate::ligra_do::LigraDO;
@@ -79,6 +80,21 @@ impl EngineRegistry {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, f)| f())
     }
 
+    /// Instantiates the engine registered under `key`, reporting an
+    /// unresolved key as a typed [`EngineError::UnknownEngine`] that names
+    /// every registered key — the error sweeps record per cell instead of
+    /// panicking a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownEngine`] if `key` is not registered.
+    pub fn try_build(&self, key: &str) -> Result<Box<dyn Engine>, EngineError> {
+        self.build(key).ok_or_else(|| EngineError::UnknownEngine {
+            key: key.to_string(),
+            known: self.names().map(String::from).collect(),
+        })
+    }
+
     /// Whether `key` is registered.
     #[must_use]
     pub fn contains(&self, key: &str) -> bool {
@@ -130,6 +146,22 @@ mod tests {
         let r = EngineRegistry::with_software();
         assert!(r.build("warp-drive").is_none());
         assert!(!r.contains("warp-drive"));
+    }
+
+    #[test]
+    fn try_build_reports_unknown_keys_with_the_known_set() {
+        let r = EngineRegistry::with_software();
+        assert!(r.try_build("ligra-o").is_ok());
+        let Err(err) = r.try_build("warp-drive") else {
+            panic!("expected an unknown-engine error");
+        };
+        match err {
+            EngineError::UnknownEngine { key, known } => {
+                assert_eq!(key, "warp-drive");
+                assert_eq!(known, SOFTWARE_KEYS.map(String::from).to_vec());
+            }
+            other => panic!("expected UnknownEngine, got {other}"),
+        }
     }
 
     #[test]

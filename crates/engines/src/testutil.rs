@@ -1,11 +1,18 @@
 //! Test support: oracle-convergence checks shared by engine unit tests
-//! (also used by the accelerator crate's tests).
+//! (also used by the accelerator crate's tests), plus [`FaultyEngine`] —
+//! a configurable misbehaving engine for fault-injection suites.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
 
 use tdgraph_algos::traits::Algo;
 use tdgraph_graph::datasets::{Dataset, Sizing};
+use tdgraph_graph::types::VertexId;
 
+use crate::ctx::BatchCtx;
 use crate::engine::Engine;
 use crate::harness::{run_streaming, RunOptions};
+use crate::ligra_o::LigraO;
 
 /// Runs `engine` end-to-end on a tiny streaming workload and asserts the
 /// final states match the from-scratch oracle.
@@ -14,7 +21,8 @@ use crate::harness::{run_streaming, RunOptions};
 ///
 /// Panics on verification failure.
 pub fn converges_to_oracle<E: Engine>(engine: &mut E, algo: Algo) {
-    let res = run_streaming(engine, algo, Dataset::Amazon, Sizing::Tiny, &RunOptions::small());
+    let res = run_streaming(engine, algo, Dataset::Amazon, Sizing::Tiny, &RunOptions::small())
+        .expect("harness run failed");
     assert!(
         res.verify.is_match(),
         "{} on {} diverged from oracle: {:?}",
@@ -33,7 +41,8 @@ pub fn converges_to_oracle<E: Engine>(engine: &mut E, algo: Algo) {
 pub fn converges_with_deletions<E: Engine>(engine: &mut E, algo: Algo) {
     let mut opts = RunOptions::small();
     opts.add_fraction = 0.25;
-    let res = run_streaming(engine, algo, Dataset::Dblp, Sizing::Tiny, &opts);
+    let res = run_streaming(engine, algo, Dataset::Dblp, Sizing::Tiny, &opts)
+        .expect("harness run failed");
     assert!(
         res.verify.is_match(),
         "{} on {} (deletion-heavy) diverged: {:?}",
@@ -41,4 +50,104 @@ pub fn converges_with_deletions<E: Engine>(engine: &mut E, algo: Algo) {
         algo.name(),
         res.verify
     );
+}
+
+/// How a [`FaultyEngine`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Behave exactly like the wrapped baseline (control cells).
+    None,
+    /// Panic when processing the batch with this 0-based index.
+    PanicOnBatch(usize),
+    /// Sleep for the given duration before processing the batch with this
+    /// 0-based index (triggers sweep watchdog timeouts).
+    SleepOnBatch(usize, Duration),
+    /// Corrupt the vertex states after processing the batch with this
+    /// 0-based index, so the run completes but fails oracle verification.
+    WrongStatesOnBatch(usize),
+}
+
+/// A deliberately misbehaving engine for fault-isolation tests: it wraps
+/// the Ligra-o baseline and injects one fault according to its
+/// [`FaultMode`]. Registered through an
+/// [`EngineRegistry`](crate::registry::EngineRegistry) like any real
+/// engine, it exercises panic containment, watchdog timeouts, and
+/// divergence reporting in the sweep layer.
+#[derive(Debug)]
+pub struct FaultyEngine {
+    inner: LigraO,
+    mode: FaultMode,
+    batches_seen: usize,
+}
+
+impl FaultyEngine {
+    /// Creates a faulty engine with the given fault mode.
+    #[must_use]
+    pub fn new(mode: FaultMode) -> Self {
+        Self { inner: LigraO, mode, batches_seen: 0 }
+    }
+}
+
+impl Engine for FaultyEngine {
+    fn name(&self) -> &'static str {
+        "Faulty"
+    }
+
+    fn process_batch(&mut self, ctx: &mut BatchCtx<'_>, affected: &[VertexId]) {
+        let batch = self.batches_seen;
+        self.batches_seen += 1;
+        match self.mode {
+            FaultMode::None | FaultMode::WrongStatesOnBatch(_) => {}
+            FaultMode::PanicOnBatch(n) if batch == n => {
+                panic!("injected fault: engine panic on batch {n}")
+            }
+            FaultMode::SleepOnBatch(n, d) if batch == n => std::thread::sleep(d),
+            FaultMode::PanicOnBatch(_) | FaultMode::SleepOnBatch(_, _) => {}
+        }
+        self.inner.process_batch(ctx, affected);
+        if self.mode == FaultMode::WrongStatesOnBatch(batch) {
+            for s in &mut ctx.state.states {
+                *s = -1234.5;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_engine_none_mode_is_transparent() {
+        converges_to_oracle(&mut FaultyEngine::new(FaultMode::None), Algo::sssp(0));
+    }
+
+    #[test]
+    fn faulty_engine_panics_on_requested_batch() {
+        let res = std::panic::catch_unwind(|| {
+            let mut e = FaultyEngine::new(FaultMode::PanicOnBatch(0));
+            run_streaming(
+                &mut e,
+                Algo::sssp(0),
+                Dataset::Amazon,
+                Sizing::Tiny,
+                &RunOptions::small(),
+            )
+        });
+        assert!(res.is_err(), "expected the injected panic to surface");
+    }
+
+    #[test]
+    fn faulty_engine_wrong_states_fail_verification() {
+        let mut e = FaultyEngine::new(FaultMode::WrongStatesOnBatch(1));
+        let res = run_streaming(
+            &mut e,
+            Algo::sssp(0),
+            Dataset::Amazon,
+            Sizing::Tiny,
+            &RunOptions::small(),
+        )
+        .unwrap();
+        assert!(!res.verify.is_match(), "corrupted states must diverge from the oracle");
+    }
 }

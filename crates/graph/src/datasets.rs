@@ -7,6 +7,7 @@
 //! the Table 2 runner can print paper-vs-generated side by side.
 
 use crate::csr::Csr;
+use crate::error::GraphError;
 use crate::generate::{ClusteredRmat, RmatConfig};
 use crate::prng::Xoshiro256StarStar;
 use crate::streaming::StreamingGraph;
@@ -149,6 +150,22 @@ impl StreamingWorkload {
     /// contiguous-range chunking relies on.
     #[must_use]
     pub fn prepare(dataset: Dataset, sizing: Sizing) -> Self {
+        match Self::try_prepare(dataset, sizing) {
+            Ok(w) => w,
+            Err(e) => panic!("generated workload for {dataset:?} is invalid: {e}"),
+        }
+    }
+
+    /// Like [`StreamingWorkload::prepare`] but returns construction errors
+    /// as data instead of panicking. Generated profiles are in bounds by
+    /// construction, so this only fails if a generator invariant is broken —
+    /// sweep cells use it so even that failure stays contained to one cell.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Apply`] if an edge endpoint falls outside the profile's
+    /// vertex range.
+    pub fn try_prepare(dataset: Dataset, sizing: Sizing) -> Result<Self, GraphError> {
         let cfg = dataset.profile(sizing);
         let mut edges = cfg.edges();
         let mut rng = Xoshiro256StarStar::new(cfg.community.seed ^ 0x5EED);
@@ -156,8 +173,8 @@ impl StreamingWorkload {
         let half = edges.len() / 2;
         let pending = edges.split_off(half);
         let mut graph = StreamingGraph::with_capacity(cfg.vertex_count());
-        graph.insert_edges(edges).expect("generated edges are in bounds by construction");
-        Self { graph, pending, dataset }
+        graph.insert_edges(edges)?;
+        Ok(Self { graph, pending, dataset })
     }
 
     /// Default batch size: the paper uses 100 K updates on full-size graphs;
@@ -176,16 +193,53 @@ impl StreamingWorkload {
     /// Builds a workload from caller-provided edges (e.g. a real SNAP file
     /// loaded through [`crate::io::load_edge_list`]): shuffles with `seed`
     /// and loads the first half, exactly like [`StreamingWorkload::prepare`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= vertex_count`. Caller-provided
+    /// data should prefer [`StreamingWorkload::try_from_edges`], which
+    /// reports the offending vertex instead.
     #[must_use]
-    pub fn from_edges(mut edges: Vec<Edge>, vertex_count: usize, seed: u64) -> Self {
+    pub fn from_edges(edges: Vec<Edge>, vertex_count: usize, seed: u64) -> Self {
+        match Self::try_from_edges(edges, vertex_count, seed) {
+            Ok(w) => w,
+            Err(e) => panic!("caller-provided edges are out of bounds: {e}"),
+        }
+    }
+
+    /// Fallible form of [`StreamingWorkload::from_edges`] for untrusted
+    /// input: an endpoint outside `0..vertex_count` becomes a typed error
+    /// instead of a panic, so a bad dataset fails one sweep cell rather
+    /// than the whole process.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Apply`] naming the out-of-range vertex.
+    pub fn try_from_edges(
+        mut edges: Vec<Edge>,
+        vertex_count: usize,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
         let mut rng = Xoshiro256StarStar::new(seed ^ 0x5EED);
         rng.shuffle(&mut edges);
         let half = edges.len() / 2;
         let pending = edges.split_off(half);
         let mut graph = StreamingGraph::with_capacity(vertex_count);
-        graph.insert_edges(edges).expect("caller-provided edges are in bounds");
+        graph.insert_edges(edges)?;
+        // Pending edges stream in later; validate them now so the failure
+        // surfaces at construction, not mid-run.
+        for e in &pending {
+            if e.src as usize >= vertex_count || e.dst as usize >= vertex_count {
+                let vertex = if e.src as usize >= vertex_count { e.src } else { e.dst };
+                return Err(crate::streaming::ApplyError::VertexOutOfBounds {
+                    vertex,
+                    vertex_count,
+                }
+                .into());
+            }
+        }
         // Dataset tag is nominal for external data.
-        Self { graph, pending, dataset: Dataset::Friendster }
+        Ok(Self { graph, pending, dataset: Dataset::Friendster })
     }
 
     /// The highest-out-degree vertex of the loaded graph — the natural
@@ -253,6 +307,31 @@ mod tests {
     fn default_batch_size_has_floor() {
         let w = StreamingWorkload::prepare(Dataset::Amazon, Sizing::Tiny);
         assert!(w.default_batch_size() >= 64);
+    }
+
+    #[test]
+    fn try_from_edges_rejects_out_of_range_endpoints() {
+        let edges: Vec<Edge> = (0..8).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        // vertex_count 4 leaves ids 4..=8 out of range; half land in the
+        // loaded graph, half in the pending pool — both must be caught.
+        let err = StreamingWorkload::try_from_edges(edges, 4, 7).unwrap_err();
+        assert!(matches!(err, GraphError::Apply(_)), "got {err}");
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn try_from_edges_accepts_in_range_edges() {
+        let edges: Vec<Edge> = (0..8).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let w = StreamingWorkload::try_from_edges(edges, 16, 7).unwrap();
+        assert_eq!(w.graph.edge_count() + w.pending.len(), 8);
+    }
+
+    #[test]
+    fn try_prepare_matches_prepare() {
+        let a = StreamingWorkload::prepare(Dataset::Amazon, Sizing::Tiny);
+        let b = StreamingWorkload::try_prepare(Dataset::Amazon, Sizing::Tiny).unwrap();
+        assert_eq!(a.pending, b.pending);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub enum LoadError {
         /// The offending content.
         content: String,
     },
+    /// A vertex id parsed but does not fit in [`VertexId`]; truncating it
+    /// would silently alias two distinct vertices.
+    TooManyVertices {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range id as parsed.
+        id: u64,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -58,6 +66,11 @@ impl fmt::Display for LoadError {
             LoadError::Parse { line, content } => {
                 write!(f, "unparsable edge at line {line}: {content:?}")
             }
+            LoadError::TooManyVertices { line, id } => write!(
+                f,
+                "vertex id {id} at line {line} exceeds the {}-bit VertexId range",
+                VertexId::BITS
+            ),
         }
     }
 }
@@ -66,7 +79,7 @@ impl Error for LoadError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             LoadError::Io(e) => Some(e),
-            LoadError::Parse { .. } => None,
+            LoadError::Parse { .. } | LoadError::TooManyVertices { .. } => None,
         }
     }
 }
@@ -112,9 +125,15 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, LoadError> 
         let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
             return Err(LoadError::Parse { line: idx + 1, content: line.clone() });
         };
-        let (Ok(src), Ok(dst)) = (a.parse::<VertexId>(), b.parse::<VertexId>()) else {
+        // Parse at full u64 width first so an id past the VertexId range is
+        // reported as an overflow, not truncated or misread as garbage.
+        let (Ok(src64), Ok(dst64)) = (a.parse::<u64>(), b.parse::<u64>()) else {
             return Err(LoadError::Parse { line: idx + 1, content: line.clone() });
         };
+        let src = VertexId::try_from(src64)
+            .map_err(|_| LoadError::TooManyVertices { line: idx + 1, id: src64 })?;
+        let dst = VertexId::try_from(dst64)
+            .map_err(|_| LoadError::TooManyVertices { line: idx + 1, id: dst64 })?;
         let weight = match parts.next() {
             Some(w) => w
                 .parse::<f32>()
@@ -221,6 +240,29 @@ mod tests {
         assert_eq!(loaded.edges, edges);
         assert_eq!(loaded.vertex_count, 3);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn vertex_id_overflow_is_reported_not_truncated() {
+        // 2^33 parses as u64 but cannot be a 32-bit VertexId; a silent
+        // `as u32` cast would alias it onto vertex 0.
+        let err = parse_edge_list(Cursor::new("0 1\n8589934592 2\n")).unwrap_err();
+        match err {
+            LoadError::TooManyVertices { line, id } => {
+                assert_eq!(line, 2);
+                assert_eq!(id, 1 << 33);
+            }
+            other => panic!("expected TooManyVertices, got {other}"),
+        }
+        assert!(err.to_string().contains("8589934592"));
+    }
+
+    #[test]
+    fn max_vertex_id_still_loads() {
+        let max = u32::MAX;
+        let g = parse_edge_list(Cursor::new(format!("0 {max}\n"))).unwrap();
+        assert_eq!(g.edges[0].dst, max);
+        assert_eq!(g.vertex_count, max as usize + 1);
     }
 
     #[test]

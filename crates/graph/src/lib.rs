@@ -37,6 +37,7 @@
 
 pub mod csr;
 pub mod datasets;
+pub mod error;
 pub mod generate;
 pub mod io;
 pub mod partition;

@@ -1,5 +1,6 @@
 //! Simulated system configuration (Table 1 of the paper).
 
+use crate::error::SimError;
 use crate::policy::PolicyKind;
 
 /// Geometry and latency of one cache level.
@@ -191,19 +192,61 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if the mesh cannot host the cores or a cache geometry is
-    /// inconsistent.
+    /// inconsistent. Use [`SimConfig::try_validate`] for a non-panicking
+    /// check.
     pub fn validate(&self) {
-        assert!(
-            self.mesh_dim * self.mesh_dim >= self.cores,
-            "mesh {}x{} cannot host {} cores",
-            self.mesh_dim,
-            self.mesh_dim,
-            self.cores
-        );
-        let _ = self.l1d.sets();
-        let _ = self.l2.sets();
-        let _ = self.llc.sets();
-        assert!(self.accel_mlp >= 1, "accel_mlp must be >= 1");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Validates internal consistency, returning the first inconsistency
+    /// as a typed [`SimError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] naming the offending field.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "cores",
+                reason: "core count must be >= 1".into(),
+            });
+        }
+        if self.mesh_dim * self.mesh_dim < self.cores {
+            return Err(SimError::InvalidConfig {
+                field: "mesh_dim",
+                reason: format!(
+                    "mesh {}x{} cannot host {} cores",
+                    self.mesh_dim, self.mesh_dim, self.cores
+                ),
+            });
+        }
+        for (field, cache) in [("l1d", &self.l1d), ("l2", &self.l2), ("llc", &self.llc)] {
+            let lines = cache.size_bytes / 64;
+            if cache.ways == 0 || lines == 0 || !lines.is_multiple_of(cache.ways) {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    reason: format!(
+                        "cache geometry must divide evenly ({} bytes, {} ways)",
+                        cache.size_bytes, cache.ways
+                    ),
+                });
+            }
+        }
+        if self.accel_mlp < 1 {
+            return Err(SimError::InvalidConfig {
+                field: "accel_mlp",
+                reason: "accel_mlp must be >= 1".into(),
+            });
+        }
+        if !(self.freq_ghz.is_finite() && self.freq_ghz > 0.0) {
+            return Err(SimError::InvalidConfig {
+                field: "freq_ghz",
+                reason: format!("frequency must be positive, got {}", self.freq_ghz),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -263,5 +306,36 @@ mod tests {
         let mut c = SimConfig::table1();
         c.mesh_dim = 2;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        let mut c = SimConfig::table1();
+        c.mesh_dim = 2;
+        let err = c.try_validate().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { field: "mesh_dim", .. }));
+
+        let mut c = SimConfig::table1();
+        c.cores = 0;
+        assert!(matches!(
+            c.try_validate().unwrap_err(),
+            SimError::InvalidConfig { field: "cores", .. }
+        ));
+
+        let mut c = SimConfig::table1();
+        c.l2.ways = 7;
+        assert!(matches!(
+            c.try_validate().unwrap_err(),
+            SimError::InvalidConfig { field: "l2", .. }
+        ));
+
+        let mut c = SimConfig::table1();
+        c.freq_ghz = 0.0;
+        assert!(matches!(
+            c.try_validate().unwrap_err(),
+            SimError::InvalidConfig { field: "freq_ghz", .. }
+        ));
+
+        assert_eq!(SimConfig::small_test().try_validate(), Ok(()));
     }
 }

@@ -1,0 +1,45 @@
+//! Typed errors for the simulator crate.
+//!
+//! [`SimError`] makes machine-configuration problems data instead of
+//! aborts: the harness validates a [`SimConfig`](crate::config::SimConfig)
+//! up front and reports an invalid machine as a per-cell failure rather
+//! than panicking a sweep worker.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the simulator layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A machine configuration is internally inconsistent.
+    InvalidConfig {
+        /// The offending field or relation.
+        field: &'static str,
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid machine configuration ({field}): {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = SimError::InvalidConfig { field: "mesh_dim", reason: "too small".into() };
+        assert!(e.to_string().contains("mesh_dim"));
+        assert!(e.to_string().contains("too small"));
+    }
+}

@@ -38,6 +38,7 @@ pub mod address;
 pub mod cache;
 pub mod config;
 pub mod energy;
+pub mod error;
 pub mod machine;
 pub mod memory;
 pub mod noc;
@@ -47,5 +48,6 @@ pub mod trace;
 
 pub use address::{AddressSpace, Region};
 pub use config::SimConfig;
+pub use error::SimError;
 pub use machine::Machine;
 pub use stats::{Actor, Op, PhaseKind};

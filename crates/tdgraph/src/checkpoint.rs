@@ -1,0 +1,421 @@
+//! Sweep checkpointing: append-only JSON-lines logs of finished cells.
+//!
+//! A checkpoint line is *exactly* the cell's canonical report line (see
+//! [`SweepReport::canonical_lines`](crate::SweepReport::canonical_lines)),
+//! so a resumed sweep reproduces the original report byte for byte: the
+//! restored cells re-emit their stored lines verbatim and only the cells
+//! that never completed are executed again.
+//!
+//! The workspace deliberately carries no serde dependency, so the format
+//! is written and parsed by hand. It is a flat JSON object whose string
+//! values (dataset abbreviation, sizing, algorithm label, engine key)
+//! never contain quotes, commas, or braces — the parser relies on that.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use tdgraph_engines::harness::RunResult;
+
+use crate::sweep::ExperimentCell;
+
+/// An error reading or writing a sweep checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The checkpoint file could not be opened, read, or appended.
+    Io {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A checkpoint line is not a canonical cell record.
+    Parse {
+        /// 1-based line number within the checkpoint file.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A checkpoint record does not correspond to the sweep being resumed
+    /// (different grid, reordered axes, or a stale file).
+    SpecMismatch {
+        /// The cell index the record claims.
+        index: usize,
+        /// The coordinates the spec expands to at that index.
+        expected: String,
+        /// The coordinates the checkpoint recorded.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint i/o error at {}: {source}", path.display())
+            }
+            CheckpointError::Parse { line, reason } => {
+                write!(f, "checkpoint parse error at line {line}: {reason}")
+            }
+            CheckpointError::SpecMismatch { index, expected, found } => write!(
+                f,
+                "checkpoint does not match the sweep spec at cell {index}: \
+                 expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            CheckpointError::Parse { .. } | CheckpointError::SpecMismatch { .. } => None,
+        }
+    }
+}
+
+/// The canonical, timing-free record of one completed cell: its grid
+/// coordinates plus the headline metrics and oracle verdict.
+///
+/// [`CanonicalCell::to_json_line`] is the single source of the canonical
+/// line format — both [`SweepReport::canonical_lines`](crate::SweepReport)
+/// and the checkpoint log serialize through it, which is what makes
+/// checkpoint/resume byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalCell {
+    /// Cell index in expansion order.
+    pub cell: usize,
+    /// Dataset abbreviation.
+    pub dataset: String,
+    /// Workload sizing (`Debug` rendering).
+    pub sizing: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Engine registry key.
+    pub engine: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Propagation-phase cycles.
+    pub propagation_cycles: u64,
+    /// Non-propagation cycles.
+    pub other_cycles: u64,
+    /// Vertex-state writes.
+    pub state_updates: u64,
+    /// Writes that changed the converged state.
+    pub useful_updates: u64,
+    /// Edges streamed through the engines.
+    pub edges_processed: u64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Update batches streamed.
+    pub batches: u64,
+    /// Oracle verdict.
+    pub verified: bool,
+}
+
+impl CanonicalCell {
+    /// Builds the canonical record of a completed cell.
+    #[must_use]
+    pub fn of(cell: &ExperimentCell, result: &RunResult) -> Self {
+        let m = &result.metrics;
+        Self {
+            cell: cell.index,
+            dataset: cell.dataset.abbrev().to_string(),
+            sizing: format!("{:?}", cell.sizing),
+            algo: cell.algo.label().to_string(),
+            engine: cell.engine.key().to_string(),
+            seed: cell.options.seed,
+            cycles: m.cycles,
+            propagation_cycles: m.propagation_cycles,
+            other_cycles: m.other_cycles,
+            state_updates: m.state_updates,
+            useful_updates: m.useful_updates,
+            edges_processed: m.edges_processed,
+            dram_bytes: m.dram_bytes,
+            batches: m.batches,
+            verified: result.verify.is_match(),
+        }
+    }
+
+    /// Renders the record as one canonical JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"cell\":{},\"dataset\":\"{}\",\"sizing\":\"{}\",\
+             \"algo\":\"{}\",\"engine\":\"{}\",\"seed\":{},\
+             \"cycles\":{},\"propagation_cycles\":{},\"other_cycles\":{},\
+             \"state_updates\":{},\"useful_updates\":{},\
+             \"edges_processed\":{},\"dram_bytes\":{},\"batches\":{},\
+             \"verified\":{}}}",
+            self.cell,
+            self.dataset,
+            self.sizing,
+            self.algo,
+            self.engine,
+            self.seed,
+            self.cycles,
+            self.propagation_cycles,
+            self.other_cycles,
+            self.state_updates,
+            self.useful_updates,
+            self.edges_processed,
+            self.dram_bytes,
+            self.batches,
+            self.verified,
+        )
+    }
+
+    /// Parses one canonical JSON line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the line is not a canonical record.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_object(line)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            let raw = lookup(&fields, key)?;
+            raw.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string)
+                .ok_or_else(|| format!("field '{key}' is not a string: {raw}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            lookup(&fields, key)?
+                .parse::<u64>()
+                .map_err(|e| format!("field '{key}' is not an integer: {e}"))
+        };
+        let cell = lookup(&fields, "cell")?
+            .parse::<usize>()
+            .map_err(|e| format!("field 'cell' is not an index: {e}"))?;
+        let verified = match lookup(&fields, "verified")? {
+            "true" => true,
+            "false" => false,
+            other => return Err(format!("field 'verified' is not a bool: {other}")),
+        };
+        Ok(Self {
+            cell,
+            dataset: str_field("dataset")?,
+            sizing: str_field("sizing")?,
+            algo: str_field("algo")?,
+            engine: str_field("engine")?,
+            seed: u64_field("seed")?,
+            cycles: u64_field("cycles")?,
+            propagation_cycles: u64_field("propagation_cycles")?,
+            other_cycles: u64_field("other_cycles")?,
+            state_updates: u64_field("state_updates")?,
+            useful_updates: u64_field("useful_updates")?,
+            edges_processed: u64_field("edges_processed")?,
+            dram_bytes: u64_field("dram_bytes")?,
+            batches: u64_field("batches")?,
+            verified,
+        })
+    }
+
+    /// Whether this record describes `cell` (same index-independent
+    /// coordinates; used to detect stale checkpoints on resume).
+    #[must_use]
+    pub fn matches(&self, cell: &ExperimentCell) -> bool {
+        self.dataset == cell.dataset.abbrev()
+            && self.sizing == format!("{:?}", cell.sizing)
+            && self.algo == cell.algo.label()
+            && self.engine == cell.engine.key()
+            && self.seed == cell.options.seed
+    }
+
+    /// Compact human-readable coordinates (for mismatch diagnostics).
+    #[must_use]
+    pub fn coordinates(&self) -> String {
+        format!("{}/{}/{}/{} seed={}", self.dataset, self.sizing, self.algo, self.engine, self.seed)
+    }
+}
+
+/// The coordinates a spec expands to for `cell`, in the same compact form
+/// as [`CanonicalCell::coordinates`].
+#[must_use]
+pub fn cell_coordinates(cell: &ExperimentCell) -> String {
+    format!(
+        "{}/{:?}/{}/{} seed={}",
+        cell.dataset.abbrev(),
+        cell.sizing,
+        cell.algo.label(),
+        cell.engine.key(),
+        cell.options.seed
+    )
+}
+
+fn parse_flat_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    body.split(',')
+        .map(|pair| {
+            let (k, v) = pair.split_once(':').ok_or_else(|| format!("malformed field '{pair}'"))?;
+            let key = k
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted key '{k}'"))?;
+            Ok((key.to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+fn lookup<'a>(fields: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Loads every record of a checkpoint file.
+///
+/// A missing file is an empty checkpoint (first launch of a sweep that
+/// will resume later), not an error. Blank lines are skipped.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on read failures other than a missing file,
+/// [`CheckpointError::Parse`] on a malformed line.
+pub fn load(path: &Path) -> Result<Vec<CanonicalCell>, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(CheckpointError::Io { path: path.to_path_buf(), source: e }),
+    };
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = CanonicalCell::from_json_line(line)
+            .map_err(|reason| CheckpointError::Parse { line: idx + 1, reason })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// An append-only checkpoint writer shared across sweep worker threads.
+///
+/// Each completed cell is appended as one canonical line and flushed, so
+/// a sweep killed mid-flight loses at most the cells still in progress.
+#[derive(Debug)]
+pub struct CheckpointLog {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl CheckpointLog {
+    /// Opens (creating if necessary) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be opened.
+    pub fn append_to(path: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CheckpointError::Io { path: path.clone(), source: e })?;
+        Ok(Self { path, file: Mutex::new(file) })
+    }
+
+    /// Appends one record and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on write or flush failure.
+    pub fn append(&self, record: &CanonicalCell) -> Result<(), CheckpointError> {
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(file, "{}", record.to_json_line())
+            .and_then(|()| file.flush())
+            .map_err(|e| CheckpointError::Io { path: self.path.clone(), source: e })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CanonicalCell {
+        CanonicalCell {
+            cell: 3,
+            dataset: "AM".into(),
+            sizing: "Tiny".into(),
+            algo: "SSSP".into(),
+            engine: "ligra-o".into(),
+            seed: 2006,
+            cycles: 123,
+            propagation_cycles: 100,
+            other_cycles: 23,
+            state_updates: 42,
+            useful_updates: 40,
+            edges_processed: 99,
+            dram_bytes: 4096,
+            batches: 2,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips_byte_identically() {
+        let r = record();
+        let line = r.to_json_line();
+        let parsed = CanonicalCell::from_json_line(&line).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json_line(), line);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(CanonicalCell::from_json_line("not json").is_err());
+        assert!(CanonicalCell::from_json_line("{\"cell\":0}").is_err());
+        let bad_bool = record().to_json_line().replace("true", "maybe");
+        assert!(CanonicalCell::from_json_line(&bad_bool).is_err());
+    }
+
+    #[test]
+    fn load_of_missing_file_is_empty() {
+        let records = load(Path::new("/nonexistent/tdgraph-checkpoint.jsonl")).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "tdgraph-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let log = CheckpointLog::append_to(&path).unwrap();
+        let mut a = record();
+        let mut b = record();
+        b.cell = 4;
+        b.verified = false;
+        log.append(&a).unwrap();
+        log.append(&b).unwrap();
+        // Re-appending a cell: the loader keeps both, resume takes the last.
+        a.cycles = 999;
+        log.append(&a).unwrap();
+
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].cycles, 123);
+        assert_eq!(records[1].cell, 4);
+        assert_eq!(records[2].cycles, 999);
+        let _ = std::fs::remove_file(&path);
+    }
+}

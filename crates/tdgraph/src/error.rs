@@ -1,0 +1,101 @@
+//! The unified error type of the facade crate.
+//!
+//! Every fallible layer below — the graph substrate, the engine harness,
+//! the machine model, and the sweep checkpoint store — converts into
+//! [`TdgraphError`] via `From`, so `?` composes across the whole stack.
+//! The sweep runner records these as per-cell
+//! [`CellOutcome::Failed`](crate::sweep::CellOutcome::Failed) values
+//! instead of letting any one cell abort a worker thread.
+
+use std::error::Error;
+use std::fmt;
+
+use tdgraph_engines::error::EngineError;
+use tdgraph_graph::error::GraphError;
+use tdgraph_sim::SimError;
+
+use crate::checkpoint::CheckpointError;
+
+/// Any error produced by the tdgraph experiment stack.
+#[derive(Debug)]
+pub enum TdgraphError {
+    /// Workload preparation or update application failed.
+    Graph(GraphError),
+    /// Engine resolution or the streaming harness failed.
+    Engine(EngineError),
+    /// The machine configuration is inconsistent.
+    Sim(SimError),
+    /// Reading or writing a sweep checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TdgraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdgraphError::Graph(e) => write!(f, "{e}"),
+            TdgraphError::Engine(e) => write!(f, "{e}"),
+            TdgraphError::Sim(e) => write!(f, "{e}"),
+            TdgraphError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for TdgraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TdgraphError::Graph(e) => Some(e),
+            TdgraphError::Engine(e) => Some(e),
+            TdgraphError::Sim(e) => Some(e),
+            TdgraphError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for TdgraphError {
+    fn from(e: GraphError) -> Self {
+        TdgraphError::Graph(e)
+    }
+}
+
+impl From<EngineError> for TdgraphError {
+    fn from(e: EngineError) -> Self {
+        TdgraphError::Engine(e)
+    }
+}
+
+impl From<SimError> for TdgraphError {
+    fn from(e: SimError) -> Self {
+        TdgraphError::Sim(e)
+    }
+}
+
+impl From<CheckpointError> for TdgraphError {
+    fn from(e: CheckpointError) -> Self {
+        TdgraphError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdgraph_graph::io::LoadError;
+
+    #[test]
+    fn every_layer_converts_with_source() {
+        let g: TdgraphError =
+            GraphError::Load(LoadError::TooManyVertices { line: 1, id: 1 << 33 }).into();
+        assert!(matches!(g, TdgraphError::Graph(_)));
+        assert!(g.source().is_some());
+
+        let e: TdgraphError = EngineError::UnknownEngine { key: "x".into(), known: vec![] }.into();
+        assert!(matches!(e, TdgraphError::Engine(_)));
+
+        let s: TdgraphError =
+            SimError::InvalidConfig { field: "cores", reason: "zero".into() }.into();
+        assert!(matches!(s, TdgraphError::Sim(_)));
+
+        let c: TdgraphError = CheckpointError::Parse { line: 3, reason: "bad json".into() }.into();
+        assert!(matches!(c, TdgraphError::Checkpoint(_)));
+        assert!(c.to_string().contains("line 3"));
+    }
+}

@@ -10,8 +10,8 @@
 //!
 //! Engine construction goes through the [`EngineRegistry`]: every built-in
 //! engine is registered by a stable kebab-case key in
-//! [`registry_with_defaults`], and [`EngineKind::build`] resolves through
-//! the shared [`default_registry`].
+//! [`registry_with_defaults`], and [`EngineKind::try_build`] resolves
+//! through the shared [`default_registry`].
 
 use std::sync::OnceLock;
 
@@ -20,10 +20,12 @@ use tdgraph_accel::tdgraph::{TdGraph, TdGraphConfig};
 use tdgraph_accel::{DepGraph, Hats, Minnow, Phi};
 use tdgraph_algos::traits::Algo;
 use tdgraph_engines::engine::Engine;
+use tdgraph_engines::error::EngineError;
 use tdgraph_engines::harness::{RunOptions, RunResult};
 use tdgraph_engines::registry::EngineRegistry;
 use tdgraph_graph::datasets::{Dataset, Sizing};
 
+use crate::error::TdgraphError;
 use crate::sweep::{ExperimentCell, SweepSpec};
 
 /// Every execution engine the reproduction provides.
@@ -117,14 +119,32 @@ impl EngineKind {
     /// [`EngineKind::TdGraphCustom`] is the one kind carrying run-time
     /// configuration, so it is built directly; its registry key resolves
     /// to the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownEngine`] if the kind's key is missing from
+    /// the default registry (possible only when a caller shadows a
+    /// built-in key with a broken registration).
+    pub fn try_build(self) -> Result<Box<dyn Engine>, EngineError> {
+        if let EngineKind::TdGraphCustom(cfg) = self {
+            return Ok(Box::new(TdGraph::with_config(cfg)));
+        }
+        default_registry().try_build(self.key())
+    }
+
+    /// Panicking shim kept for source compatibility; use
+    /// [`EngineKind::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind's key is not registered.
+    #[deprecated(since = "0.3.0", note = "use `try_build`, which reports a typed error")]
     #[must_use]
     pub fn build(self) -> Box<dyn Engine> {
-        if let EngineKind::TdGraphCustom(cfg) = self {
-            return Box::new(TdGraph::with_config(cfg));
+        match self.try_build() {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
         }
-        default_registry()
-            .build(self.key())
-            .unwrap_or_else(|| panic!("built-in engine '{}' not registered", self.key()))
     }
 
     /// The software systems of Fig 3.
@@ -238,13 +258,32 @@ impl Experiment {
         }
     }
 
-    /// Runs the experiment with `engine`.
-    #[must_use]
-    pub fn run(&self, engine: EngineKind) -> RunResult {
+    /// Runs the experiment with `engine`, reporting failures as typed
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ExperimentCell::run_checked`] reports: an unresolvable
+    /// engine, invalid run options, or a workload that cannot be
+    /// prepared.
+    pub fn try_run(&self, engine: EngineKind) -> Result<RunResult, TdgraphError> {
         let cells = self.to_spec(engine).expand();
         debug_assert_eq!(cells.len(), 1, "Experiment expands to exactly one cell");
         let cell: &ExperimentCell = &cells[0];
-        cell.run(default_registry())
+        cell.run_checked(default_registry())
+    }
+
+    /// Runs the experiment with `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Experiment::try_run`] reports an error.
+    #[must_use]
+    pub fn run(&self, engine: EngineKind) -> RunResult {
+        match self.try_run(engine) {
+            Ok(result) => result,
+            Err(e) => panic!("experiment failed: {e}"),
+        }
     }
 
     /// Runs the experiment for several engines, returning `(engine, result)`
@@ -296,12 +335,29 @@ mod tests {
             );
             let engine = registry.build(kind.key()).expect("key registered");
             assert!(!engine.name().is_empty());
-            assert_eq!(engine.name(), kind.build().name());
+            assert_eq!(engine.name(), kind.try_build().unwrap().name());
         }
         // The custom kind resolves to the default configuration.
         let custom = EngineKind::TdGraphCustom(TdGraphConfig::default());
         assert!(registry.contains(custom.key()));
-        assert_eq!(custom.build().name(), "TDGraph-H");
+        assert_eq!(custom.try_build().unwrap().name(), "TDGraph-H");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_shim_still_constructs() {
+        assert_eq!(EngineKind::LigraO.build().name(), "Ligra-o");
+    }
+
+    #[test]
+    fn try_run_reports_typed_errors_instead_of_panicking() {
+        let err = Experiment::new(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .tune(|o| o.add_fraction = 2.0)
+            .try_run(EngineKind::LigraO)
+            .unwrap_err();
+        assert!(matches!(err, TdgraphError::Engine(_)), "got {err}");
+        assert!(err.to_string().contains("add_fraction"));
     }
 
     #[test]

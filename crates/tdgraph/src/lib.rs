@@ -30,15 +30,24 @@
 //! [`sim`] (the machine model), [`engines`] (software systems), and
 //! [`accel`] (accelerator models).
 
+// Robustness gate: non-test facade code must route failures through typed
+// errors, never unwrap/expect (enforced by CI clippy).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod checkpoint;
+pub mod error;
 pub mod experiment;
 pub mod report;
 pub mod sweep;
 
+pub use checkpoint::{CanonicalCell, CheckpointError, CheckpointLog};
+pub use error::TdgraphError;
 pub use experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
 pub use sweep::{
-    AlgoSel, CellResult, EngineSel, ExperimentCell, ProgressEvent, SweepReport, SweepRunner,
-    SweepSpec,
+    AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,
+    ProgressEvent, SweepReport, SweepRunner, SweepSpec,
 };
+pub use tdgraph_engines::error::EngineError;
 pub use tdgraph_engines::harness::{RunOptions, RunResult};
 pub use tdgraph_engines::metrics::RunMetrics;
 pub use tdgraph_engines::registry::EngineRegistry;

@@ -37,7 +37,9 @@ pub struct Row {
 /// Panics if `all` is empty.
 #[must_use]
 pub fn build_rows(all: &[&RunMetrics]) -> Vec<Row> {
-    let base = all.first().expect("at least one run");
+    let Some(base) = all.first() else {
+        panic!("build_rows needs at least one run to normalize against");
+    };
     all.iter()
         .map(|m| Row {
             engine: m.engine.clone(),

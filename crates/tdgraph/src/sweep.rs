@@ -15,6 +15,26 @@
 //! * [`SweepReport`] — lookup helpers for figure renderers plus a
 //!   canonical, timing-free serialization used to assert determinism.
 //!
+//! # Fault isolation
+//!
+//! A long sweep must survive one misbehaving cell. Every cell executes
+//! behind a fault boundary and finishes with a [`CellOutcome`]:
+//!
+//! * typed failures ([`TdgraphError`]) — unknown engine keys, invalid run
+//!   options, workload preparation errors — become
+//!   [`CellOutcome::Failed`];
+//! * engine panics are contained with `catch_unwind` and become
+//!   [`CellOutcome::Panicked`], never a lost worker thread;
+//! * with [`SweepRunner::cell_timeout`], a wall-clock watchdog turns a
+//!   wedged cell into [`CellOutcome::TimedOut`];
+//! * [`SweepRunner::retry_once`] re-executes a misbehaving cell exactly
+//!   once (cells are deterministic, so a retry that succeeds produces the
+//!   same bytes a clean run would).
+//!
+//! [`SweepRunner::checkpoint_to`] appends every completed cell's canonical
+//! line to a JSON-lines file, and [`SweepSpec::resume_from`] restores
+//! those cells on relaunch so only unfinished cells execute again.
+//!
 //! ```
 //! use tdgraph::graph::datasets::{Dataset, Sizing};
 //! use tdgraph::{EngineKind, RunOptions, SweepRunner, SweepSpec};
@@ -29,19 +49,25 @@
 //!     });
 //! let report = SweepRunner::new().threads(2).run(&spec);
 //! assert_eq!(report.len(), 4);
+//! report.assert_all_ok();
 //! report.assert_all_verified();
 //! ```
 
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use tdgraph_algos::traits::Algo;
 use tdgraph_engines::harness::{run_streaming_workload, RunOptions, RunResult};
+use tdgraph_engines::metrics::RunMetrics;
 use tdgraph_engines::registry::EngineRegistry;
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
 
+use crate::checkpoint::{self, CanonicalCell, CheckpointError, CheckpointLog};
+use crate::error::TdgraphError;
 use crate::experiment::{default_registry, EngineKind};
 
 /// How a cell names the engine it runs.
@@ -129,6 +155,7 @@ pub struct SweepSpec {
     alphas: Vec<f64>,
     add_fractions: Vec<f64>,
     seeds: Vec<u64>,
+    resume: Option<PathBuf>,
 }
 
 impl Default for SweepSpec {
@@ -155,6 +182,7 @@ impl SweepSpec {
             alphas: Vec::new(),
             add_fractions: Vec::new(),
             seeds: Vec::new(),
+            resume: None,
         }
     }
 
@@ -265,6 +293,20 @@ impl SweepSpec {
         self
     }
 
+    /// Resumes from the checkpoint file at `path`: cells recorded there
+    /// are restored into the report without re-executing, and only the
+    /// remaining cells run. A missing file means a fresh start, so the
+    /// same spec works for the first launch and every relaunch.
+    ///
+    /// Records are validated against this spec's expansion
+    /// (index and coordinates must agree); a stale or foreign checkpoint
+    /// is a [`CheckpointError::SpecMismatch`], not silent corruption.
+    #[must_use]
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
     /// Number of cells this spec expands to.
     #[must_use]
     pub fn cell_count(&self) -> usize {
@@ -357,44 +399,237 @@ impl ExperimentCell {
     /// registry key cannot express, so it is the one selection built
     /// directly instead of by key lookup.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the engine key is not registered.
-    #[must_use]
-    pub fn run(&self, registry: &EngineRegistry) -> RunResult {
-        let workload = StreamingWorkload::prepare(self.dataset, self.sizing);
+    /// [`TdgraphError::Engine`] when the engine key is unregistered, the
+    /// run options fail validation, or the harness reports a typed
+    /// failure; [`TdgraphError::Graph`] when the workload cannot be
+    /// prepared.
+    pub fn run_checked(&self, registry: &EngineRegistry) -> Result<RunResult, TdgraphError> {
+        let workload = StreamingWorkload::try_prepare(self.dataset, self.sizing)?;
         let algo = self.algo.resolve(&workload);
         let mut engine = match &self.engine {
-            EngineSel::Kind(kind @ EngineKind::TdGraphCustom(_)) => kind.build(),
-            sel => registry.build(sel.key()).unwrap_or_else(|| {
-                panic!(
-                    "engine '{}' is not registered (known: {})",
-                    sel.key(),
-                    registry.names().collect::<Vec<_>>().join(", ")
-                )
-            }),
+            EngineSel::Kind(kind @ EngineKind::TdGraphCustom(_)) => kind.try_build()?,
+            sel => registry.try_build(sel.key())?,
         };
-        run_streaming_workload(engine.as_mut(), algo, workload, &self.options)
+        Ok(run_streaming_workload(engine.as_mut(), algo, workload, &self.options)?)
+    }
+
+    /// Runs this cell, panicking on any typed failure. Prefer
+    /// [`ExperimentCell::run_checked`]; the sweep runner uses it to keep
+    /// failures inside the cell that caused them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ExperimentCell::run_checked`] returns an error (e.g.
+    /// the engine key is not registered).
+    #[must_use]
+    pub fn run(&self, registry: &EngineRegistry) -> RunResult {
+        match self.run_checked(registry) {
+            Ok(result) => result,
+            Err(e) => {
+                panic!("cell {} [{}] failed: {e}", self.index, checkpoint::cell_coordinates(self))
+            }
+        }
     }
 }
 
-/// A finished cell: its spec, run result, and wall-clock time.
-#[derive(Debug, Clone)]
+/// The advisory shown with every contained panic: the unwinding stack is
+/// gone by the time `catch_unwind` returns, so the honest hint is how to
+/// get a real one.
+const BACKTRACE_HINT: &str =
+    "re-run the failing cell alone with RUST_BACKTRACE=1 to capture a backtrace; \
+     cells are deterministic, so the panic reproduces from the cell coordinates";
+
+/// Classification of a [`CellOutcome`] without its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// The cell ran to completion.
+    Completed,
+    /// The cell was restored from a checkpoint without re-executing.
+    Restored,
+    /// The cell failed with a typed error.
+    Failed,
+    /// The cell's engine panicked; the panic was contained.
+    Panicked,
+    /// The cell exceeded the runner's wall-clock watchdog.
+    TimedOut,
+}
+
+impl OutcomeKind {
+    /// Stable lower-snake label (used in progress events and canonical
+    /// failure lines).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeKind::Completed => "completed",
+            OutcomeKind::Restored => "restored",
+            OutcomeKind::Failed => "failed",
+            OutcomeKind::Panicked => "panicked",
+            OutcomeKind::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// How one cell of a sweep ended.
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// The cell ran to completion (metrics and oracle verdict inside,
+    /// boxed to keep the failure variants small).
+    Completed(Box<RunResult>),
+    /// The cell's canonical record was restored from a checkpoint.
+    Restored(CanonicalCell),
+    /// The cell failed with a typed error before or during the run.
+    Failed(TdgraphError),
+    /// The cell's engine panicked; the worker thread survived.
+    Panicked {
+        /// The panic payload (message), when it was a string.
+        message: String,
+        /// How to obtain a real backtrace for this panic.
+        backtrace_hint: String,
+    },
+    /// The cell exceeded the configured wall-clock timeout. Its runaway
+    /// thread is abandoned (threads cannot be killed safely); the worker
+    /// moved on to the next cell.
+    TimedOut {
+        /// The watchdog limit that fired.
+        timeout: Duration,
+    },
+}
+
+impl CellOutcome {
+    /// This outcome's classification.
+    #[must_use]
+    pub fn kind(&self) -> OutcomeKind {
+        match self {
+            CellOutcome::Completed(_) => OutcomeKind::Completed,
+            CellOutcome::Restored(_) => OutcomeKind::Restored,
+            CellOutcome::Failed(_) => OutcomeKind::Failed,
+            CellOutcome::Panicked { .. } => OutcomeKind::Panicked,
+            CellOutcome::TimedOut { .. } => OutcomeKind::TimedOut,
+        }
+    }
+
+    /// Whether the cell produced a usable result (completed or restored).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Completed(_) | CellOutcome::Restored(_))
+    }
+
+    /// The full run result, when the cell actually executed this launch.
+    #[must_use]
+    pub fn run_result(&self) -> Option<&RunResult> {
+        match self {
+            CellOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// One-line failure description (empty for ok outcomes).
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            CellOutcome::Completed(_) | CellOutcome::Restored(_) => String::new(),
+            CellOutcome::Failed(e) => e.to_string(),
+            CellOutcome::Panicked { message, .. } => message.clone(),
+            CellOutcome::TimedOut { timeout } => {
+                format!("exceeded the cell timeout of {timeout:?}")
+            }
+        }
+    }
+}
+
+/// A finished cell: its spec, outcome, and wall-clock time.
+#[derive(Debug)]
 pub struct CellResult {
     /// The cell that ran.
     pub cell: ExperimentCell,
-    /// Metrics and oracle verdict.
-    pub result: RunResult,
+    /// How it ended.
+    pub outcome: CellOutcome,
     /// Wall-clock execution time of the cell (schedule-dependent; excluded
-    /// from [`SweepReport::canonical_lines`]).
+    /// from [`SweepReport::canonical_lines`]; zero for restored cells).
     pub wall: Duration,
+    /// Number of extra executions the runner spent on this cell (0, or 1
+    /// when [`SweepRunner::retry_once`] re-ran it).
+    pub retries: u32,
+}
+
+impl CellResult {
+    /// Whether the cell produced a usable result.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Whether the cell's final states matched the oracle (false for
+    /// failed cells).
+    #[must_use]
+    pub fn is_verified(&self) -> bool {
+        match &self.outcome {
+            CellOutcome::Completed(r) => r.verify.is_match(),
+            CellOutcome::Restored(c) => c.verified,
+            _ => false,
+        }
+    }
+
+    /// The run result, when the cell executed this launch.
+    #[must_use]
+    pub fn run_result(&self) -> Option<&RunResult> {
+        self.outcome.run_result()
+    }
+
+    /// The run metrics, when the cell executed this launch. Restored
+    /// cells only carry their canonical record — re-run without
+    /// `resume_from` when the full metrics are needed.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.run_result().map(|r| &r.metrics)
+    }
+
+    /// The canonical record of an ok cell (completed or restored).
+    #[must_use]
+    pub fn canonical(&self) -> Option<CanonicalCell> {
+        match &self.outcome {
+            CellOutcome::Completed(r) => Some(CanonicalCell::of(&self.cell, r)),
+            CellOutcome::Restored(c) => Some(c.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Per-kind outcome totals of a sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Cells that ran to completion.
+    pub completed: usize,
+    /// Cells restored from a checkpoint.
+    pub restored: usize,
+    /// Cells that failed with a typed error.
+    pub failed: usize,
+    /// Cells whose engine panicked.
+    pub panicked: usize,
+    /// Cells that hit the watchdog timeout.
+    pub timed_out: usize,
+}
+
+impl OutcomeCounts {
+    /// Cells that did not produce a usable result.
+    #[must_use]
+    pub fn not_ok(&self) -> usize {
+        self.failed + self.panicked + self.timed_out
+    }
 }
 
 /// Stable-ordered results of a sweep (cell order == expansion order).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SweepReport {
     /// Per-cell results, indexed by [`ExperimentCell::index`].
     pub cells: Vec<CellResult>,
+    /// Number of checkpoint appends that failed with an I/O error. The
+    /// sweep keeps running when the checkpoint disk misbehaves — results
+    /// still land in the report — but resume coverage is degraded, so the
+    /// count is surfaced here.
+    pub checkpoint_write_errors: usize,
 }
 
 impl SweepReport {
@@ -410,23 +645,85 @@ impl SweepReport {
         self.cells.is_empty()
     }
 
-    /// Whether every cell matched the oracle.
+    /// Per-kind outcome totals.
     #[must_use]
-    pub fn all_verified(&self) -> bool {
-        self.cells.iter().all(|c| c.result.verify.is_match())
+    pub fn outcome_counts(&self) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for c in &self.cells {
+            match c.outcome.kind() {
+                OutcomeKind::Completed => counts.completed += 1,
+                OutcomeKind::Restored => counts.restored += 1,
+                OutcomeKind::Failed => counts.failed += 1,
+                OutcomeKind::Panicked => counts.panicked += 1,
+                OutcomeKind::TimedOut => counts.timed_out += 1,
+            }
+        }
+        counts
     }
 
-    /// Panics with a per-cell description if any cell diverged from the
-    /// oracle.
+    /// Total retries spent across cells.
+    #[must_use]
+    pub fn total_retries(&self) -> u32 {
+        self.cells.iter().map(|c| c.retries).sum()
+    }
+
+    /// Whether every cell produced a usable result.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(CellResult::is_ok)
+    }
+
+    /// Cells that did not produce a usable result, in report order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| !c.is_ok()).collect()
+    }
+
+    /// A human-readable digest of every failed cell: index, coordinates,
+    /// outcome kind, and the failure detail. Empty when all cells are ok.
+    #[must_use]
+    pub fn failure_digest(&self) -> String {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return String::new();
+        }
+        let mut out = format!("{} of {} cells did not complete:\n", failures.len(), self.len());
+        for c in failures {
+            out.push_str(&format!(
+                "  cell {} [{}]: {}: {}{}\n",
+                c.cell.index,
+                checkpoint::cell_coordinates(&c.cell),
+                c.outcome.kind().label(),
+                c.outcome.detail(),
+                if c.retries > 0 { format!(" (after {} retry)", c.retries) } else { String::new() },
+            ));
+        }
+        out
+    }
+
+    /// Panics with the [`SweepReport::failure_digest`] if any cell failed,
+    /// panicked, or timed out.
+    pub fn assert_all_ok(&self) {
+        assert!(self.all_ok(), "sweep had failures\n{}", self.failure_digest());
+    }
+
+    /// Whether every cell is ok *and* matched the oracle.
+    #[must_use]
+    pub fn all_verified(&self) -> bool {
+        self.cells.iter().all(CellResult::is_verified)
+    }
+
+    /// Panics with a per-cell description if any cell failed or diverged
+    /// from the oracle.
     pub fn assert_all_verified(&self) {
+        self.assert_all_ok();
         for c in &self.cells {
             assert!(
-                c.result.verify.is_match(),
-                "{} {} on {:?} diverged: {:?}",
+                c.is_verified(),
+                "{} {} on {:?} diverged from the oracle",
                 c.cell.engine.key(),
                 c.cell.algo.label(),
                 c.cell.dataset,
-                c.result.verify
             );
         }
     }
@@ -456,35 +753,35 @@ impl SweepReport {
     ///
     /// Two runs of the same spec produce byte-identical canonical lines
     /// regardless of thread count or schedule — the determinism contract
-    /// the test suite asserts.
+    /// the test suite asserts. Restored cells re-emit their stored
+    /// checkpoint line verbatim, which extends the contract across
+    /// checkpoint/resume. A failed cell emits an outcome-tagged line
+    /// (`"outcome"`/`"detail"` instead of metrics).
     #[must_use]
     pub fn canonical_lines(&self) -> String {
         let mut out = String::new();
         for c in &self.cells {
-            let m = &c.result.metrics;
-            out.push_str(&format!(
-                "{{\"cell\":{},\"dataset\":\"{}\",\"sizing\":\"{:?}\",\
-                 \"algo\":\"{}\",\"engine\":\"{}\",\"seed\":{},\
-                 \"cycles\":{},\"propagation_cycles\":{},\"other_cycles\":{},\
-                 \"state_updates\":{},\"useful_updates\":{},\
-                 \"edges_processed\":{},\"dram_bytes\":{},\"batches\":{},\
-                 \"verified\":{}}}\n",
-                c.cell.index,
-                c.cell.dataset.abbrev(),
-                c.cell.sizing,
-                c.cell.algo.label(),
-                c.cell.engine.key(),
-                c.cell.options.seed,
-                m.cycles,
-                m.propagation_cycles,
-                m.other_cycles,
-                m.state_updates,
-                m.useful_updates,
-                m.edges_processed,
-                m.dram_bytes,
-                m.batches,
-                c.result.verify.is_match(),
-            ));
+            match c.canonical() {
+                Some(record) => {
+                    out.push_str(&record.to_json_line());
+                    out.push('\n');
+                }
+                None => {
+                    out.push_str(&format!(
+                        "{{\"cell\":{},\"dataset\":\"{}\",\"sizing\":\"{:?}\",\
+                         \"algo\":\"{}\",\"engine\":\"{}\",\"seed\":{},\
+                         \"outcome\":\"{}\",\"detail\":\"{}\"}}\n",
+                        c.cell.index,
+                        c.cell.dataset.abbrev(),
+                        c.cell.sizing,
+                        c.cell.algo.label(),
+                        c.cell.engine.key(),
+                        c.cell.options.seed,
+                        c.outcome.kind().label(),
+                        json_escape(&c.outcome.detail()),
+                    ));
+                }
+            }
         }
         out
     }
@@ -494,6 +791,21 @@ impl SweepReport {
     pub fn total_wall(&self) -> Duration {
         self.cells.iter().map(|c| c.wall).sum()
     }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A JSON-lines progress event emitted by [`SweepRunner`].
@@ -534,12 +846,51 @@ pub enum ProgressEvent {
         /// Wall-clock microseconds.
         wall_micros: u128,
     },
+    /// A cell ended without a result (typed failure, contained panic, or
+    /// watchdog timeout); the sweep continued.
+    CellFailed {
+        /// Cell index.
+        cell: usize,
+        /// Dataset abbreviation.
+        dataset: &'static str,
+        /// Algorithm label.
+        algo: &'static str,
+        /// Engine registry key.
+        engine: String,
+        /// Outcome kind label (`failed`, `panicked`, or `timed_out`).
+        outcome: &'static str,
+        /// One-line failure description.
+        detail: String,
+        /// Retries spent on the cell.
+        retries: u32,
+        /// Wall-clock microseconds.
+        wall_micros: u128,
+    },
+    /// A cell was restored from a checkpoint without re-executing.
+    CellRestored {
+        /// Cell index.
+        cell: usize,
+        /// Dataset abbreviation.
+        dataset: &'static str,
+        /// Algorithm label.
+        algo: &'static str,
+        /// Engine registry key.
+        engine: String,
+        /// The restored oracle verdict.
+        verified: bool,
+    },
     /// The sweep finished.
     SweepFinished {
         /// Total cells run.
         cells: usize,
         /// Cells that matched the oracle.
         verified: usize,
+        /// Cells that failed, panicked, or timed out.
+        failed: usize,
+        /// Cells restored from a checkpoint.
+        restored: usize,
+        /// Total retries spent.
+        retried: u32,
         /// Wall-clock microseconds for the whole sweep.
         wall_micros: u128,
     },
@@ -572,9 +923,40 @@ impl ProgressEvent {
                  \"engine\":\"{engine}\",\"cycles\":{cycles},\
                  \"verified\":{verified},\"wall_micros\":{wall_micros}}}"
             ),
-            ProgressEvent::SweepFinished { cells, verified, wall_micros } => format!(
+            ProgressEvent::CellFailed {
+                cell,
+                dataset,
+                algo,
+                engine,
+                outcome,
+                detail,
+                retries,
+                wall_micros,
+            } => format!(
+                "{{\"event\":\"cell_failed\",\"cell\":{cell},\
+                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
+                 \"engine\":\"{engine}\",\"outcome\":\"{outcome}\",\
+                 \"detail\":\"{}\",\"retries\":{retries},\
+                 \"wall_micros\":{wall_micros}}}",
+                json_escape(detail),
+            ),
+            ProgressEvent::CellRestored { cell, dataset, algo, engine, verified } => format!(
+                "{{\"event\":\"cell_restored\",\"cell\":{cell},\
+                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
+                 \"engine\":\"{engine}\",\"verified\":{verified}}}"
+            ),
+            ProgressEvent::SweepFinished {
+                cells,
+                verified,
+                failed,
+                restored,
+                retried,
+                wall_micros,
+            } => format!(
                 "{{\"event\":\"sweep_finished\",\"cells\":{cells},\
-                 \"verified\":{verified},\"wall_micros\":{wall_micros}}}"
+                 \"verified\":{verified},\"failed\":{failed},\
+                 \"restored\":{restored},\"retried\":{retried},\
+                 \"wall_micros\":{wall_micros}}}"
             ),
         }
     }
@@ -582,17 +964,40 @@ impl ProgressEvent {
 
 type ProgressSink = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
 
+/// The engine registry a sweep resolves through, in a form that can cross
+/// into a detached watchdog thread (`'static` either way).
+#[derive(Clone)]
+enum RegistryHandle {
+    /// The process-wide default registry.
+    Default,
+    /// A caller-supplied registry.
+    Shared(Arc<EngineRegistry>),
+}
+
+impl RegistryHandle {
+    fn get(&self) -> &EngineRegistry {
+        match self {
+            RegistryHandle::Default => default_registry(),
+            RegistryHandle::Shared(r) => r,
+        }
+    }
+}
+
 /// Executes sweeps (and generic index-stable parallel maps) across scoped
 /// worker threads.
 ///
 /// Workers pull cells from a shared cursor, so long cells do not starve
 /// the rest of the grid; results land in expansion order regardless of
-/// completion order.
+/// completion order. Failures stay inside the cell that caused them — see
+/// the module docs for the fault-isolation model.
 #[derive(Clone)]
 pub struct SweepRunner {
     threads: usize,
     registry: Option<Arc<EngineRegistry>>,
     progress: Option<ProgressSink>,
+    cell_timeout: Option<Duration>,
+    retry: bool,
+    checkpoint: Option<PathBuf>,
 }
 
 impl Default for SweepRunner {
@@ -607,6 +1012,9 @@ impl std::fmt::Debug for SweepRunner {
             .field("threads", &self.threads)
             .field("custom_registry", &self.registry.is_some())
             .field("progress", &self.progress.is_some())
+            .field("cell_timeout", &self.cell_timeout)
+            .field("retry", &self.retry)
+            .field("checkpoint", &self.checkpoint)
             .finish()
     }
 }
@@ -616,7 +1024,14 @@ impl SweepRunner {
     #[must_use]
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
-        Self { threads, registry: None, progress: None }
+        Self {
+            threads,
+            registry: None,
+            progress: None,
+            cell_timeout: None,
+            retry: false,
+            checkpoint: None,
+        }
     }
 
     /// Sets the worker-thread count (clamped to ≥ 1).
@@ -654,9 +1069,54 @@ impl SweepRunner {
         })
     }
 
+    /// Arms a wall-clock watchdog: a cell still running after `timeout`
+    /// is reported as [`CellOutcome::TimedOut`] and its worker moves on.
+    ///
+    /// Each watched cell runs on its own monitored thread; a thread that
+    /// overruns is abandoned (Rust threads cannot be killed safely), so a
+    /// sweep with timeouts trades bounded thread leakage for bounded
+    /// wall-clock time. Unset by default: cells run inline with no extra
+    /// thread per cell.
+    #[must_use]
+    pub fn cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// Re-executes a failed / panicked / timed-out cell exactly once
+    /// before recording its outcome. Cells are deterministic, so this
+    /// only helps against environmental faults (and fault-injection
+    /// tests); a retry that succeeds yields the same canonical bytes a
+    /// clean run would.
+    #[must_use]
+    pub fn retry_once(mut self, enabled: bool) -> Self {
+        self.retry = enabled;
+        self
+    }
+
+    /// Appends every completed cell's canonical line to the JSON-lines
+    /// file at `path` (created if missing), flushing after each append.
+    /// Pair with [`SweepSpec::resume_from`] to make sweeps relaunchable.
+    ///
+    /// Only completed cells are recorded — failed, panicked, and
+    /// timed-out cells stay out of the checkpoint so a resume re-executes
+    /// them.
+    #[must_use]
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
     fn emit(&self, event: &ProgressEvent) {
         if let Some(p) = &self.progress {
             p(event);
+        }
+    }
+
+    fn registry_handle(&self) -> RegistryHandle {
+        match &self.registry {
+            Some(r) => RegistryHandle::Shared(Arc::clone(r)),
+            None => RegistryHandle::Default,
         }
     }
 
@@ -664,31 +1124,64 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Panics if the spec names an unregistered engine (checked up front,
-    /// before any cell runs) or if a cell's engine diverges hard enough to
-    /// panic the harness; worker panics propagate to the caller.
+    /// Panics if [`SweepRunner::try_run`] fails to *launch* (checkpoint
+    /// file unreadable or mismatched). Per-cell failures never panic the
+    /// runner — inspect the report (or call
+    /// [`SweepReport::assert_all_ok`]).
     #[must_use]
     pub fn run(&self, spec: &SweepSpec) -> SweepReport {
-        let cells = spec.expand();
-        let registry: &EngineRegistry = match &self.registry {
-            Some(r) => r,
-            None => default_registry(),
-        };
-        for cell in &cells {
-            assert!(
-                registry.contains(cell.engine.key()),
-                "engine '{}' is not registered (known: {})",
-                cell.engine.key(),
-                registry.names().collect::<Vec<_>>().join(", ")
-            );
+        match self.try_run(spec) {
+            Ok(report) => report,
+            Err(e) => panic!("sweep failed to launch: {e}"),
         }
+    }
+
+    /// Runs every cell of `spec` and collects the stable-ordered report.
+    ///
+    /// Cells that fail — typed error, contained panic, watchdog timeout —
+    /// are recorded as their [`CellOutcome`] and do not stop the sweep or
+    /// lose a worker thread.
+    ///
+    /// # Errors
+    ///
+    /// [`TdgraphError::Checkpoint`] when the spec's resume file exists but
+    /// cannot be read or does not describe this sweep, or when the
+    /// runner's checkpoint file cannot be opened. Failures *launching*
+    /// are errors; failures *running a cell* are outcomes.
+    pub fn try_run(&self, spec: &SweepSpec) -> Result<SweepReport, TdgraphError> {
+        let cells = spec.expand();
+        let restored = match &spec.resume {
+            Some(path) => plan_resume(path, &cells)?,
+            None => (0..cells.len()).map(|_| None).collect(),
+        };
+        let log = match &self.checkpoint {
+            Some(path) => Some(CheckpointLog::append_to(path)?),
+            None => None,
+        };
+        let write_errors = AtomicUsize::new(0);
+        let registry = self.registry_handle();
 
         let started = Instant::now();
         self.emit(&ProgressEvent::SweepStarted {
             cells: cells.len(),
             threads: self.threads.min(cells.len().max(1)),
         });
-        let results = self.map(&cells, |_, cell| {
+        let results = self.map(&cells, |i, cell| {
+            if let Some(record) = restored.get(i).and_then(Option::as_ref) {
+                self.emit(&ProgressEvent::CellRestored {
+                    cell: cell.index,
+                    dataset: cell.dataset.abbrev(),
+                    algo: cell.algo.label(),
+                    engine: cell.engine.key().to_string(),
+                    verified: record.verified,
+                });
+                return CellResult {
+                    cell: cell.clone(),
+                    outcome: CellOutcome::Restored(record.clone()),
+                    wall: Duration::ZERO,
+                    retries: 0,
+                };
+            }
             self.emit(&ProgressEvent::CellStarted {
                 cell: cell.index,
                 dataset: cell.dataset.abbrev(),
@@ -696,26 +1189,59 @@ impl SweepRunner {
                 engine: cell.engine.key().to_string(),
             });
             let t0 = Instant::now();
-            let result = cell.run(registry);
+            let mut retries = 0;
+            let mut outcome = execute_cell(cell, &registry, self.cell_timeout);
+            if self.retry && !outcome.is_ok() {
+                retries = 1;
+                outcome = execute_cell(cell, &registry, self.cell_timeout);
+            }
             let wall = t0.elapsed();
-            self.emit(&ProgressEvent::CellFinished {
-                cell: cell.index,
-                dataset: cell.dataset.abbrev(),
-                algo: cell.algo.label(),
-                engine: cell.engine.key().to_string(),
-                cycles: result.metrics.cycles,
-                verified: result.verify.is_match(),
-                wall_micros: wall.as_micros(),
-            });
-            CellResult { cell: cell.clone(), result, wall }
+            match &outcome {
+                CellOutcome::Completed(result) => {
+                    if let Some(log) = &log {
+                        if log.append(&CanonicalCell::of(cell, result)).is_err() {
+                            write_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    self.emit(&ProgressEvent::CellFinished {
+                        cell: cell.index,
+                        dataset: cell.dataset.abbrev(),
+                        algo: cell.algo.label(),
+                        engine: cell.engine.key().to_string(),
+                        cycles: result.metrics.cycles,
+                        verified: result.verify.is_match(),
+                        wall_micros: wall.as_micros(),
+                    });
+                }
+                failure => {
+                    self.emit(&ProgressEvent::CellFailed {
+                        cell: cell.index,
+                        dataset: cell.dataset.abbrev(),
+                        algo: cell.algo.label(),
+                        engine: cell.engine.key().to_string(),
+                        outcome: failure.kind().label(),
+                        detail: failure.detail(),
+                        retries,
+                        wall_micros: wall.as_micros(),
+                    });
+                }
+            }
+            CellResult { cell: cell.clone(), outcome, wall, retries }
         });
-        let report = SweepReport { cells: results };
+        let report = SweepReport {
+            cells: results,
+            checkpoint_write_errors: write_errors.load(Ordering::Relaxed),
+        };
+        let counts = report.outcome_counts();
         self.emit(&ProgressEvent::SweepFinished {
             cells: report.len(),
-            verified: report.cells.iter().filter(|c| c.result.verify.is_match()).count(),
+            verified: report.cells.iter().filter(|c| c.is_verified()).count(),
+            failed: counts.not_ok(),
+            restored: counts.restored,
+            retried: report.total_retries(),
             wall_micros: started.elapsed().as_micros(),
         });
-        report
+        Ok(report)
     }
 
     /// Index-stable parallel map over arbitrary items: applies `f` to each
@@ -742,22 +1268,136 @@ impl SweepRunner {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
                     let out = f(i, item);
-                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+            .map(|slot| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(out) => out,
+                // Unreachable: a worker that did not fill its slot panicked
+                // in `f`, and that panic already propagated out of the
+                // thread scope above.
+                None => panic!("worker failed to fill its result slot"),
             })
             .collect()
+    }
+}
+
+/// Validates a resume checkpoint against the expanded grid and returns,
+/// per cell index, the record to restore (last duplicate wins).
+fn plan_resume(
+    path: &std::path::Path,
+    cells: &[ExperimentCell],
+) -> Result<Vec<Option<CanonicalCell>>, TdgraphError> {
+    let records = checkpoint::load(path)?;
+    let mut restored: Vec<Option<CanonicalCell>> = (0..cells.len()).map(|_| None).collect();
+    for record in records {
+        let Some(cell) = cells.get(record.cell) else {
+            return Err(CheckpointError::SpecMismatch {
+                index: record.cell,
+                expected: format!("a sweep of {} cells", cells.len()),
+                found: record.coordinates(),
+            }
+            .into());
+        };
+        if !record.matches(cell) {
+            return Err(CheckpointError::SpecMismatch {
+                index: record.cell,
+                expected: checkpoint::cell_coordinates(cell),
+                found: record.coordinates(),
+            }
+            .into());
+        }
+        let index = record.cell;
+        restored[index] = Some(record);
+    }
+    Ok(restored)
+}
+
+/// Runs one cell behind the fault boundary: typed errors and panics are
+/// captured; with a timeout, the cell runs on a monitored thread and a
+/// watchdog converts an overrun into [`CellOutcome::TimedOut`].
+fn execute_cell(
+    cell: &ExperimentCell,
+    registry: &RegistryHandle,
+    timeout: Option<Duration>,
+) -> CellOutcome {
+    let Some(limit) = timeout else {
+        return execute_inline(cell, registry.get());
+    };
+
+    // Completion flag shared with the monitored thread: the cell outcome
+    // slot plus a condvar the watchdog waits on.
+    type Slot = (Mutex<Option<CellOutcome>>, Condvar);
+    let slot: Arc<Slot> = Arc::new((Mutex::new(None), Condvar::new()));
+    let worker_slot = Arc::clone(&slot);
+    let worker_cell = cell.clone();
+    let worker_registry = registry.clone();
+    let spawned =
+        std::thread::Builder::new().name(format!("tdgraph-cell-{}", cell.index)).spawn(move || {
+            // `execute_inline` contains panics, so this thread always
+            // reaches the notify and never poisons the slot.
+            let outcome = execute_inline(&worker_cell, worker_registry.get());
+            let (lock, condvar) = &*worker_slot;
+            if let Ok(mut guard) = lock.lock() {
+                *guard = Some(outcome);
+            }
+            condvar.notify_all();
+        });
+    if spawned.is_err() {
+        // Thread exhaustion: degrade to an unwatched inline run rather
+        // than reporting a cell failure the cell did not cause.
+        return execute_inline(cell, registry.get());
+    }
+
+    let (lock, condvar) = &*slot;
+    let deadline = Instant::now() + limit;
+    let mut guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if let Some(outcome) = guard.take() {
+            return outcome;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            // The runaway thread keeps the Arc alive and is abandoned.
+            return CellOutcome::TimedOut { timeout: limit };
+        }
+        let (g, _) =
+            condvar.wait_timeout(guard, deadline - now).unwrap_or_else(PoisonError::into_inner);
+        guard = g;
+    }
+}
+
+/// Runs one cell in the current thread, converting typed errors and
+/// contained panics into outcomes.
+fn execute_inline(cell: &ExperimentCell, registry: &EngineRegistry) -> CellOutcome {
+    match catch_unwind(AssertUnwindSafe(|| cell.run_checked(registry))) {
+        Ok(Ok(result)) => CellOutcome::Completed(Box::new(result)),
+        Ok(Err(e)) => CellOutcome::Failed(e),
+        Err(payload) => CellOutcome::Panicked {
+            message: panic_message(payload.as_ref()),
+            backtrace_hint: BACKTRACE_HINT.to_string(),
+        },
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked with a non-string payload".to_string()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tdgraph_engines::testutil::{FaultMode, FaultyEngine};
     use tdgraph_sim::SimConfig;
 
     fn tiny_spec() -> SweepSpec {
@@ -769,6 +1409,10 @@ mod tests {
                 o.sim = SimConfig::small_test();
                 o.batches = 1;
             })
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tdgraph-sweep-{}-{name}", std::process::id()))
     }
 
     #[test]
@@ -812,6 +1456,7 @@ mod tests {
             .run(&tiny_spec());
         assert_eq!(report.len(), 4);
         report.assert_all_verified();
+        assert_eq!(report.outcome_counts().completed, 4);
         // Stable order: report order equals expansion order.
         for (i, c) in report.cells.iter().enumerate() {
             assert_eq!(c.cell.index, i);
@@ -819,6 +1464,7 @@ mod tests {
         let events = events.lock().unwrap();
         assert!(events[0].contains("sweep_started"));
         assert!(events.last().unwrap().contains("sweep_finished"));
+        assert!(events.last().unwrap().contains("\"failed\":0"));
         assert_eq!(events.iter().filter(|e| e.contains("cell_finished")).count(), 4);
         for e in events.iter() {
             assert!(e.starts_with('{') && e.ends_with('}'), "not a JSON line: {e}");
@@ -837,13 +1483,183 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unknown_named_engine_panics_before_running() {
+    fn unknown_named_engine_is_a_per_cell_failure() {
         let spec = SweepSpec::new()
             .dataset(Dataset::Amazon)
             .sizing(Sizing::Tiny)
             .engine_named("warp-drive");
-        let _ = SweepRunner::new().run(&spec);
+        let report = SweepRunner::new().run(&spec);
+        assert_eq!(report.len(), 1);
+        assert!(!report.all_ok());
+        assert_eq!(report.outcome_counts().failed, 1);
+        match &report.cells[0].outcome {
+            CellOutcome::Failed(TdgraphError::Engine(e)) => {
+                assert!(e.to_string().contains("warp-drive"));
+            }
+            other => panic!("expected a typed engine failure, got {other:?}"),
+        }
+        let digest = report.failure_digest();
+        assert!(digest.contains("warp-drive") && digest.contains("not registered"), "{digest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep had failures")]
+    fn assert_all_ok_panics_with_the_digest() {
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine_named("warp-drive");
+        SweepRunner::new().run(&spec).assert_all_ok();
+    }
+
+    #[test]
+    fn engine_panics_are_contained_per_cell() {
+        let mut registry = EngineRegistry::with_software();
+        registry.register("boom", || Box::new(FaultyEngine::new(FaultMode::PanicOnBatch(0))));
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine_named("ligra-o")
+            .engine_named("boom")
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            });
+        let report = SweepRunner::new().threads(2).registry(registry).run(&spec);
+        assert_eq!(report.len(), 2, "the panicking cell must not take the sweep down");
+        assert!(report.cells[0].is_verified());
+        match &report.cells[1].outcome {
+            CellOutcome::Panicked { message, backtrace_hint } => {
+                assert!(message.contains("injected fault"), "{message}");
+                assert!(backtrace_hint.contains("RUST_BACKTRACE=1"));
+            }
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+        // Failure lines are canonical too (outcome-tagged).
+        let lines = report.canonical_lines();
+        assert!(lines.contains("\"outcome\":\"panicked\""), "{lines}");
+    }
+
+    #[test]
+    fn watchdog_times_out_a_wedged_cell() {
+        let mut registry = EngineRegistry::with_software();
+        registry.register("sleeper", || {
+            Box::new(FaultyEngine::new(FaultMode::SleepOnBatch(0, Duration::from_secs(20))))
+        });
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine_named("sleeper")
+            .engine_named("ligra-o")
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            });
+        let report = SweepRunner::new()
+            .threads(1)
+            .registry(registry)
+            .cell_timeout(Duration::from_millis(200))
+            .run(&spec);
+        assert_eq!(report.len(), 2, "the wedged cell must not block the sweep");
+        assert!(
+            matches!(report.cells[0].outcome, CellOutcome::TimedOut { .. }),
+            "got {:?}",
+            report.cells[0].outcome
+        );
+        // The cell scheduled after the wedge still ran to completion on
+        // the same worker.
+        assert!(report.cells[1].is_verified());
+        assert_eq!(report.outcome_counts().timed_out, 1);
+    }
+
+    #[test]
+    fn retry_once_recovers_a_transient_fault_byte_identically() {
+        // An engine that panics on its first construction only — the
+        // deterministic stand-in for a transient environmental fault.
+        let make_registry = |poison_first: bool| {
+            let mut registry = EngineRegistry::with_software();
+            let builds = Arc::new(AtomicUsize::new(0));
+            registry.register("flaky", move || {
+                if poison_first && builds.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected fault: first build fails");
+                }
+                Box::new(FaultyEngine::new(FaultMode::None))
+            });
+            registry
+        };
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine_named("flaky")
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            });
+        let flaky =
+            SweepRunner::new().threads(1).registry(make_registry(true)).retry_once(true).run(&spec);
+        flaky.assert_all_verified();
+        assert_eq!(flaky.cells[0].retries, 1);
+        assert_eq!(flaky.total_retries(), 1);
+
+        let clean = SweepRunner::new().threads(1).registry(make_registry(false)).run(&spec);
+        assert_eq!(flaky.canonical_lines(), clean.canonical_lines());
+    }
+
+    #[test]
+    fn checkpoint_then_resume_restores_byte_identically() {
+        let path = temp_path("resume-unit.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let spec = tiny_spec();
+
+        let first = SweepRunner::new().threads(2).checkpoint_to(&path).run(&spec);
+        first.assert_all_verified();
+        assert_eq!(first.checkpoint_write_errors, 0);
+
+        let resumed = SweepRunner::new().threads(2).run(&spec.clone().resume_from(&path));
+        assert_eq!(resumed.outcome_counts().restored, 4);
+        resumed.assert_all_verified();
+        assert_eq!(first.canonical_lines(), resumed.canonical_lines());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_checkpoint() {
+        let path = temp_path("resume-mismatch.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let first = SweepRunner::new().checkpoint_to(&path).run(&tiny_spec());
+        first.assert_all_ok();
+
+        // A different grid at the same path must be refused, not mixed in.
+        let other = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine(EngineKind::LigraO)
+            .seeds([1, 2, 3, 4])
+            .resume_from(&path);
+        let err = SweepRunner::new().try_run(&other).unwrap_err();
+        assert!(
+            matches!(err, TdgraphError::Checkpoint(CheckpointError::SpecMismatch { .. })),
+            "got {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_resume_file_is_a_fresh_start() {
+        let path = temp_path("resume-missing.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine(EngineKind::LigraO)
+            .tune(|o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 1;
+            })
+            .resume_from(&path);
+        let report = SweepRunner::new().run(&spec);
+        assert_eq!(report.outcome_counts().restored, 0);
+        report.assert_all_verified();
     }
 
     #[test]
@@ -862,7 +1678,7 @@ mod tests {
         report.assert_all_verified();
         // The cell's config survives key-based resolution: disabling the
         // VSCU must not fall back to the default ("TDGraph-H") build.
-        assert_eq!(report.cells[0].result.metrics.engine, "TDGraph-H-without");
+        assert_eq!(report.cells[0].metrics().unwrap().engine, "TDGraph-H-without");
     }
 
     #[test]
@@ -880,6 +1696,6 @@ mod tests {
         let report = SweepRunner::new().registry(registry).run(&spec);
         assert_eq!(report.len(), 1);
         report.assert_all_verified();
-        assert_eq!(report.cells[0].result.metrics.engine, "Ligra-o");
+        assert_eq!(report.cells[0].metrics().unwrap().engine, "Ligra-o");
     }
 }

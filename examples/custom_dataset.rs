@@ -56,10 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     };
 
-    let mut baseline = EngineKind::LigraO.build();
-    let base = run_streaming_workload(baseline.as_mut(), algo, rebuild(), &opts);
-    let mut accel = EngineKind::TdGraphH.build();
-    let tdg = run_streaming_workload(accel.as_mut(), algo, rebuild(), &opts);
+    let mut baseline = EngineKind::LigraO.try_build()?;
+    let base = run_streaming_workload(baseline.as_mut(), algo, rebuild(), &opts)?;
+    let mut accel = EngineKind::TdGraphH.try_build()?;
+    let tdg = run_streaming_workload(accel.as_mut(), algo, rebuild(), &opts)?;
     assert!(base.verify.is_match() && tdg.verify.is_match());
 
     println!(

@@ -34,9 +34,10 @@ fn main() {
     // Expansion order puts each dataset's engines consecutively, with the
     // baseline first.
     for group in report.cells.chunks(engines.len()) {
-        let base = group[0].result.metrics.cycles.max(1);
+        // `assert_all_verified` above guarantees every cell completed.
+        let base = group[0].metrics().expect("cell completed").cycles.max(1);
         for cell in group {
-            let m = &cell.result.metrics;
+            let m = cell.metrics().expect("cell completed");
             println!(
                 "{:<6} {:<12} {:>12} {:>8.2}x",
                 cell.cell.dataset.abbrev(),
