@@ -104,7 +104,7 @@ impl DepGraph {
     fn fetch_edge(&self, ctx: &mut BatchCtx<'_>, core: usize, i: usize) -> (VertexId, f32) {
         ctx.machine.access(core, Actor::Accel, Region::NeighborArray, i as u64, false);
         ctx.machine.access(core, Actor::Accel, Region::WeightArray, i as u64, false);
-        ctx.counters.record_edges(1);
+        ctx.note_edges(1);
         ctx.machine.compute(core, Actor::Core, Op::EdgeProcess, 1);
         ctx.graph.edge_at(i)
     }

@@ -117,7 +117,7 @@ impl Engine for JetStream {
                             ctx.machine.access(core, Actor::Accel, dreg, didx, true);
                             ctx.machine.compute(core, Actor::Accel, Op::StateUpdate, 1);
                             ctx.state.states[dst as usize] = cand;
-                            ctx.counters.record_write(dst);
+                            ctx.note_state_write(dst);
                             ctx.state.parents[dst as usize] = v;
                             self.emit(ctx, core, dst, &mut queue, &mut queued);
                         }
@@ -144,7 +144,7 @@ impl Engine for JetStream {
                     ctx.machine.access(core, Actor::Accel, reg, idx, true);
                     ctx.machine.compute(core, Actor::Accel, Op::StateUpdate, 1);
                     ctx.state.states[v as usize] += r;
-                    ctx.counters.record_write(v);
+                    ctx.note_state_write(v);
                     let mass = ctx.out_mass[v as usize];
                     if mass <= 0.0 {
                         continue;
@@ -186,7 +186,7 @@ impl JetStream {
     fn fetch_edge(&self, ctx: &mut BatchCtx<'_>, core: usize, i: usize) -> (VertexId, f32) {
         ctx.machine.access(core, Actor::Accel, Region::NeighborArray, i as u64, false);
         ctx.machine.access(core, Actor::Accel, Region::WeightArray, i as u64, false);
-        ctx.counters.record_edges(1);
+        ctx.note_edges(1);
         ctx.machine.compute(core, Actor::Accel, Op::EdgeProcess, 1);
         ctx.graph.edge_at(i)
     }

@@ -73,7 +73,7 @@ impl Engine for Phi {
                                     u64::from(dst),
                                 );
                                 ctx.state.states[dst as usize] = cand;
-                                ctx.counters.record_write(dst);
+                                ctx.note_state_write(dst);
                                 ctx.state.parents[dst as usize] = v;
                                 touched.insert(dst);
                                 if next.push(dst) {

@@ -455,7 +455,7 @@ impl TdGraph {
                 ctx.machine.access(core, actor, dreg, didx, false);
                 self.step_overhead(ctx, core);
                 self.stats.processed_edges += 1;
-                ctx.counters.record_edges(1);
+                ctx.note_edges(1);
 
                 // Queue for the core; the core drains synchronously.
                 if !buffer.has_room() {
@@ -501,7 +501,7 @@ impl TdGraph {
                             ctx.machine.access(core, Actor::Core, dreg, didx, true);
                             ctx.machine.compute(core, Actor::Core, Op::StateUpdate, 1);
                             ctx.state.states[dst as usize] = cand;
-                            ctx.counters.record_write(dst);
+                            ctx.note_state_write(dst);
                             ctx.state.parents[dst as usize] = v;
                             ctx.machine.access(
                                 core,
@@ -609,7 +609,7 @@ impl TdGraph {
                     ctx.machine.access(core, Actor::Core, reg, idx, true);
                     ctx.machine.compute(core, Actor::Core, Op::StateUpdate, 1);
                     ctx.state.states[v as usize] += r;
-                    ctx.counters.record_write(v);
+                    ctx.note_state_write(v);
                     r
                 } else {
                     0.0

@@ -1,0 +1,139 @@
+//! Overhead smoke for the observability layer.
+//!
+//! Two claims are checked here, one reported and one asserted:
+//!
+//! * **Reported** (criterion group `obs_overhead`): end-to-end harness runs
+//!   on the untraced path (internal `NullRecorder`) next to runs streaming
+//!   into a live `MemoryRecorder`, so a regression in either path shows up
+//!   in the bench log.
+//! * **Asserted** (`assert_disabled_emission_is_free`): the hot-path cost
+//!   of a *disabled* `RecorderHandle` — what every `BatchCtx` counter
+//!   write pays when no recorder is attached — stays within 2% of the
+//!   same loop without any emission call.
+//!
+//! Tolerance approach: wall-clock micro-benchmarks are noisy, so the
+//! assertion compares the *minimum* of many interleaved samples (the
+//! minimum is the most schedule-robust location statistic for a CPU-bound
+//! loop: noise only ever adds time). Samples of the two variants are
+//! interleaved so frequency scaling and migration hit both equally, and
+//! the check retries before failing so a single descheduled sample cannot
+//! fail CI. A true regression — a disabled handle that really does work
+//! per call — is deterministic and survives every retry.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdgraph::engines::harness::{run_streaming, run_streaming_observed};
+use tdgraph::engines::metrics::UpdateCounters;
+use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::obs::{keys, MemoryRecorder, RecorderHandle};
+use tdgraph::{EngineKind, RunOptions};
+
+fn tiny_options() -> RunOptions {
+    RunOptions { sim: tdgraph::sim::SimConfig::small_test(), batches: 1, ..RunOptions::default() }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("harness_null_recorder", |b| {
+        let opts = tiny_options();
+        b.iter(|| {
+            let mut engine = EngineKind::LigraO.try_build().unwrap();
+            let res = run_streaming(
+                engine.as_mut(),
+                tdgraph::algos::traits::Algo::pagerank(),
+                Dataset::Amazon,
+                Sizing::Tiny,
+                &opts,
+            )
+            .unwrap();
+            res.metrics.cycles
+        });
+    });
+    group.bench_function("harness_memory_recorder", |b| {
+        let opts = tiny_options();
+        b.iter(|| {
+            let mut engine = EngineKind::LigraO.try_build().unwrap();
+            let mut recorder = MemoryRecorder::new();
+            let res = run_streaming_observed(
+                engine.as_mut(),
+                tdgraph::algos::traits::Algo::pagerank(),
+                Dataset::Amazon,
+                Sizing::Tiny,
+                &opts,
+                &mut recorder,
+            )
+            .unwrap();
+            (res.metrics.cycles, recorder.into_snapshot().counter(keys::EDGES_PROCESSED))
+        });
+    });
+    group.finish();
+}
+
+const LOOP_WRITES: u64 = 2_000_000;
+
+/// The hot-path loop without observability: the dense accumulator only.
+fn baseline_loop(counters: &mut UpdateCounters) -> Duration {
+    let start = Instant::now();
+    for v in 0..LOOP_WRITES {
+        counters.record_write(black_box((v % 64) as u32));
+    }
+    start.elapsed()
+}
+
+/// The same loop as [`BatchCtx::note_state_write`] performs it when no
+/// recorder is attached: accumulator write plus a disabled-handle emission.
+fn disabled_loop(counters: &mut UpdateCounters) -> Duration {
+    let mut obs = RecorderHandle::disabled();
+    let start = Instant::now();
+    for v in 0..LOOP_WRITES {
+        counters.record_write(black_box((v % 64) as u32));
+        obs.counter(keys::STATE_WRITES, 1);
+    }
+    start.elapsed()
+}
+
+/// Minimum-of-samples timing of both variants, interleaved.
+fn measure(samples: usize) -> (Duration, Duration) {
+    let mut counters = UpdateCounters::new(64);
+    // Warm-up (untimed).
+    let _ = baseline_loop(&mut counters);
+    let _ = disabled_loop(&mut counters);
+    let mut base_min = Duration::MAX;
+    let mut obs_min = Duration::MAX;
+    for _ in 0..samples {
+        base_min = base_min.min(baseline_loop(&mut counters));
+        obs_min = obs_min.min(disabled_loop(&mut counters));
+    }
+    black_box(&counters);
+    (base_min, obs_min)
+}
+
+fn assert_disabled_emission_is_free(_c: &mut Criterion) {
+    const TOLERANCE: f64 = 1.02;
+    const ATTEMPTS: usize = 3;
+    let mut last = (Duration::ZERO, Duration::ZERO);
+    for attempt in 1..=ATTEMPTS {
+        let (base, obs) = measure(15);
+        let ratio = obs.as_secs_f64() / base.as_secs_f64().max(f64::EPSILON);
+        eprintln!(
+            "obs_overhead/disabled_emission attempt {attempt}: \
+             baseline {base:?}, with-disabled-handle {obs:?}, ratio {ratio:.4}"
+        );
+        if ratio <= TOLERANCE {
+            return;
+        }
+        last = (base, obs);
+    }
+    panic!(
+        "disabled RecorderHandle emission exceeded the {:.0}% overhead budget \
+         after {ATTEMPTS} attempts: baseline {:?}, instrumented {:?}",
+        (TOLERANCE - 1.0) * 100.0,
+        last.0,
+        last.1,
+    );
+}
+
+criterion_group!(benches, bench_end_to_end, assert_disabled_emission_is_free);
+criterion_main!(benches);

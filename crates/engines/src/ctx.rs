@@ -12,6 +12,7 @@ use tdgraph_algos::traits::Algo;
 use tdgraph_graph::csr::Csr;
 use tdgraph_graph::partition::{owner_of, Chunk};
 use tdgraph_graph::types::{VertexId, Weight};
+use tdgraph_obs::{keys, RecorderHandle};
 use tdgraph_sim::address::Region;
 use tdgraph_sim::machine::Machine;
 use tdgraph_sim::stats::{Actor, Op};
@@ -37,6 +38,9 @@ pub struct BatchCtx<'a> {
     pub counters: &'a mut UpdateCounters,
     /// Outgoing mass per vertex (accumulative algorithms).
     pub out_mass: &'a [f32],
+    /// Live observability handle. [`RecorderHandle::disabled`] when the run
+    /// is untraced, in which case every emission is one predictable branch.
+    pub obs: RecorderHandle<'a>,
 }
 
 impl<'a> BatchCtx<'a> {
@@ -69,12 +73,27 @@ impl<'a> BatchCtx<'a> {
         self.state.states[v as usize]
     }
 
+    /// Counts a vertex-state write for the redundancy metrics and forwards
+    /// it to the live observability stream. Engines that write states
+    /// outside [`BatchCtx::write_state`] call this directly.
+    pub fn note_state_write(&mut self, v: VertexId) {
+        self.counters.record_write(v);
+        self.obs.counter(keys::STATE_WRITES, 1);
+    }
+
+    /// Counts `n` processed edges and forwards them to the live
+    /// observability stream.
+    pub fn note_edges(&mut self, n: u64) {
+        self.counters.record_edges(n);
+        self.obs.counter(keys::EDGES_PROCESSED, n);
+    }
+
     /// Writes `v`'s state and counts the update.
     pub fn write_state(&mut self, core: usize, actor: Actor, v: VertexId, value: f32) {
         self.machine.access(core, actor, Region::VertexStates, u64::from(v), true);
         self.machine.compute(core, actor, Op::StateUpdate, 1);
         self.state.states[v as usize] = value;
-        self.counters.record_write(v);
+        self.note_state_write(v);
     }
 
     /// Reads `v`'s residual (accumulative) — stored in the aux region.
@@ -118,7 +137,7 @@ impl<'a> BatchCtx<'a> {
     pub fn read_edge(&mut self, core: usize, actor: Actor, i: usize) -> (VertexId, Weight) {
         self.machine.access(core, actor, Region::NeighborArray, i as u64, false);
         self.machine.access(core, actor, Region::WeightArray, i as u64, false);
-        self.counters.record_edges(1);
+        self.note_edges(1);
         self.machine.compute(core, actor, Op::EdgeProcess, 1);
         self.graph.edge_at(i)
     }
@@ -127,7 +146,7 @@ impl<'a> BatchCtx<'a> {
     pub fn read_edge_in(&mut self, core: usize, actor: Actor, i: usize) -> (VertexId, Weight) {
         self.machine.access(core, actor, Region::NeighborArray, i as u64, false);
         self.machine.access(core, actor, Region::WeightArray, i as u64, false);
-        self.counters.record_edges(1);
+        self.note_edges(1);
         self.machine.compute(core, actor, Op::EdgeProcess, 1);
         self.transpose.edge_at(i)
     }
@@ -275,6 +294,7 @@ mod tests {
             chunks: &chunks,
             counters: &mut counters,
             out_mass: &mass,
+            obs: RecorderHandle::disabled(),
         };
         assert_eq!(ctx.read_state(0, Actor::Core, 1), 1.0);
         ctx.write_state(0, Actor::Core, 1, 9.0);
@@ -297,6 +317,7 @@ mod tests {
             chunks: &chunks,
             counters: &mut counters,
             out_mass: &mass,
+            obs: RecorderHandle::disabled(),
         };
         let (lo, _) = ctx.read_offsets(0, Actor::Core, 0);
         let (nbr, w) = ctx.read_edge(0, Actor::Core, lo);
@@ -318,6 +339,7 @@ mod tests {
             chunks: &chunks,
             counters: &mut counters,
             out_mass: &mass,
+            obs: RecorderHandle::disabled(),
         };
         for v in 0..8 {
             assert!(ctx.owner(v) < 4);
@@ -340,6 +362,7 @@ mod tests {
             chunks: &chunks,
             counters: &mut counters,
             out_mass: &mass,
+            obs: RecorderHandle::disabled(),
         };
         let _ = ctx.owner(1_000_000);
     }
@@ -353,6 +376,6 @@ mod tests {
         tap.touch(AccessEvent::WriteState(3));
         tap.touch(AccessEvent::ReadNeighbor(0));
         assert_eq!(machine.stats().accesses, 3);
-        assert!(machine.stats().op_count(Op::StateUpdate) == 1);
+        assert!(machine.stats().per_op(Op::StateUpdate) == 1);
     }
 }

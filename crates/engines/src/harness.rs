@@ -14,6 +14,7 @@ use tdgraph_algos::verify::{compare, VerifyOutcome};
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
 use tdgraph_graph::partition::partition_by_edges;
 use tdgraph_graph::update::BatchComposer;
+use tdgraph_obs::{keys, MemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 use tdgraph_sim::address::AddressSpace;
 use tdgraph_sim::config::SimConfig;
 use tdgraph_sim::energy::{EnergyBreakdown, EnergyConstants};
@@ -91,6 +92,23 @@ pub fn run_streaming<E: Engine + ?Sized>(
     run_streaming_workload(engine, algo, workload, opts)
 }
 
+/// Like [`run_streaming`], but emits live instrumentation into `recorder`.
+///
+/// # Errors
+///
+/// Same as [`run_streaming_workload`].
+pub fn run_streaming_observed<E: Engine + ?Sized>(
+    engine: &mut E,
+    algo: Algo,
+    dataset: Dataset,
+    sizing: Sizing,
+    opts: &RunOptions,
+    recorder: &mut dyn Recorder,
+) -> Result<RunResult, EngineError> {
+    let workload = StreamingWorkload::try_prepare(dataset, sizing)?;
+    run_streaming_workload_observed(engine, algo, workload, opts, recorder)
+}
+
 /// Validates run options before any simulation work starts, so a bad
 /// configuration is a typed error rather than a mid-run panic.
 fn validate_options(opts: &RunOptions) -> Result<(), EngineError> {
@@ -123,6 +141,30 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
     algo: Algo,
     workload: StreamingWorkload,
     opts: &RunOptions,
+) -> Result<RunResult, EngineError> {
+    let mut null = NullRecorder;
+    run_streaming_workload_observed(engine, algo, workload, opts, &mut null)
+}
+
+/// Like [`run_streaming_workload`], but emits live instrumentation into
+/// `recorder`: `updates.*` counters as the engine performs them, a span per
+/// phase with cycle and wall-clock attribution, and the final `sim.*` /
+/// `energy.*` / `run.*` totals.
+///
+/// The returned [`RunMetrics`] are always derived from an (internal)
+/// observability snapshot — [`RunMetrics::from_snapshot`] — so traced and
+/// untraced runs report byte-identical numbers; passing
+/// [`NullRecorder`] reduces every live emission to one predictable branch.
+///
+/// # Errors
+///
+/// Same as [`run_streaming_workload`].
+pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
+    engine: &mut E,
+    algo: Algo,
+    workload: StreamingWorkload,
+    opts: &RunOptions,
+    recorder: &mut dyn Recorder,
 ) -> Result<RunResult, EngineError> {
     validate_options(opts)?;
     let StreamingWorkload { mut graph, pending, .. } = workload;
@@ -163,14 +205,17 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
         counters.reset_marks();
 
         // Batch application + seeding: "other" time.
+        recorder.span_enter(keys::PHASE_OTHER);
         machine.compute(0, Actor::Core, Op::ScheduleOp, batch.len() as u64 * 2);
         let affected = {
             let mut tap = MachineTap::new(&mut machine, &chunks);
             seed_after_batch(&algo, &snapshot, &transpose, &mut state, &applied, &mut tap)
         };
-        machine.end_phase(PhaseKind::Other);
+        let other_cycles = machine.end_phase(PhaseKind::Other);
+        recorder.span_exit(keys::PHASE_OTHER, other_cycles);
 
         // Engine propagation.
+        recorder.span_enter(keys::PHASE_PROPAGATION);
         {
             let mut ctx = BatchCtx {
                 machine: &mut machine,
@@ -181,10 +226,12 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
                 chunks: &chunks,
                 counters: &mut counters,
                 out_mass: &mass,
+                obs: RecorderHandle::new(&mut *recorder),
             };
             engine.process_batch(&mut ctx, &affected);
         }
-        machine.end_phase(PhaseKind::Propagation);
+        let propagation_cycles = machine.end_phase(PhaseKind::Propagation);
+        recorder.span_exit(keys::PHASE_PROPAGATION, propagation_cycles);
 
         // Classify this batch's updates.
         let changed: Vec<bool> = state
@@ -219,23 +266,30 @@ pub fn run_streaming_workload<E: Engine + ?Sized>(
     let oracle = solve(&algo, &final_snapshot);
     let verify = compare(&algo, &state.states, &oracle.states);
 
-    let metrics = RunMetrics {
-        engine: engine.name().to_string(),
-        algo: algo.name().to_string(),
-        cycles: machine.total_cycles(),
-        propagation_cycles: machine.breakdown().propagation_cycles,
-        other_cycles: machine.breakdown().other_cycles,
-        state_updates: counters.total_writes(),
-        useful_updates: useful_total,
-        edges_processed: counters.edges_processed(),
-        llc_miss_rate: stats.llc_miss_rate(),
-        useful_state_ratio: stats.state_lines.useful_ratio(),
-        dram_bytes: machine.dram().total_bytes(),
-        dram_reads: machine.dram().total_reads(),
-        energy,
-        machine: stats,
-        batches: batches_done,
+    // End-of-run totals: `updates.*` already reached `recorder` live, so it
+    // only receives the remaining namespaces plus the end-computed useful
+    // count; the internal recorder gets everything and becomes the
+    // snapshot the metrics are read from.
+    let export_totals = |rec: &mut dyn Recorder| {
+        stats.export_into(rec);
+        energy.export_into(rec);
+        rec.counter(keys::USEFUL_UPDATES, useful_total);
+        rec.counter(keys::DRAM_BYTES, machine.dram().total_bytes());
+        rec.counter(keys::DRAM_READS, machine.dram().total_reads());
+        rec.counter(keys::RUN_CYCLES, machine.total_cycles());
+        rec.counter(keys::RUN_BATCHES, batches_done);
+        rec.label(keys::RUN_ENGINE, engine.name());
+        rec.label(keys::RUN_ALGO, algo.name());
     };
+    export_totals(recorder);
+
+    let mut mem = MemoryRecorder::new();
+    export_totals(&mut mem);
+    counters.export_into(&mut mem);
+    mem.span_exit(keys::PHASE_PROPAGATION, machine.breakdown().propagation_cycles);
+    mem.span_exit(keys::PHASE_OTHER, machine.breakdown().other_cycles);
+
+    let metrics = RunMetrics::from_snapshot(&mem.into_snapshot());
     Ok(RunResult { metrics, verify })
 }
 

@@ -1,6 +1,13 @@
 //! Run-level metrics (the quantities the paper's figures plot).
+//!
+//! Since the observability redesign, [`RunMetrics`] is a *view* over an
+//! obs snapshot: the harness exports every statistic into the unified
+//! `updates.*` / `sim.*` / `energy.*` / `run.*` namespaces and
+//! [`RunMetrics::from_snapshot`] reads them back, so a traced run and its
+//! figures see exactly the same numbers.
 
 use tdgraph_graph::types::VertexId;
+use tdgraph_obs::{keys, MemoryRecorder, Recorder, Snapshot};
 use tdgraph_sim::energy::EnergyBreakdown;
 use tdgraph_sim::stats::MachineStats;
 
@@ -78,6 +85,13 @@ impl UpdateCounters {
     pub fn writes_for(&self, v: VertexId) -> u32 {
         self.writes_per_vertex.get(v as usize).copied().unwrap_or(0)
     }
+
+    /// Exports the run totals into the observability layer under the
+    /// `updates.*` keys.
+    pub fn export_into(&self, rec: &mut dyn Recorder) {
+        rec.counter(keys::STATE_WRITES, self.total_writes);
+        rec.counter(keys::EDGES_PROCESSED, self.edges_processed);
+    }
 }
 
 /// Aggregated results of a streaming run (all batches).
@@ -116,6 +130,58 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Builds the metrics as a view over an observability snapshot: the
+    /// `updates.*` / `sim.*` / `energy.*` / `run.*` keys and the phase
+    /// spans the harness exports. Integer counters and energy gauges are
+    /// copied verbatim; the two derived ratios are recomputed from the
+    /// restored machine statistics exactly as the harness used to, so the
+    /// resulting metrics are byte-identical to pre-redesign ones.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let machine = MachineStats::from_snapshot(snapshot);
+        let energy = EnergyBreakdown::from_snapshot(snapshot);
+        Self {
+            engine: snapshot.label(keys::RUN_ENGINE).unwrap_or_default().to_string(),
+            algo: snapshot.label(keys::RUN_ALGO).unwrap_or_default().to_string(),
+            cycles: snapshot.counter(keys::RUN_CYCLES),
+            propagation_cycles: snapshot.phase(keys::PHASE_PROPAGATION).map_or(0, |p| p.cycles),
+            other_cycles: snapshot.phase(keys::PHASE_OTHER).map_or(0, |p| p.cycles),
+            state_updates: snapshot.counter(keys::STATE_WRITES),
+            useful_updates: snapshot.counter(keys::USEFUL_UPDATES),
+            edges_processed: snapshot.counter(keys::EDGES_PROCESSED),
+            llc_miss_rate: machine.llc_miss_rate(),
+            useful_state_ratio: machine.state_lines.useful_ratio(),
+            dram_bytes: snapshot.counter(keys::DRAM_BYTES),
+            dram_reads: snapshot.counter(keys::DRAM_READS),
+            energy,
+            machine,
+            batches: snapshot.counter(keys::RUN_BATCHES),
+        }
+    }
+
+    /// Exports the metrics back into an observability snapshot.
+    /// [`RunMetrics::from_snapshot`] of the result reproduces `self`
+    /// (modulo the two ratios, which are re-derived from the machine
+    /// statistics).
+    #[must_use]
+    pub fn to_snapshot(&self) -> Snapshot {
+        let mut mem = MemoryRecorder::new();
+        self.machine.export_into(&mut mem);
+        self.energy.export_into(&mut mem);
+        mem.counter(keys::STATE_WRITES, self.state_updates);
+        mem.counter(keys::USEFUL_UPDATES, self.useful_updates);
+        mem.counter(keys::EDGES_PROCESSED, self.edges_processed);
+        mem.counter(keys::DRAM_BYTES, self.dram_bytes);
+        mem.counter(keys::DRAM_READS, self.dram_reads);
+        mem.counter(keys::RUN_CYCLES, self.cycles);
+        mem.counter(keys::RUN_BATCHES, self.batches);
+        mem.label(keys::RUN_ENGINE, &self.engine);
+        mem.label(keys::RUN_ALGO, &self.algo);
+        mem.span_exit(keys::PHASE_PROPAGATION, self.propagation_cycles);
+        mem.span_exit(keys::PHASE_OTHER, self.other_cycles);
+        mem.into_snapshot()
+    }
+
     /// Ratio of useless updates to all updates (Fig 3b).
     #[must_use]
     pub fn useless_update_ratio(&self) -> f64 {
@@ -206,6 +272,48 @@ mod tests {
         let changed = vec![false, false, false, false, false, true];
         let (useful, useless) = c.classify(&changed);
         assert_eq!((useful, useless), (1, 2));
+    }
+
+    #[test]
+    fn classify_tolerates_changed_shorter_than_grown_table() {
+        // Regression: record_write grows the per-vertex table past the
+        // constructed size, but callers build `changed` from the *snapshot*
+        // vertex count — classify must treat the out-of-range tail as
+        // unchanged instead of indexing past `changed` and panicking.
+        let mut c = UpdateCounters::new(2);
+        c.record_write(0);
+        c.record_write(9); // grows the table to 10 entries
+        let changed = vec![true, false]; // still snapshot-sized
+        let (useful, useless) = c.classify(&changed);
+        assert_eq!((useful, useless), (1, 1));
+        // Even an empty changed-set must classify without panicking.
+        assert_eq!(c.classify(&[]), (0, 2));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_metrics() {
+        let mut machine =
+            MachineStats { accesses: 50, llc_hits: 9, llc_misses: 1, ..Default::default() };
+        machine.state_lines.record(8);
+        let m = RunMetrics {
+            engine: "tdgraph".into(),
+            algo: "sssp".into(),
+            cycles: 1234,
+            propagation_cycles: 1000,
+            other_cycles: 234,
+            state_updates: 77,
+            useful_updates: 33,
+            edges_processed: 500,
+            llc_miss_rate: machine.llc_miss_rate(),
+            useful_state_ratio: machine.state_lines.useful_ratio(),
+            dram_bytes: 4096,
+            dram_reads: 64,
+            energy: EnergyBreakdown { core_nj: 1.5, cache_nj: 2.5, noc_nj: 0.5, dram_nj: 9.0 },
+            machine,
+            batches: 3,
+        };
+        let restored = RunMetrics::from_snapshot(&m.to_snapshot());
+        assert_eq!(restored, m);
     }
 
     #[test]

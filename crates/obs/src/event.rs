@@ -1,0 +1,252 @@
+//! Structured trace events and their JSON-lines rendering.
+//!
+//! A [`TraceEvent`] is a named, flat record of typed fields. It renders as
+//! one JSON line with the fields in insertion order, which is what makes
+//! the rendering reproducible: the same event always produces the same
+//! bytes. Wall-clock durations go in as [`Value::Wall`] so
+//! [`TraceEvent::canonical_json_line`] can strip them — the canonical form
+//! of an event stream is schedule-independent even though the full form
+//! carries timings.
+
+use std::fmt::Write as _;
+
+/// A typed field value of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned counter or id.
+    U64(u64),
+    /// A signed quantity.
+    I64(i64),
+    /// A ratio or measurement.
+    F64(f64),
+    /// A flag.
+    Bool(bool),
+    /// A label (escaped on rendering).
+    Str(String),
+    /// A wall-clock measurement (microseconds). Rendered like a number by
+    /// [`TraceEvent::to_json_line`], omitted by
+    /// [`TraceEvent::canonical_json_line`] — wall-clock time is
+    /// schedule-dependent and never part of a determinism contract.
+    Wall(u128),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A structured observability event: a name plus typed fields in insertion
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    name: &'static str,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// A named event (rendered with a leading `"event":"<name>"` field).
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self { name, fields: Vec::new() }
+    }
+
+    /// An anonymous record: no `"event"` field, just the fields themselves
+    /// (used for canonical cell records, whose format predates this crate
+    /// and must stay byte-stable).
+    #[must_use]
+    pub fn record() -> Self {
+        Self { name: "", fields: Vec::new() }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Appends a wall-clock field in microseconds (stripped from the
+    /// canonical rendering).
+    #[must_use]
+    pub fn wall_micros(mut self, key: &'static str, micros: u128) -> Self {
+        self.fields.push((key, Value::Wall(micros)));
+        self
+    }
+
+    /// The event name (empty for anonymous records).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The fields in insertion order.
+    #[must_use]
+    pub fn fields(&self) -> &[(&'static str, Value)] {
+        &self.fields
+    }
+
+    /// Looks up a field by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the event as one JSON line (no trailing newline), fields in
+    /// insertion order, wall-clock fields included.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        self.render(true)
+    }
+
+    /// Renders the schedule-independent form: identical to
+    /// [`TraceEvent::to_json_line`] minus every [`Value::Wall`] field.
+    #[must_use]
+    pub fn canonical_json_line(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, include_wall: bool) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        if !self.name.is_empty() {
+            let _ = write!(out, "\"event\":\"{}\"", json_escape(self.name));
+            first = false;
+        }
+        for (key, value) in &self.fields {
+            if matches!(value, Value::Wall(_)) && !include_wall {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{key}\":");
+            match value {
+                Value::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::F64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Str(v) => {
+                    let _ = write!(out, "\"{}\"", json_escape(v));
+                }
+                Value::Wall(v) => {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON line: quotes, backslashes, and
+/// newlines/tabs are escaped; other control characters become spaces.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_event_renders_fields_in_insertion_order() {
+        let e = TraceEvent::new("cell_started")
+            .field("cell", 3usize)
+            .field("dataset", "AM")
+            .field("ok", true);
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"cell_started\",\"cell\":3,\"dataset\":\"AM\",\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn anonymous_record_has_no_event_field() {
+        let e = TraceEvent::record().field("cell", 0usize).field("verified", false);
+        assert_eq!(e.to_json_line(), "{\"cell\":0,\"verified\":false}");
+    }
+
+    #[test]
+    fn canonical_line_strips_wall_fields_only() {
+        let e = TraceEvent::new("cell_finished")
+            .field("cell", 1usize)
+            .wall_micros("wall_micros", 12345)
+            .field("verified", true);
+        assert!(e.to_json_line().contains("\"wall_micros\":12345"));
+        assert_eq!(
+            e.canonical_json_line(),
+            "{\"event\":\"cell_finished\",\"cell\":1,\"verified\":true}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = TraceEvent::new("x").field("detail", "a \"b\"\nc\\d\u{1}");
+        assert_eq!(e.to_json_line(), "{\"event\":\"x\",\"detail\":\"a \\\"b\\\"\\nc\\\\d \"}");
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let e = TraceEvent::new("x").field("cell", 7usize);
+        assert_eq!(e.get("cell"), Some(&Value::U64(7)));
+        assert_eq!(e.get("missing"), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! The shared metric vocabulary.
+//!
+//! Every crate that emits into the observability layer uses these keys, so
+//! a snapshot merged from any mix of engines, simulator, and sweep shards
+//! has one consistent namespace: `updates.*` for the engine-side update
+//! counters, `sim.*` for the machine model, `energy.*` for the energy
+//! rollup, `run.*` for run-level aggregates, and bare phase names for the
+//! time breakdown.
+
+/// Vertex-state writes performed by engines (`UpdateCounters` total).
+pub const STATE_WRITES: &str = "updates.state_writes";
+/// Edges processed during propagation.
+pub const EDGES_PROCESSED: &str = "updates.edges_processed";
+/// Final writes of vertices whose value actually changed (Fig 3b/11).
+pub const USEFUL_UPDATES: &str = "updates.useful";
+/// Per-batch distribution of writes per touched vertex.
+pub const WRITES_PER_VERTEX: &str = "updates.writes_per_vertex";
+
+/// L1D hits.
+pub const L1_HITS: &str = "sim.l1_hits";
+/// L2 hits.
+pub const L2_HITS: &str = "sim.l2_hits";
+/// LLC hits.
+pub const LLC_HITS: &str = "sim.llc_hits";
+/// LLC misses (DRAM line reads).
+pub const LLC_MISSES: &str = "sim.llc_misses";
+/// Total accesses issued.
+pub const ACCESSES: &str = "sim.accesses";
+/// NoC hop·cycles.
+pub const NOC_HOP_CYCLES: &str = "sim.noc_hop_cycles";
+/// Coherence invalidations.
+pub const INVALIDATIONS: &str = "sim.invalidations";
+/// State-region LLC lines evicted or flushed.
+pub const STATE_LINES: &str = "sim.state_lines";
+/// 4 B words touched in those lines while resident.
+pub const STATE_WORDS_TOUCHED: &str = "sim.state_words_touched";
+/// Prefix for per-op counters (`sim.op.<snake_case_op>`).
+pub const OP_PREFIX: &str = "sim.op.";
+/// Prefix for per-region access counters (`sim.region.<snake_case_region>`).
+pub const REGION_PREFIX: &str = "sim.region.";
+
+/// DRAM bytes moved (reads + writebacks).
+pub const DRAM_BYTES: &str = "sim.dram_bytes";
+/// DRAM line reads.
+pub const DRAM_READS: &str = "sim.dram_reads";
+
+/// Core energy in nanojoules (gauge).
+pub const ENERGY_CORE_NJ: &str = "energy.core_nj";
+/// Cache-hierarchy energy in nanojoules (gauge).
+pub const ENERGY_CACHE_NJ: &str = "energy.cache_nj";
+/// NoC energy in nanojoules (gauge).
+pub const ENERGY_NOC_NJ: &str = "energy.noc_nj";
+/// DRAM energy in nanojoules (gauge).
+pub const ENERGY_DRAM_NJ: &str = "energy.dram_nj";
+
+/// Total simulated cycles of a run.
+pub const RUN_CYCLES: &str = "run.cycles";
+/// Update batches streamed.
+pub const RUN_BATCHES: &str = "run.batches";
+/// Engine label of a run.
+pub const RUN_ENGINE: &str = "run.engine";
+/// Algorithm label of a run.
+pub const RUN_ALGO: &str = "run.algo";
+
+/// The propagation phase (Fig 3a/10 "state propagation").
+pub const PHASE_PROPAGATION: &str = "propagation";
+/// Every other phase (batch application, tracking, scheduling).
+pub const PHASE_OTHER: &str = "other";

@@ -1,0 +1,479 @@
+//! Deterministic in-memory aggregation: [`MemoryRecorder`] and the
+//! [`Snapshot`] it produces.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::event::json_escape;
+use crate::recorder::Recorder;
+use crate::TraceEvent;
+
+/// Aggregated totals of one phase across all of its spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Number of closed spans.
+    pub count: u64,
+    /// Simulated cycles attributed at span exit.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds between enter and exit (schedule-dependent;
+    /// excluded from the canonical rendering).
+    pub wall_nanos: u128,
+}
+
+/// Summary histogram: count, sum, and extrema of the recorded values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// The in-memory result of a recording session.
+///
+/// Everything lives in ordered maps keyed by `&'static str`, so iteration
+/// order — and therefore every rendering — depends only on the recorded
+/// keys, never on emission order or thread interleaving. `RunMetrics` and
+/// `MachineStats` are reconstructed *from* snapshots (see their
+/// `from_snapshot` constructors); this struct is the layer the figures
+/// ultimately read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    labels: BTreeMap<&'static str, String>,
+    phases: BTreeMap<&'static str, PhaseTotals>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `key` (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The gauge named `key`.
+    #[must_use]
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// The label named `key`.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(String::as_str)
+    }
+
+    /// The phase totals for `phase`.
+    #[must_use]
+    pub fn phase(&self, phase: &str) -> Option<&PhaseTotals> {
+        self.phases.get(phase)
+    }
+
+    /// The histogram named `key`.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All phases in key order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, &PhaseTotals)> + '_ {
+        self.phases.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.labels.is_empty()
+            && self.phases.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add_counter(&mut self, key: &'static str, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, key: &'static str, value: f64) {
+        self.gauges.insert(key, value);
+    }
+
+    /// Sets a label.
+    pub fn set_label(&mut self, key: &'static str, value: impl Into<String>) {
+        self.labels.insert(key, value.into());
+    }
+
+    /// Adds a closed span to a phase.
+    pub fn add_span(&mut self, phase: &'static str, cycles: u64, wall_nanos: u128) {
+        let totals = self.phases.entry(phase).or_default();
+        totals.count += 1;
+        totals.cycles += cycles;
+        totals.wall_nanos += wall_nanos;
+    }
+
+    /// Records a histogram value.
+    pub fn add_histogram(&mut self, key: &'static str, value: u64) {
+        self.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Merges `other` into this snapshot: counters, spans, and histograms
+    /// accumulate; gauges sum (they are per-shard quantities like energy);
+    /// labels take `other`'s value on conflict.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        for (&key, &v) in &other.counters {
+            *self.counters.entry(key).or_insert(0) += v;
+        }
+        for (&key, &v) in &other.gauges {
+            *self.gauges.entry(key).or_insert(0.0) += v;
+        }
+        for (&key, v) in &other.labels {
+            self.labels.insert(key, v.clone());
+        }
+        for (&key, v) in &other.phases {
+            let totals = self.phases.entry(key).or_default();
+            totals.count += v.count;
+            totals.cycles += v.cycles;
+            totals.wall_nanos += v.wall_nanos;
+        }
+        for (&key, v) in &other.histograms {
+            self.histograms.entry(key).or_default().merge_from(v);
+        }
+    }
+
+    /// Replays the snapshot into a recorder (counters, gauges, labels,
+    /// spans as zero-wall entries, histogram summaries as one event each).
+    pub fn replay_into(&self, recorder: &mut dyn Recorder) {
+        for (&key, &v) in &self.counters {
+            recorder.counter(key, v);
+        }
+        for (&key, &v) in &self.gauges {
+            recorder.gauge(key, v);
+        }
+        for (&key, v) in &self.labels {
+            recorder.label(key, v);
+        }
+        for (&key, v) in &self.phases {
+            recorder.span_enter(key);
+            recorder.span_exit(key, v.cycles);
+        }
+        for (&key, v) in &self.histograms {
+            recorder.event(
+                &TraceEvent::new("histogram")
+                    .field("key", key)
+                    .field("count", v.count)
+                    .field("sum", v.sum)
+                    .field("min", v.min)
+                    .field("max", v.max),
+            );
+        }
+    }
+
+    /// Renders the snapshot as one canonical JSON line: keys sorted,
+    /// wall-clock excluded, so two equal snapshots render byte-identically
+    /// regardless of how they were produced.
+    #[must_use]
+    pub fn canonical_json_line(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (key, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(key));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (key, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(key));
+        }
+        out.push_str("},\"labels\":{");
+        for (i, (key, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(key), json_escape(v));
+        }
+        out.push_str("},\"phases\":{");
+        for (i, (key, v)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"cycles\":{}}}",
+                json_escape(key),
+                v.count,
+                v.cycles
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (key, v)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                json_escape(key),
+                v.count,
+                v.sum,
+                v.min,
+                v.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A [`Recorder`] that aggregates everything into a [`Snapshot`].
+///
+/// Spans nest: `span_enter`/`span_exit` pairs may be stacked, and exits
+/// close the innermost open span of the named phase. Events are kept in
+/// emission order (they carry their own ordering contract; see the sweep
+/// determinism tests).
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    snapshot: Snapshot,
+    open_spans: Vec<(&'static str, Instant)>,
+    events: Vec<TraceEvent>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The snapshot so far.
+    #[must_use]
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Consumes the recorder, closing any still-open spans with zero
+    /// cycles, and returns the snapshot.
+    #[must_use]
+    pub fn into_snapshot(mut self) -> Snapshot {
+        while let Some((phase, started)) = self.open_spans.pop() {
+            self.snapshot.add_span(phase, 0, started.elapsed().as_nanos());
+        }
+        self.snapshot
+    }
+
+    /// Structured events received, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&mut self, key: &'static str, delta: u64) {
+        self.snapshot.add_counter(key, delta);
+    }
+
+    fn gauge(&mut self, key: &'static str, value: f64) {
+        self.snapshot.set_gauge(key, value);
+    }
+
+    fn label(&mut self, key: &'static str, value: &str) {
+        self.snapshot.set_label(key, value);
+    }
+
+    fn span_enter(&mut self, phase: &'static str) {
+        self.open_spans.push((phase, Instant::now()));
+    }
+
+    fn span_exit(&mut self, phase: &'static str, cycles: u64) {
+        // Close the innermost open span of this phase; an unmatched exit
+        // still counts the cycles (zero wall) rather than being lost.
+        let open = self.open_spans.iter().rposition(|(p, _)| *p == phase);
+        let wall = match open {
+            Some(i) => self.open_spans.remove(i).1.elapsed().as_nanos(),
+            None => 0,
+        };
+        self.snapshot.add_span(phase, cycles, wall);
+    }
+
+    fn histogram(&mut self, key: &'static str, value: u64) {
+        self.snapshot.add_histogram(key, value);
+    }
+
+    fn event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MemoryRecorder::new();
+        r.counter("a", 1);
+        r.counter("a", 2);
+        r.counter("b", 10);
+        assert_eq!(r.snapshot().counter("a"), 3);
+        assert_eq!(r.snapshot().counter("b"), 10);
+        assert_eq!(r.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn spans_attribute_cycles_and_wall() {
+        let mut r = MemoryRecorder::new();
+        r.span_enter("propagation");
+        r.span_exit("propagation", 100);
+        r.span_enter("propagation");
+        r.span_exit("propagation", 50);
+        let snap = r.into_snapshot();
+        let p = snap.phase("propagation").unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.cycles, 150);
+    }
+
+    #[test]
+    fn unmatched_span_exit_still_counts_cycles() {
+        let mut r = MemoryRecorder::new();
+        r.span_exit("other", 42);
+        assert_eq!(r.snapshot().phase("other").unwrap().cycles, 42);
+    }
+
+    #[test]
+    fn histograms_track_extrema() {
+        let mut r = MemoryRecorder::new();
+        for v in [5u64, 1, 9, 3] {
+            r.histogram("h", v);
+        }
+        let h = *r.snapshot().histogram("h").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (4, 18, 1, 9));
+        assert!((h.mean() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Snapshot::new();
+        a.add_counter("x", 1);
+        a.add_histogram("h", 7);
+        a.add_span("p", 10, 5);
+        let mut b = Snapshot::new();
+        b.add_counter("x", 2);
+        b.add_counter("y", 4);
+        b.add_histogram("h", 3);
+        b.add_span("p", 20, 6);
+
+        let mut ab = Snapshot::new();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let mut ba = Snapshot::new();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.canonical_json_line(), ba.canonical_json_line());
+        assert_eq!(ab.counter("x"), 3);
+        assert_eq!(ab.phase("p").unwrap().cycles, 30);
+    }
+
+    #[test]
+    fn canonical_line_is_sorted_and_wall_free() {
+        let mut s = Snapshot::new();
+        s.add_counter("z", 1);
+        s.add_counter("a", 2);
+        s.add_span("p", 3, 999_999);
+        let line = s.canonical_json_line();
+        assert!(line.find("\"a\":2").unwrap() < line.find("\"z\":1").unwrap());
+        assert!(!line.contains("999999"), "wall must not leak into the canonical line: {line}");
+    }
+
+    #[test]
+    fn replay_reproduces_counters_and_phases() {
+        let mut src = MemoryRecorder::new();
+        src.counter("a", 3);
+        src.gauge("g", 2.5);
+        src.label("l", "x");
+        src.span_exit("p", 11);
+        src.histogram("h", 4);
+        let snap = src.into_snapshot();
+
+        let mut dst = MemoryRecorder::new();
+        snap.replay_into(&mut dst);
+        let out = dst.into_snapshot();
+        assert_eq!(out.counter("a"), 3);
+        assert_eq!(out.gauge("g"), Some(2.5));
+        assert_eq!(out.label("l"), Some("x"));
+        assert_eq!(out.phase("p").unwrap().cycles, 11);
+    }
+}

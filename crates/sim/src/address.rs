@@ -8,6 +8,7 @@
 /// computation and per-region statistics (e.g. the useful-fetched-state
 /// metric only looks at [`Region::VertexStates`] / [`Region::CoalescedStates`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
 pub enum Region {
     /// `Offset_Array`: per-vertex begin/end offsets (8 B entries).
     OffsetArray,
@@ -51,6 +52,36 @@ impl Region {
         Region::AuxMeta,
         Region::EdgeVisited,
     ];
+
+    /// Number of regions.
+    pub const COUNT: usize = Region::ALL.len();
+
+    /// Index into per-region tables: the derived discriminant, so it can
+    /// never drift from the variant order.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The observability counter key for accesses to this region (starts
+    /// with [`tdgraph_obs::keys::REGION_PREFIX`]).
+    #[must_use]
+    pub const fn obs_key(self) -> &'static str {
+        match self {
+            Region::OffsetArray => "sim.region.offset_array",
+            Region::NeighborArray => "sim.region.neighbor_array",
+            Region::WeightArray => "sim.region.weight_array",
+            Region::VertexStates => "sim.region.vertex_states",
+            Region::ActiveVertices => "sim.region.active_vertices",
+            Region::HotVertices => "sim.region.hot_vertices",
+            Region::TopologyList => "sim.region.topology_list",
+            Region::CoalescedStates => "sim.region.coalesced_states",
+            Region::HashTable => "sim.region.hash_table",
+            Region::Frontier => "sim.region.frontier",
+            Region::AuxMeta => "sim.region.aux_meta",
+            Region::EdgeVisited => "sim.region.edge_visited",
+        }
+    }
 
     /// Bytes per addressable element. Bitvectors are addressed by the byte
     /// containing the bit.
@@ -130,8 +161,7 @@ impl AddressSpace {
     }
 
     fn base(&self, region: Region) -> u64 {
-        let idx = Region::ALL.iter().position(|&r| r == region).expect("region is in ALL");
-        self.bases[idx]
+        self.bases[region.index()]
     }
 
     /// Byte address of element `index` in `region`. For bitvector regions
@@ -218,6 +248,23 @@ mod tests {
         let base = a.base(Region::HashTable);
         let next = a.base(Region::Frontier);
         assert!(next - base >= ((1 << 12) as f64 / 0.75) as u64 * 8);
+    }
+
+    #[test]
+    fn region_index_is_the_discriminant() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Region::COUNT, Region::ALL.len());
+    }
+
+    #[test]
+    fn region_obs_keys_are_prefixed_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in Region::ALL {
+            assert!(r.obs_key().starts_with(tdgraph_obs::keys::REGION_PREFIX), "{r:?}");
+            assert!(seen.insert(r.obs_key()), "duplicate key for {r:?}");
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! Fig 19 reports component *shares*, which are driven entirely by the
 //! counted events, so the absolute scale of these constants cancels out.
 
-use crate::stats::{MachineStats, Op};
+use tdgraph_obs::{keys, Recorder, Snapshot};
+
+use crate::stats::MachineStats;
 
 /// Per-event dynamic energy constants, in nanojoules.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +74,39 @@ impl EnergyBreakdown {
         self.core_nj + self.cache_nj + self.noc_nj + self.dram_nj
     }
 
+    /// The breakdown as `(component, nanojoules)` pairs, in the fixed
+    /// Fig 19 order (core, cache, NoC, DRAM).
+    #[must_use]
+    pub fn per_component(&self) -> [(&'static str, f64); 4] {
+        [
+            ("core", self.core_nj),
+            ("cache", self.cache_nj),
+            ("noc", self.noc_nj),
+            ("dram", self.dram_nj),
+        ]
+    }
+
+    /// Exports the breakdown into the observability layer as `energy.*`
+    /// gauges. [`EnergyBreakdown::from_snapshot`] inverts this.
+    pub fn export_into(&self, rec: &mut dyn Recorder) {
+        rec.gauge(keys::ENERGY_CORE_NJ, self.core_nj);
+        rec.gauge(keys::ENERGY_CACHE_NJ, self.cache_nj);
+        rec.gauge(keys::ENERGY_NOC_NJ, self.noc_nj);
+        rec.gauge(keys::ENERGY_DRAM_NJ, self.dram_nj);
+    }
+
+    /// Reconstructs the breakdown from the `energy.*` gauges of a
+    /// snapshot. Gauges a run never emitted read back as zero.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        Self {
+            core_nj: snapshot.gauge(keys::ENERGY_CORE_NJ).unwrap_or(0.0),
+            cache_nj: snapshot.gauge(keys::ENERGY_CACHE_NJ).unwrap_or(0.0),
+            noc_nj: snapshot.gauge(keys::ENERGY_NOC_NJ).unwrap_or(0.0),
+            dram_nj: snapshot.gauge(keys::ENERGY_DRAM_NJ).unwrap_or(0.0),
+        }
+    }
+
     /// Computes the breakdown from machine statistics, DRAM line counts,
     /// and the run duration (`cycles` at `freq_ghz`) for the static share.
     #[must_use]
@@ -82,7 +117,7 @@ impl EnergyBreakdown {
         freq_ghz: f64,
         constants: EnergyConstants,
     ) -> Self {
-        let ops: u64 = Op::ALL.iter().map(|&o| stats.op_count(o)).sum();
+        let ops = stats.total_ops();
         let llc_lookups = stats.llc_hits + stats.llc_misses;
         // Static energy: P_static × t, in nJ.
         let static_nj =
@@ -137,6 +172,20 @@ mod tests {
         let sum = e.core_nj + e.cache_nj + e.noc_nj + e.dram_nj;
         assert!((e.total_nj() - sum).abs() < 1e-12);
         assert!(e.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn export_import_roundtrips_and_components_sum() {
+        let s =
+            MachineStats { accesses: 40, llc_misses: 9, noc_hop_cycles: 3, ..Default::default() };
+        let e = EnergyBreakdown::from_stats(&s, 9, 500, 2.5, EnergyConstants::nominal());
+        let sum: f64 = e.per_component().iter().map(|(_, nj)| nj).sum();
+        assert!((sum - e.total_nj()).abs() < 1e-12);
+
+        let mut rec = tdgraph_obs::MemoryRecorder::new();
+        e.export_into(&mut rec);
+        let restored = EnergyBreakdown::from_snapshot(&rec.into_snapshot());
+        assert_eq!(restored, e);
     }
 
     #[test]

@@ -371,7 +371,7 @@ mod tests {
         assert_eq!(t, 10 * m.config().instr.edge_process);
         m.compute(0, Actor::Accel, Op::EdgeProcess, 10);
         assert_eq!(m.end_phase(PhaseKind::Propagation), 10);
-        assert_eq!(m.stats().op_count(Op::EdgeProcess), 20);
+        assert_eq!(m.stats().per_op(Op::EdgeProcess), 20);
     }
 
     #[test]

@@ -1,46 +1,67 @@
 //! Machine-level statistics collected during simulation.
+//!
+//! [`MachineStats`] is the dense hot-path accumulator the [`crate::Machine`]
+//! writes into on every access; at the end of a run it exports into the
+//! unified observability layer ([`MachineStats::export_into`]) and can be
+//! reconstructed from a snapshot ([`MachineStats::from_snapshot`]), so the
+//! `sim.*` keys in an obs [`Snapshot`] are a lossless view of it.
+
+use tdgraph_obs::{keys, Recorder, Snapshot};
 
 use crate::address::Region;
 
-/// Algorithmic operations charged to a timeline (see
-/// [`crate::config::InstrCost`] for the per-op core costs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Op {
-    /// Process one edge.
-    EdgeProcess,
-    /// Commit one vertex-state update.
-    StateUpdate,
-    /// Push/pop one frontier or worklist entry.
-    FrontierOp,
-    /// One hash-table probe.
-    HashProbe,
-    /// Per-vertex scheduling overhead.
-    ScheduleOp,
-    /// Data-dependent branch misprediction penalty.
-    BranchMiss,
+/// Defines [`Op`] once: the variant list drives the enum, `ALL`, the
+/// derived discriminant index, and the obs counter key, so adding an op is
+/// a one-line change with no positional match to keep in sync.
+macro_rules! define_ops {
+    ($($(#[$meta:meta])* $name:ident => $key:literal,)+) => {
+        /// Algorithmic operations charged to a timeline (see
+        /// [`crate::config::InstrCost`] for the per-op core costs).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Op {
+            $($(#[$meta])* $name,)+
+        }
+
+        impl Op {
+            /// All operation kinds, in discriminant order.
+            pub const ALL: [Op; Op::COUNT] = [$(Op::$name,)+];
+
+            /// Number of operation kinds.
+            pub const COUNT: usize = [$(Op::$name,)+].len();
+
+            /// Index into per-op tables: the derived discriminant, so it
+            /// can never drift from the variant order.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// The observability counter key (starts with
+            /// [`keys::OP_PREFIX`]).
+            #[must_use]
+            pub const fn obs_key(self) -> &'static str {
+                match self {
+                    $(Op::$name => $key,)+
+                }
+            }
+        }
+    };
 }
 
-impl Op {
-    /// All operation kinds.
-    pub const ALL: [Op; 6] = [
-        Op::EdgeProcess,
-        Op::StateUpdate,
-        Op::FrontierOp,
-        Op::HashProbe,
-        Op::ScheduleOp,
-        Op::BranchMiss,
-    ];
-
-    pub(crate) fn index(self) -> usize {
-        match self {
-            Op::EdgeProcess => 0,
-            Op::StateUpdate => 1,
-            Op::FrontierOp => 2,
-            Op::HashProbe => 3,
-            Op::ScheduleOp => 4,
-            Op::BranchMiss => 5,
-        }
-    }
+define_ops! {
+    /// Process one edge.
+    EdgeProcess => "sim.op.edge_process",
+    /// Commit one vertex-state update.
+    StateUpdate => "sim.op.state_update",
+    /// Push/pop one frontier or worklist entry.
+    FrontierOp => "sim.op.frontier_op",
+    /// One hash-table probe.
+    HashProbe => "sim.op.hash_probe",
+    /// Per-vertex scheduling overhead.
+    ScheduleOp => "sim.op.schedule_op",
+    /// Data-dependent branch misprediction penalty.
+    BranchMiss => "sim.op.branch_miss",
 }
 
 /// Who issues an access or operation: a general-purpose core or an
@@ -62,6 +83,17 @@ pub enum PhaseKind {
     Propagation,
     /// Everything else (batch application, tracking, scheduling, indexing).
     Other,
+}
+
+impl PhaseKind {
+    /// The span name this phase records under in the observability layer.
+    #[must_use]
+    pub const fn obs_name(self) -> &'static str {
+        match self {
+            PhaseKind::Propagation => keys::PHASE_PROPAGATION,
+            PhaseKind::Other => keys::PHASE_OTHER,
+        }
+    }
 }
 
 /// Word-utilization accumulator for state-region cache lines.
@@ -111,10 +143,10 @@ pub struct MachineStats {
     pub invalidations: u64,
     /// Utilization of vertex-state lines through the LLC.
     pub state_lines: LineUtilization,
-    /// Per-op counts, indexed in [`Op::ALL`] order.
-    pub op_counts: [u64; 6],
-    /// Accesses per region (indexed by position in [`Region::ALL`]).
-    pub region_accesses: [u64; 12],
+    /// Per-op counts, indexed by [`Op::index`].
+    pub op_counts: [u64; Op::COUNT],
+    /// Accesses per region, indexed by [`Region::index`].
+    pub region_accesses: [u64; Region::COUNT],
 }
 
 impl MachineStats {
@@ -131,21 +163,95 @@ impl MachineStats {
 
     /// Records an access to `region` for the per-region histogram.
     pub fn count_region(&mut self, region: Region) {
-        let idx = Region::ALL.iter().position(|&r| r == region).expect("region in ALL");
-        self.region_accesses[idx] += 1;
-    }
-
-    /// Accesses recorded for `region`.
-    #[must_use]
-    pub fn region_access_count(&self, region: Region) -> u64 {
-        let idx = Region::ALL.iter().position(|&r| r == region).expect("region in ALL");
-        self.region_accesses[idx]
+        self.region_accesses[region.index()] += 1;
     }
 
     /// Count of operation `op`.
     #[must_use]
-    pub fn op_count(&self, op: Op) -> u64 {
+    pub fn per_op(&self, op: Op) -> u64 {
         self.op_counts[op.index()]
+    }
+
+    /// Accesses recorded for `region`.
+    #[must_use]
+    pub fn per_region(&self, region: Region) -> u64 {
+        self.region_accesses[region.index()]
+    }
+
+    /// Total accesses issued (alias for the `accesses` field under the
+    /// `total_*` accessor convention).
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total algorithmic operations across all kinds.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.op_counts.iter().sum()
+    }
+
+    /// Count of operation `op`.
+    #[deprecated(since = "0.1.0", note = "use `per_op`")]
+    #[must_use]
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.per_op(op)
+    }
+
+    /// Accesses recorded for `region`.
+    #[deprecated(since = "0.1.0", note = "use `per_region`")]
+    #[must_use]
+    pub fn region_access_count(&self, region: Region) -> u64 {
+        self.per_region(region)
+    }
+
+    /// Exports every statistic into the observability layer under the
+    /// `sim.*` key namespace. [`MachineStats::from_snapshot`] inverts this.
+    pub fn export_into(&self, rec: &mut dyn Recorder) {
+        rec.counter(keys::L1_HITS, self.l1_hits);
+        rec.counter(keys::L2_HITS, self.l2_hits);
+        rec.counter(keys::LLC_HITS, self.llc_hits);
+        rec.counter(keys::LLC_MISSES, self.llc_misses);
+        rec.counter(keys::ACCESSES, self.accesses);
+        rec.counter(keys::NOC_HOP_CYCLES, self.noc_hop_cycles);
+        rec.counter(keys::INVALIDATIONS, self.invalidations);
+        rec.counter(keys::STATE_LINES, self.state_lines.lines);
+        rec.counter(keys::STATE_WORDS_TOUCHED, self.state_lines.touched_words);
+        for op in Op::ALL {
+            rec.counter(op.obs_key(), self.per_op(op));
+        }
+        for region in Region::ALL {
+            rec.counter(region.obs_key(), self.per_region(region));
+        }
+    }
+
+    /// Reconstructs the statistics from the `sim.*` counters of a
+    /// snapshot. Keys a run never emitted read back as zero.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut op_counts = [0u64; Op::COUNT];
+        for op in Op::ALL {
+            op_counts[op.index()] = snapshot.counter(op.obs_key());
+        }
+        let mut region_accesses = [0u64; Region::COUNT];
+        for region in Region::ALL {
+            region_accesses[region.index()] = snapshot.counter(region.obs_key());
+        }
+        Self {
+            l1_hits: snapshot.counter(keys::L1_HITS),
+            l2_hits: snapshot.counter(keys::L2_HITS),
+            llc_hits: snapshot.counter(keys::LLC_HITS),
+            llc_misses: snapshot.counter(keys::LLC_MISSES),
+            accesses: snapshot.counter(keys::ACCESSES),
+            noc_hop_cycles: snapshot.counter(keys::NOC_HOP_CYCLES),
+            invalidations: snapshot.counter(keys::INVALIDATIONS),
+            state_lines: LineUtilization {
+                lines: snapshot.counter(keys::STATE_LINES),
+                touched_words: snapshot.counter(keys::STATE_WORDS_TOUCHED),
+            },
+            op_counts,
+            region_accesses,
+        }
     }
 }
 
@@ -177,6 +283,7 @@ impl TimeBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tdgraph_obs::MemoryRecorder;
 
     #[test]
     fn utilization_ratio() {
@@ -198,8 +305,8 @@ mod tests {
         let mut s = MachineStats::default();
         s.count_region(Region::VertexStates);
         s.count_region(Region::VertexStates);
-        assert_eq!(s.region_access_count(Region::VertexStates), 2);
-        assert_eq!(s.region_access_count(Region::OffsetArray), 0);
+        assert_eq!(s.per_region(Region::VertexStates), 2);
+        assert_eq!(s.per_region(Region::OffsetArray), 0);
     }
 
     #[test]
@@ -214,9 +321,56 @@ mod tests {
     }
 
     #[test]
-    fn op_indexing_is_stable() {
+    fn op_index_is_the_discriminant() {
         for (i, op) in Op::ALL.iter().enumerate() {
             assert_eq!(op.index(), i);
         }
+        assert_eq!(Op::COUNT, Op::ALL.len());
+    }
+
+    #[test]
+    fn op_obs_keys_are_prefixed_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in Op::ALL {
+            assert!(op.obs_key().starts_with(keys::OP_PREFIX), "{:?}", op);
+            assert!(seen.insert(op.obs_key()), "duplicate key for {op:?}");
+        }
+    }
+
+    #[test]
+    fn deprecated_accessors_still_answer() {
+        let mut s = MachineStats::default();
+        s.op_counts[Op::HashProbe.index()] = 7;
+        s.count_region(Region::Frontier);
+        #[allow(deprecated)]
+        {
+            assert_eq!(s.op_count(Op::HashProbe), 7);
+            assert_eq!(s.region_access_count(Region::Frontier), 1);
+        }
+        assert_eq!(s.per_op(Op::HashProbe), 7);
+        assert_eq!(s.per_region(Region::Frontier), 1);
+        assert_eq!(s.total_ops(), 7);
+    }
+
+    #[test]
+    fn export_import_roundtrips() {
+        let mut s = MachineStats {
+            l1_hits: 10,
+            l2_hits: 4,
+            llc_hits: 3,
+            llc_misses: 2,
+            accesses: 19,
+            noc_hop_cycles: 55,
+            invalidations: 1,
+            ..Default::default()
+        };
+        s.state_lines.record(12);
+        s.op_counts[Op::EdgeProcess.index()] = 100;
+        s.count_region(Region::NeighborArray);
+
+        let mut rec = MemoryRecorder::new();
+        s.export_into(&mut rec);
+        let restored = MachineStats::from_snapshot(&rec.into_snapshot());
+        assert_eq!(restored, s);
     }
 }

@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use tdgraph_engines::harness::RunResult;
+use tdgraph_obs::TraceEvent;
 
 use crate::sweep::ExperimentCell;
 
@@ -143,32 +144,28 @@ impl CanonicalCell {
         }
     }
 
-    /// Renders the record as one canonical JSON line (no trailing newline).
+    /// Renders the record as one canonical JSON line (no trailing
+    /// newline). The record predates the obs crate, so it renders as an
+    /// anonymous [`TraceEvent`] — same field order, no `"event"` tag.
     #[must_use]
     pub fn to_json_line(&self) -> String {
-        format!(
-            "{{\"cell\":{},\"dataset\":\"{}\",\"sizing\":\"{}\",\
-             \"algo\":\"{}\",\"engine\":\"{}\",\"seed\":{},\
-             \"cycles\":{},\"propagation_cycles\":{},\"other_cycles\":{},\
-             \"state_updates\":{},\"useful_updates\":{},\
-             \"edges_processed\":{},\"dram_bytes\":{},\"batches\":{},\
-             \"verified\":{}}}",
-            self.cell,
-            self.dataset,
-            self.sizing,
-            self.algo,
-            self.engine,
-            self.seed,
-            self.cycles,
-            self.propagation_cycles,
-            self.other_cycles,
-            self.state_updates,
-            self.useful_updates,
-            self.edges_processed,
-            self.dram_bytes,
-            self.batches,
-            self.verified,
-        )
+        TraceEvent::record()
+            .field("cell", self.cell)
+            .field("dataset", self.dataset.as_str())
+            .field("sizing", self.sizing.as_str())
+            .field("algo", self.algo.as_str())
+            .field("engine", self.engine.as_str())
+            .field("seed", self.seed)
+            .field("cycles", self.cycles)
+            .field("propagation_cycles", self.propagation_cycles)
+            .field("other_cycles", self.other_cycles)
+            .field("state_updates", self.state_updates)
+            .field("useful_updates", self.useful_updates)
+            .field("edges_processed", self.edges_processed)
+            .field("dram_bytes", self.dram_bytes)
+            .field("batches", self.batches)
+            .field("verified", self.verified)
+            .to_json_line()
     }
 
     /// Parses one canonical JSON line.

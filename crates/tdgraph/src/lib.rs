@@ -43,14 +43,17 @@ pub mod sweep;
 pub use checkpoint::{CanonicalCell, CheckpointError, CheckpointLog};
 pub use error::TdgraphError;
 pub use experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
+#[allow(deprecated)]
+pub use sweep::ProgressEvent;
 pub use sweep::{
     AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,
-    ProgressEvent, SweepReport, SweepRunner, SweepSpec,
+    SweepReport, SweepRunner, SweepSpec,
 };
 pub use tdgraph_engines::error::EngineError;
 pub use tdgraph_engines::harness::{RunOptions, RunResult};
 pub use tdgraph_engines::metrics::RunMetrics;
 pub use tdgraph_engines::registry::EngineRegistry;
+pub use tdgraph_obs::{JsonlSink, Snapshot, TraceEvent, TraceSink, VecSink};
 
 /// Streaming-graph substrate (re-export of `tdgraph-graph`).
 pub mod graph {
@@ -75,4 +78,10 @@ pub mod engines {
 /// Accelerator models (re-export of `tdgraph-accel`).
 pub mod accel {
     pub use tdgraph_accel::*;
+}
+
+/// Observability layer: recorders, snapshots, trace sinks (re-export of
+/// `tdgraph-obs`).
+pub mod obs {
+    pub use tdgraph_obs::*;
 }

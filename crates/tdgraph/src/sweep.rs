@@ -15,6 +15,15 @@
 //! * [`SweepReport`] — lookup helpers for figure renderers plus a
 //!   canonical, timing-free serialization used to assert determinism.
 //!
+//! # Observability
+//!
+//! Progress events are ordinary [`TraceEvent`]s from the `tdgraph-obs`
+//! crate: attach any [`TraceSink`] with [`SweepRunner::trace_sink`] (the
+//! JSON-lines stream of [`SweepRunner::progress_jsonl`] is just a
+//! [`JsonlSink`]), and enable [`SweepRunner::observe`] to collect a merged,
+//! deterministic metrics [`Snapshot`] across every cell of the sweep in
+//! [`SweepReport::obs`].
+//!
 //! # Fault isolation
 //!
 //! A long sweep must survive one misbehaving cell. Every cell executes
@@ -65,6 +74,9 @@ use tdgraph_engines::harness::{run_streaming_workload, RunOptions, RunResult};
 use tdgraph_engines::metrics::RunMetrics;
 use tdgraph_engines::registry::EngineRegistry;
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_obs::{
+    keys, JsonlSink, MemoryRecorder, Recorder, ShardedRecorder, Snapshot, TraceEvent, TraceSink,
+};
 
 use crate::checkpoint::{self, CanonicalCell, CheckpointError, CheckpointLog};
 use crate::error::TdgraphError;
@@ -630,6 +642,13 @@ pub struct SweepReport {
     /// still land in the report — but resume coverage is degraded, so the
     /// count is surfaced here.
     pub checkpoint_write_errors: usize,
+    /// Merged observability snapshot across every ok cell, present when
+    /// the runner ran with [`SweepRunner::observe`]. Cells merge in index
+    /// order, so the snapshot (and any rendering of it) is byte-identical
+    /// regardless of thread count. Completed cells contribute their full
+    /// metrics export; restored cells only carry the headline counters of
+    /// their canonical checkpoint record.
+    pub obs: Option<Snapshot>,
 }
 
 impl SweepReport {
@@ -767,19 +786,17 @@ impl SweepReport {
                     out.push('\n');
                 }
                 None => {
-                    out.push_str(&format!(
-                        "{{\"cell\":{},\"dataset\":\"{}\",\"sizing\":\"{:?}\",\
-                         \"algo\":\"{}\",\"engine\":\"{}\",\"seed\":{},\
-                         \"outcome\":\"{}\",\"detail\":\"{}\"}}\n",
-                        c.cell.index,
-                        c.cell.dataset.abbrev(),
-                        c.cell.sizing,
-                        c.cell.algo.label(),
-                        c.cell.engine.key(),
-                        c.cell.options.seed,
-                        c.outcome.kind().label(),
-                        json_escape(&c.outcome.detail()),
-                    ));
+                    let line = TraceEvent::record()
+                        .field("cell", c.cell.index)
+                        .field("dataset", c.cell.dataset.abbrev())
+                        .field("sizing", format!("{:?}", c.cell.sizing))
+                        .field("algo", c.cell.algo.label())
+                        .field("engine", c.cell.engine.key())
+                        .field("seed", c.cell.options.seed)
+                        .field("outcome", c.outcome.kind().label())
+                        .field("detail", c.outcome.detail());
+                    out.push_str(&line.to_json_line());
+                    out.push('\n');
                 }
             }
         }
@@ -793,176 +810,97 @@ impl SweepReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push(' '),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Progress events are ordinary [`TraceEvent`]s; the old name remains as
+/// an alias so `on_progress` callbacks written against it keep compiling.
+#[deprecated(since = "0.1.0", note = "progress events are `tdgraph_obs::TraceEvent`s")]
+pub type ProgressEvent = TraceEvent;
 
-/// A JSON-lines progress event emitted by [`SweepRunner`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProgressEvent {
-    /// The sweep started.
-    SweepStarted {
-        /// Total cells to run.
-        cells: usize,
-        /// Worker threads used.
-        threads: usize,
-    },
-    /// A worker picked up a cell.
-    CellStarted {
-        /// Cell index.
+/// Constructors for the runner's progress events. Field order within each
+/// event is part of the JSON-lines format and must stay stable; wall-clock
+/// fields go in as [`tdgraph_obs::Value::Wall`] so canonical renderings
+/// stay schedule-independent.
+mod events {
+    use tdgraph_obs::TraceEvent;
+
+    fn cell_coords(name: &'static str, cell: usize, ds: &str, algo: &str, eng: &str) -> TraceEvent {
+        TraceEvent::new(name)
+            .field("cell", cell)
+            .field("dataset", ds)
+            .field("algo", algo)
+            .field("engine", eng)
+    }
+
+    pub(super) fn sweep_started(cells: usize, threads: usize) -> TraceEvent {
+        TraceEvent::new("sweep_started").field("cells", cells).field("threads", threads)
+    }
+
+    pub(super) fn cell_started(cell: usize, ds: &str, algo: &str, eng: &str) -> TraceEvent {
+        cell_coords("cell_started", cell, ds, algo, eng)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn cell_finished(
         cell: usize,
-        /// Dataset abbreviation.
-        dataset: &'static str,
-        /// Algorithm label.
-        algo: &'static str,
-        /// Engine registry key.
-        engine: String,
-    },
-    /// A cell finished.
-    CellFinished {
-        /// Cell index.
-        cell: usize,
-        /// Dataset abbreviation.
-        dataset: &'static str,
-        /// Algorithm label.
-        algo: &'static str,
-        /// Engine registry key.
-        engine: String,
-        /// Simulated cycles.
+        ds: &str,
+        algo: &str,
+        eng: &str,
         cycles: u64,
-        /// Oracle verdict.
         verified: bool,
-        /// Wall-clock microseconds.
         wall_micros: u128,
-    },
-    /// A cell ended without a result (typed failure, contained panic, or
-    /// watchdog timeout); the sweep continued.
-    CellFailed {
-        /// Cell index.
-        cell: usize,
-        /// Dataset abbreviation.
-        dataset: &'static str,
-        /// Algorithm label.
-        algo: &'static str,
-        /// Engine registry key.
-        engine: String,
-        /// Outcome kind label (`failed`, `panicked`, or `timed_out`).
-        outcome: &'static str,
-        /// One-line failure description.
-        detail: String,
-        /// Retries spent on the cell.
-        retries: u32,
-        /// Wall-clock microseconds.
-        wall_micros: u128,
-    },
-    /// A cell was restored from a checkpoint without re-executing.
-    CellRestored {
-        /// Cell index.
-        cell: usize,
-        /// Dataset abbreviation.
-        dataset: &'static str,
-        /// Algorithm label.
-        algo: &'static str,
-        /// Engine registry key.
-        engine: String,
-        /// The restored oracle verdict.
-        verified: bool,
-    },
-    /// The sweep finished.
-    SweepFinished {
-        /// Total cells run.
-        cells: usize,
-        /// Cells that matched the oracle.
-        verified: usize,
-        /// Cells that failed, panicked, or timed out.
-        failed: usize,
-        /// Cells restored from a checkpoint.
-        restored: usize,
-        /// Total retries spent.
-        retried: u32,
-        /// Wall-clock microseconds for the whole sweep.
-        wall_micros: u128,
-    },
-}
+    ) -> TraceEvent {
+        cell_coords("cell_finished", cell, ds, algo, eng)
+            .field("cycles", cycles)
+            .field("verified", verified)
+            .wall_micros("wall_micros", wall_micros)
+    }
 
-impl ProgressEvent {
-    /// Renders the event as one JSON line (no trailing newline).
-    #[must_use]
-    pub fn to_json_line(&self) -> String {
-        match self {
-            ProgressEvent::SweepStarted { cells, threads } => {
-                format!("{{\"event\":\"sweep_started\",\"cells\":{cells},\"threads\":{threads}}}")
-            }
-            ProgressEvent::CellStarted { cell, dataset, algo, engine } => format!(
-                "{{\"event\":\"cell_started\",\"cell\":{cell},\
-                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
-                 \"engine\":\"{engine}\"}}"
-            ),
-            ProgressEvent::CellFinished {
-                cell,
-                dataset,
-                algo,
-                engine,
-                cycles,
-                verified,
-                wall_micros,
-            } => format!(
-                "{{\"event\":\"cell_finished\",\"cell\":{cell},\
-                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
-                 \"engine\":\"{engine}\",\"cycles\":{cycles},\
-                 \"verified\":{verified},\"wall_micros\":{wall_micros}}}"
-            ),
-            ProgressEvent::CellFailed {
-                cell,
-                dataset,
-                algo,
-                engine,
-                outcome,
-                detail,
-                retries,
-                wall_micros,
-            } => format!(
-                "{{\"event\":\"cell_failed\",\"cell\":{cell},\
-                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
-                 \"engine\":\"{engine}\",\"outcome\":\"{outcome}\",\
-                 \"detail\":\"{}\",\"retries\":{retries},\
-                 \"wall_micros\":{wall_micros}}}",
-                json_escape(detail),
-            ),
-            ProgressEvent::CellRestored { cell, dataset, algo, engine, verified } => format!(
-                "{{\"event\":\"cell_restored\",\"cell\":{cell},\
-                 \"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
-                 \"engine\":\"{engine}\",\"verified\":{verified}}}"
-            ),
-            ProgressEvent::SweepFinished {
-                cells,
-                verified,
-                failed,
-                restored,
-                retried,
-                wall_micros,
-            } => format!(
-                "{{\"event\":\"sweep_finished\",\"cells\":{cells},\
-                 \"verified\":{verified},\"failed\":{failed},\
-                 \"restored\":{restored},\"retried\":{retried},\
-                 \"wall_micros\":{wall_micros}}}"
-            ),
-        }
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn cell_failed(
+        cell: usize,
+        ds: &str,
+        algo: &str,
+        eng: &str,
+        outcome: &'static str,
+        detail: String,
+        retries: u32,
+        wall_micros: u128,
+    ) -> TraceEvent {
+        cell_coords("cell_failed", cell, ds, algo, eng)
+            .field("outcome", outcome)
+            .field("detail", detail)
+            .field("retries", u64::from(retries))
+            .wall_micros("wall_micros", wall_micros)
+    }
+
+    pub(super) fn cell_restored(
+        cell: usize,
+        ds: &str,
+        algo: &str,
+        eng: &str,
+        verified: bool,
+    ) -> TraceEvent {
+        cell_coords("cell_restored", cell, ds, algo, eng).field("verified", verified)
+    }
+
+    pub(super) fn sweep_finished(
+        cells: usize,
+        verified: usize,
+        failed: usize,
+        restored: usize,
+        retried: u32,
+        wall_micros: u128,
+    ) -> TraceEvent {
+        TraceEvent::new("sweep_finished")
+            .field("cells", cells)
+            .field("verified", verified)
+            .field("failed", failed)
+            .field("restored", restored)
+            .field("retried", u64::from(retried))
+            .wall_micros("wall_micros", wall_micros)
     }
 }
 
-type ProgressSink = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+type ProgressSink = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
 
 /// The engine registry a sweep resolves through, in a form that can cross
 /// into a detached watchdog thread (`'static` either way).
@@ -995,6 +933,8 @@ pub struct SweepRunner {
     threads: usize,
     registry: Option<Arc<EngineRegistry>>,
     progress: Option<ProgressSink>,
+    sinks: Vec<Arc<dyn TraceSink>>,
+    observe: bool,
     cell_timeout: Option<Duration>,
     retry: bool,
     checkpoint: Option<PathBuf>,
@@ -1012,6 +952,8 @@ impl std::fmt::Debug for SweepRunner {
             .field("threads", &self.threads)
             .field("custom_registry", &self.registry.is_some())
             .field("progress", &self.progress.is_some())
+            .field("sinks", &self.sinks.len())
+            .field("observe", &self.observe)
             .field("cell_timeout", &self.cell_timeout)
             .field("retry", &self.retry)
             .field("checkpoint", &self.checkpoint)
@@ -1028,6 +970,8 @@ impl SweepRunner {
             threads,
             registry: None,
             progress: None,
+            sinks: Vec::new(),
+            observe: false,
             cell_timeout: None,
             retry: false,
             checkpoint: None,
@@ -1049,24 +993,40 @@ impl SweepRunner {
         self
     }
 
-    /// Installs a progress-event callback.
+    /// Installs a progress-event callback (a closure [`TraceSink`] that
+    /// predates [`SweepRunner::trace_sink`]; both receive every event).
     #[must_use]
-    pub fn on_progress(mut self, f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+    pub fn on_progress(mut self, f: impl Fn(&TraceEvent) + Send + Sync + 'static) -> Self {
         self.progress = Some(Arc::new(f));
         self
     }
 
+    /// Attaches a structured [`TraceSink`]: every progress event the
+    /// runner emits is delivered to it as a [`TraceEvent`]. Sinks fan out
+    /// in attachment order; pass an `Arc<VecSink>` (or any shared sink) to
+    /// keep a handle for inspection after the sweep.
+    #[must_use]
+    pub fn trace_sink(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.sinks.push(Arc::new(sink));
+        self
+    }
+
     /// Streams progress events as JSON lines into `writer` (e.g. stderr or
-    /// a log file). Write errors are ignored — observability must not kill
-    /// a sweep.
+    /// a log file) through a [`JsonlSink`]. Write errors are ignored —
+    /// observability must not kill a sweep.
     #[must_use]
     pub fn progress_jsonl(self, writer: impl Write + Send + 'static) -> Self {
-        let writer = Mutex::new(writer);
-        self.on_progress(move |event| {
-            if let Ok(mut w) = writer.lock() {
-                let _ = writeln!(w, "{}", event.to_json_line());
-            }
-        })
+        self.trace_sink(JsonlSink::new(writer))
+    }
+
+    /// Collects a merged metrics [`Snapshot`] across the sweep into
+    /// [`SweepReport::obs`]: each ok cell's metrics fold into a
+    /// [`ShardedRecorder`] shard keyed by the cell index, so the merge
+    /// order — and the merged snapshot — is independent of the schedule.
+    #[must_use]
+    pub fn observe(mut self, enabled: bool) -> Self {
+        self.observe = enabled;
+        self
     }
 
     /// Arms a wall-clock watchdog: a cell still running after `timeout`
@@ -1107,9 +1067,12 @@ impl SweepRunner {
         self
     }
 
-    fn emit(&self, event: &ProgressEvent) {
+    fn emit(&self, event: &TraceEvent) {
         if let Some(p) = &self.progress {
             p(event);
+        }
+        for sink in &self.sinks {
+            sink.emit(event);
         }
     }
 
@@ -1162,19 +1125,11 @@ impl SweepRunner {
         let registry = self.registry_handle();
 
         let started = Instant::now();
-        self.emit(&ProgressEvent::SweepStarted {
-            cells: cells.len(),
-            threads: self.threads.min(cells.len().max(1)),
-        });
+        self.emit(&events::sweep_started(cells.len(), self.threads.min(cells.len().max(1))));
         let results = self.map(&cells, |i, cell| {
+            let (ds, algo, eng) = (cell.dataset.abbrev(), cell.algo.label(), cell.engine.key());
             if let Some(record) = restored.get(i).and_then(Option::as_ref) {
-                self.emit(&ProgressEvent::CellRestored {
-                    cell: cell.index,
-                    dataset: cell.dataset.abbrev(),
-                    algo: cell.algo.label(),
-                    engine: cell.engine.key().to_string(),
-                    verified: record.verified,
-                });
+                self.emit(&events::cell_restored(cell.index, ds, algo, eng, record.verified));
                 return CellResult {
                     cell: cell.clone(),
                     outcome: CellOutcome::Restored(record.clone()),
@@ -1182,12 +1137,7 @@ impl SweepRunner {
                     retries: 0,
                 };
             }
-            self.emit(&ProgressEvent::CellStarted {
-                cell: cell.index,
-                dataset: cell.dataset.abbrev(),
-                algo: cell.algo.label(),
-                engine: cell.engine.key().to_string(),
-            });
+            self.emit(&events::cell_started(cell.index, ds, algo, eng));
             let t0 = Instant::now();
             let mut retries = 0;
             let mut outcome = execute_cell(cell, &registry, self.cell_timeout);
@@ -1203,44 +1153,54 @@ impl SweepRunner {
                             write_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    self.emit(&ProgressEvent::CellFinished {
-                        cell: cell.index,
-                        dataset: cell.dataset.abbrev(),
-                        algo: cell.algo.label(),
-                        engine: cell.engine.key().to_string(),
-                        cycles: result.metrics.cycles,
-                        verified: result.verify.is_match(),
-                        wall_micros: wall.as_micros(),
-                    });
+                    self.emit(&events::cell_finished(
+                        cell.index,
+                        ds,
+                        algo,
+                        eng,
+                        result.metrics.cycles,
+                        result.verify.is_match(),
+                        wall.as_micros(),
+                    ));
                 }
                 failure => {
-                    self.emit(&ProgressEvent::CellFailed {
-                        cell: cell.index,
-                        dataset: cell.dataset.abbrev(),
-                        algo: cell.algo.label(),
-                        engine: cell.engine.key().to_string(),
-                        outcome: failure.kind().label(),
-                        detail: failure.detail(),
+                    self.emit(&events::cell_failed(
+                        cell.index,
+                        ds,
+                        algo,
+                        eng,
+                        failure.kind().label(),
+                        failure.detail(),
                         retries,
-                        wall_micros: wall.as_micros(),
-                    });
+                        wall.as_micros(),
+                    ));
                 }
             }
             CellResult { cell: cell.clone(), outcome, wall, retries }
         });
+        let obs = self.observe.then(|| {
+            let sharded = ShardedRecorder::new();
+            for c in &results {
+                if let Some(snapshot) = cell_snapshot(c) {
+                    sharded.absorb(c.cell.index as u64, snapshot);
+                }
+            }
+            sharded.merged()
+        });
         let report = SweepReport {
             cells: results,
             checkpoint_write_errors: write_errors.load(Ordering::Relaxed),
+            obs,
         };
         let counts = report.outcome_counts();
-        self.emit(&ProgressEvent::SweepFinished {
-            cells: report.len(),
-            verified: report.cells.iter().filter(|c| c.is_verified()).count(),
-            failed: counts.not_ok(),
-            restored: counts.restored,
-            retried: report.total_retries(),
-            wall_micros: started.elapsed().as_micros(),
-        });
+        self.emit(&events::sweep_finished(
+            report.len(),
+            report.cells.iter().filter(|c| c.is_verified()).count(),
+            counts.not_ok(),
+            counts.restored,
+            report.total_retries(),
+            started.elapsed().as_micros(),
+        ));
         Ok(report)
     }
 
@@ -1314,6 +1274,32 @@ fn plan_resume(
         restored[index] = Some(record);
     }
     Ok(restored)
+}
+
+/// The observability snapshot an ok cell contributes to the merged sweep
+/// snapshot (`None` for failed cells — they have no metrics to fold).
+fn cell_snapshot(result: &CellResult) -> Option<Snapshot> {
+    match &result.outcome {
+        CellOutcome::Completed(r) => Some(r.metrics.to_snapshot()),
+        CellOutcome::Restored(record) => Some(restored_snapshot(record)),
+        _ => None,
+    }
+}
+
+/// A snapshot rebuilt from a checkpoint record: only the headline counters
+/// the canonical line carries (a restored cell never ran, so per-op and
+/// cache-level detail is gone).
+fn restored_snapshot(record: &CanonicalCell) -> Snapshot {
+    let mut mem = MemoryRecorder::new();
+    mem.counter(keys::RUN_CYCLES, record.cycles);
+    mem.counter(keys::RUN_BATCHES, record.batches);
+    mem.counter(keys::STATE_WRITES, record.state_updates);
+    mem.counter(keys::USEFUL_UPDATES, record.useful_updates);
+    mem.counter(keys::EDGES_PROCESSED, record.edges_processed);
+    mem.counter(keys::DRAM_BYTES, record.dram_bytes);
+    mem.span_exit(keys::PHASE_PROPAGATION, record.propagation_cycles);
+    mem.span_exit(keys::PHASE_OTHER, record.other_cycles);
+    mem.into_snapshot()
 }
 
 /// Runs one cell behind the fault boundary: typed errors and panics are
@@ -1469,6 +1455,83 @@ mod tests {
         for e in events.iter() {
             assert!(e.starts_with('{') && e.ends_with('}'), "not a JSON line: {e}");
         }
+    }
+
+    #[test]
+    fn trace_sinks_receive_every_progress_event() {
+        let sink = Arc::new(tdgraph_obs::VecSink::new());
+        let report = SweepRunner::new().threads(2).trace_sink(Arc::clone(&sink)).run(&tiny_spec());
+        report.assert_all_verified();
+        let events = sink.events();
+        // sweep_started + 4 × (cell_started + cell_finished) + sweep_finished.
+        assert_eq!(events.len(), 10);
+        assert_eq!(events[0].name(), "sweep_started");
+        assert_eq!(events.last().unwrap().name(), "sweep_finished");
+        assert_eq!(events.iter().filter(|e| e.name() == "cell_finished").count(), 4);
+        // The sink's canonical lines carry the cell coordinates but no
+        // schedule-dependent wall-clock fields.
+        for e in &events {
+            assert!(!e.canonical_json_line().contains("wall_micros"), "{e:?}");
+        }
+        // The legacy callback and a sink observe the same event stream: a
+        // serial run delivers identical canonical lines to both.
+        let cb_lines: Arc<Mutex<Vec<String>>> = Arc::default();
+        let cb = Arc::clone(&cb_lines);
+        let sink2 = Arc::new(tdgraph_obs::VecSink::new());
+        SweepRunner::new()
+            .threads(1)
+            .on_progress(move |e| cb.lock().unwrap().push(e.canonical_json_line()))
+            .trace_sink(Arc::clone(&sink2))
+            .run(&tiny_spec())
+            .assert_all_verified();
+        assert_eq!(*cb_lines.lock().unwrap(), sink2.canonical_lines());
+    }
+
+    #[test]
+    fn observe_collects_a_deterministic_merged_snapshot() {
+        let spec = tiny_spec();
+        let one = SweepRunner::new().threads(1).observe(true).run(&spec);
+        let four = SweepRunner::new().threads(4).observe(true).run(&spec);
+        let a = one.obs.expect("observe(true) fills the snapshot");
+        let b = four.obs.expect("observe(true) fills the snapshot");
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_json_line(), b.canonical_json_line());
+        assert_eq!(a.counter(keys::RUN_BATCHES), 4);
+        assert!(a.counter(keys::EDGES_PROCESSED) > 0);
+        assert!(a.counter(keys::RUN_CYCLES) > 0);
+        // Unobserved runs carry no snapshot.
+        assert!(SweepRunner::new().run(&spec).obs.is_none());
+    }
+
+    #[test]
+    fn resumed_sweep_restores_headline_counters_into_obs() {
+        let path = temp_path("resume-obs.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let spec = tiny_spec();
+        let first = SweepRunner::new().threads(2).observe(true).checkpoint_to(&path).run(&spec);
+        let resumed =
+            SweepRunner::new().threads(2).observe(true).run(&spec.clone().resume_from(&path));
+        assert_eq!(resumed.outcome_counts().restored, 4);
+        let a = first.obs.expect("observed");
+        let b = resumed.obs.expect("observed");
+        for key in [
+            keys::RUN_CYCLES,
+            keys::RUN_BATCHES,
+            keys::STATE_WRITES,
+            keys::USEFUL_UPDATES,
+            keys::EDGES_PROCESSED,
+            keys::DRAM_BYTES,
+        ] {
+            assert_eq!(a.counter(key), b.counter(key), "counter {key} diverged across resume");
+        }
+        for phase in [keys::PHASE_PROPAGATION, keys::PHASE_OTHER] {
+            assert_eq!(
+                a.phase(phase).map(|p| p.cycles),
+                b.phase(phase).map(|p| p.cycles),
+                "phase {phase} diverged across resume"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Sweep API: run a dataset × engine grid across worker threads with
-//! JSON-lines progress on stderr, then print per-dataset speedups.
+//! Sweep API + observability: run a dataset × engine grid across worker
+//! threads with a JSON-lines trace sink on stderr and a merged metrics
+//! snapshot, then print per-dataset speedups and sweep-wide totals.
 //!
 //! ```text
 //! cargo run --release --example sweep_comparison
 //! ```
 
 use tdgraph::graph::datasets::{Dataset, Sizing};
+use tdgraph::obs::{keys, JsonlSink};
 use tdgraph::{EngineKind, SweepRunner, SweepSpec};
 
 fn main() {
@@ -20,9 +22,11 @@ fn main() {
         .engines(engines)
         .tune(|o| o.batches = 2);
 
-    let report = SweepRunner::new()
-        .progress_jsonl(std::io::stderr()) // one JSON line per event
-        .run(&spec);
+    // Every progress event flows through the trace sink as a structured
+    // TraceEvent rendered to one JSON line; `observe(true)` additionally
+    // folds each cell's metrics into a deterministic merged snapshot.
+    let report =
+        SweepRunner::new().trace_sink(JsonlSink::new(std::io::stderr())).observe(true).run(&spec);
     report.assert_all_verified();
 
     println!(
@@ -47,4 +51,21 @@ fn main() {
             );
         }
     }
+
+    // Sweep-wide totals from the merged observability snapshot. The
+    // snapshot merges cells in index order, so these numbers are identical
+    // no matter how many threads ran the sweep.
+    let obs = report.obs.expect("observe(true) was set");
+    println!(
+        "totals: {} cycles, {} edges, {} state writes, {:.1} uJ across {} batches",
+        obs.counter(keys::RUN_CYCLES),
+        obs.counter(keys::EDGES_PROCESSED),
+        obs.counter(keys::STATE_WRITES),
+        (obs.gauge(keys::ENERGY_CORE_NJ).unwrap_or(0.0)
+            + obs.gauge(keys::ENERGY_CACHE_NJ).unwrap_or(0.0)
+            + obs.gauge(keys::ENERGY_NOC_NJ).unwrap_or(0.0)
+            + obs.gauge(keys::ENERGY_DRAM_NJ).unwrap_or(0.0))
+            / 1e3,
+        obs.counter(keys::RUN_BATCHES)
+    );
 }
