@@ -28,10 +28,13 @@ pub enum VerifyOutcome {
         /// Oracle length.
         want: usize,
     },
+    /// The comparison was not performed (oracle disabled).
+    Skipped,
 }
 
 impl VerifyOutcome {
-    /// Whether the comparison succeeded.
+    /// Whether the comparison succeeded. A skipped comparison is not a
+    /// match: it carries no evidence either way.
     #[must_use]
     pub fn is_match(&self) -> bool {
         matches!(self, VerifyOutcome::Match)
@@ -132,5 +135,11 @@ mod tests {
     fn max_abs_diff_ignores_double_infinities() {
         let d = max_abs_diff(&[f32::INFINITY, 1.0], &[f32::INFINITY, 3.5]);
         assert_eq!(d, 2.5);
+    }
+
+    #[test]
+    fn skipped_is_not_a_match() {
+        assert!(!VerifyOutcome::Skipped.is_match());
+        assert_ne!(VerifyOutcome::Skipped, VerifyOutcome::Match);
     }
 }

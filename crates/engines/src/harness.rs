@@ -12,9 +12,11 @@ use tdgraph_algos::scratch::{out_mass, solve};
 use tdgraph_algos::traits::Algo;
 use tdgraph_algos::verify::{compare, VerifyOutcome};
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::fault::FaultPlan;
 use tdgraph_graph::partition::partition_by_edges;
-use tdgraph_graph::update::BatchComposer;
-use tdgraph_obs::{keys, MemoryRecorder, NullRecorder, Recorder, RecorderHandle};
+use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
+use tdgraph_graph::update::{BatchComposer, UpdateBatch};
+use tdgraph_obs::{keys, MemoryRecorder, NullRecorder, Recorder, RecorderHandle, TraceEvent};
 use tdgraph_sim::address::AddressSpace;
 use tdgraph_sim::config::SimConfig;
 use tdgraph_sim::energy::{EnergyBreakdown, EnergyConstants};
@@ -25,6 +27,74 @@ use crate::ctx::{BatchCtx, MachineTap};
 use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::metrics::{RunMetrics, UpdateCounters};
+
+/// When the differential oracle (the from-scratch solver of
+/// `tdgraph_algos::scratch`) is compared against the engine's incremental
+/// states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleMode {
+    /// Never compare; the run's final `verify` is
+    /// [`VerifyOutcome::Skipped`].
+    Off,
+    /// Compare after every `n`-th batch (and at the end). Mid-run
+    /// mismatches are recorded in [`OracleSummary`] and emitted as
+    /// `oracle_mismatch` trace events instead of failing the run.
+    EveryNBatches(usize),
+    /// Compare once, after the last batch (today's behavior).
+    #[default]
+    Final,
+}
+
+/// One mid-run oracle comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleCheck {
+    /// 1-based batch count at which the comparison ran.
+    pub batch: u64,
+    /// What the comparison found.
+    pub outcome: VerifyOutcome,
+}
+
+/// Bounded cap on retained mid-run mismatch records.
+const ORACLE_RECORD_CAP: usize = 8;
+
+/// Accounting of every mid-run oracle comparison
+/// ([`OracleMode::EveryNBatches`]); empty under `Off` / `Final`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OracleSummary {
+    /// Comparisons performed mid-run.
+    pub checks: u64,
+    /// Comparisons that found a mismatch.
+    pub mismatches: u64,
+    /// First few mismatching comparisons (bounded).
+    pub records: Vec<OracleCheck>,
+}
+
+impl OracleSummary {
+    fn record(&mut self, batch: u64, outcome: &VerifyOutcome) {
+        self.checks += 1;
+        if !outcome.is_match() {
+            self.mismatches += 1;
+            if self.records.len() < ORACLE_RECORD_CAP {
+                self.records.push(OracleCheck { batch, outcome: outcome.clone() });
+            }
+        }
+    }
+}
+
+/// The observability counter key for one quarantine reason.
+#[must_use]
+pub fn quarantine_key(reason: QuarantineReason) -> &'static str {
+    match reason {
+        QuarantineReason::MalformedLine => keys::QUARANTINE_MALFORMED_LINE,
+        QuarantineReason::IdOverflow => keys::QUARANTINE_ID_OVERFLOW,
+        QuarantineReason::IoInterrupted => keys::QUARANTINE_IO_INTERRUPTED,
+        QuarantineReason::SelfLoop => keys::QUARANTINE_SELF_LOOP,
+        QuarantineReason::ConflictingUpdate => keys::QUARANTINE_CONFLICTING_UPDATE,
+        QuarantineReason::NonFiniteWeight => keys::QUARANTINE_NON_FINITE_WEIGHT,
+        QuarantineReason::VertexOutOfBounds => keys::QUARANTINE_VERTEX_OUT_OF_BOUNDS,
+        QuarantineReason::AbsentDeletion => keys::QUARANTINE_ABSENT_DELETION,
+    }
+}
 
 /// Options controlling a streaming run.
 #[derive(Debug, Clone)]
@@ -43,6 +113,12 @@ pub struct RunOptions {
     pub chunks_per_core: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Strict (error on first bad record) or lenient (quarantine) ingest.
+    pub ingest: IngestMode,
+    /// Deterministic input corruption ([`FaultPlan::none`] → untouched).
+    pub fault_plan: FaultPlan,
+    /// Differential-oracle cadence.
+    pub oracle: OracleMode,
 }
 
 impl Default for RunOptions {
@@ -55,6 +131,9 @@ impl Default for RunOptions {
             alpha: 0.005,
             chunks_per_core: 4,
             seed: 0x7D6,
+            ingest: IngestMode::Strict,
+            fault_plan: FaultPlan::none(),
+            oracle: OracleMode::Final,
         }
     }
 }
@@ -72,8 +151,13 @@ impl RunOptions {
 pub struct RunResult {
     /// Collected metrics.
     pub metrics: RunMetrics,
-    /// Oracle comparison of the final states.
+    /// Oracle comparison of the final states ([`VerifyOutcome::Skipped`]
+    /// under [`OracleMode::Off`]).
     pub verify: VerifyOutcome,
+    /// Everything lenient ingest quarantined (empty under strict ingest).
+    pub quarantine: QuarantineReport,
+    /// Mid-run differential-oracle accounting.
+    pub oracle: OracleSummary,
 }
 
 /// Runs `engine` with `algo` over the streaming workload of `dataset`.
@@ -124,6 +208,11 @@ fn validate_options(opts: &RunOptions) -> Result<(), EngineError> {
     }
     if opts.chunks_per_core == 0 {
         return Err(EngineError::InvalidOptions { reason: "chunks_per_core must be >= 1".into() });
+    }
+    if opts.oracle == OracleMode::EveryNBatches(0) {
+        return Err(EngineError::InvalidOptions {
+            reason: "oracle cadence EveryNBatches(0) is meaningless; use Off".into(),
+        });
     }
     opts.sim.try_validate()?;
     Ok(())
@@ -188,13 +277,31 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
     let mut batches_done = 0u64;
     let mut states_before: Vec<f32> = Vec::new();
     let mut final_snapshot = snapshot;
+    let mut quarantine = QuarantineReport::new();
+    let mut oracle_summary = OracleSummary::default();
 
-    for _ in 0..opts.batches {
+    for batch_index in 0..opts.batches {
         let present = graph.edges_vec();
         let Some(batch) = composer.next_batch(batch_size, &present) else {
             break;
         };
-        let applied = graph.apply_batch(&batch)?;
+        // Deterministic input corruption, below the composer: the same
+        // `(fault seed, batch index)` always produces the same damage.
+        let batch = if opts.fault_plan.is_noop() {
+            batch
+        } else {
+            let corrupted = opts.fault_plan.corrupt_updates(batch_index as u64, batch.updates(), n);
+            match opts.ingest {
+                IngestMode::Strict => UpdateBatch::from_updates(corrupted)?,
+                IngestMode::Lenient => {
+                    UpdateBatch::from_updates_lenient(corrupted, &mut quarantine)
+                }
+            }
+        };
+        let applied = match opts.ingest {
+            IngestMode::Strict => graph.apply_batch(&batch)?,
+            IngestMode::Lenient => graph.apply_batch_lenient(&batch, &mut quarantine),
+        };
         let snapshot = graph.snapshot();
         let transpose = snapshot.transpose();
         let chunks = partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
@@ -249,6 +356,26 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
         let (useful, _useless) = counters.classify(&changed);
         useful_total += useful;
         batches_done += 1;
+
+        // Mid-run differential oracle: solve from scratch on the current
+        // snapshot and compare. A mismatch is evidence, not a failure —
+        // it is recorded and emitted, and the run continues.
+        if let OracleMode::EveryNBatches(every) = opts.oracle {
+            if batches_done.is_multiple_of(every as u64) {
+                let oracle_states = solve(&algo, &snapshot);
+                let outcome = compare(&algo, &state.states, &oracle_states.states);
+                oracle_summary.record(batches_done, &outcome);
+                if !outcome.is_match() {
+                    recorder.event(
+                        &TraceEvent::new("oracle_mismatch")
+                            .field("batch", batches_done)
+                            .field("algo", algo.name())
+                            .field("detail", format!("{outcome:?}")),
+                    );
+                }
+            }
+        }
+
         final_snapshot = snapshot;
     }
 
@@ -263,8 +390,13 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
         EnergyConstants::nominal(),
     );
 
-    let oracle = solve(&algo, &final_snapshot);
-    let verify = compare(&algo, &state.states, &oracle.states);
+    let verify = match opts.oracle {
+        OracleMode::Off => VerifyOutcome::Skipped,
+        OracleMode::EveryNBatches(_) | OracleMode::Final => {
+            let oracle = solve(&algo, &final_snapshot);
+            compare(&algo, &state.states, &oracle.states)
+        }
+    };
 
     // End-of-run totals: `updates.*` already reached `recorder` live, so it
     // only receives the remaining namespaces plus the end-computed useful
@@ -280,6 +412,18 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
         rec.counter(keys::RUN_BATCHES, batches_done);
         rec.label(keys::RUN_ENGINE, engine.name());
         rec.label(keys::RUN_ALGO, algo.name());
+        // Degradation counters only exist when something degraded, so a
+        // clean run's snapshot stays byte-identical to the pre-chaos era.
+        if !quarantine.is_empty() {
+            rec.counter(keys::QUARANTINE_TOTAL, quarantine.total());
+            for (reason, count) in quarantine.counts() {
+                rec.counter(quarantine_key(reason), count);
+            }
+        }
+        if oracle_summary.checks > 0 {
+            rec.counter(keys::ORACLE_CHECKS, oracle_summary.checks);
+            rec.counter(keys::ORACLE_MISMATCHES, oracle_summary.mismatches);
+        }
     };
     export_totals(recorder);
 
@@ -290,7 +434,7 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
     mem.span_exit(keys::PHASE_OTHER, machine.breakdown().other_cycles);
 
     let metrics = RunMetrics::from_snapshot(&mem.into_snapshot());
-    Ok(RunResult { metrics, verify })
+    Ok(RunResult { metrics, verify, quarantine, oracle: oracle_summary })
 }
 
 #[cfg(test)]
@@ -365,5 +509,97 @@ mod tests {
         let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
             .unwrap_err();
         assert!(matches!(err, EngineError::Sim(_)), "got {err}");
+    }
+
+    #[test]
+    fn zero_oracle_cadence_is_a_typed_error() {
+        let mut opts = RunOptions::small();
+        opts.oracle = OracleMode::EveryNBatches(0);
+        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
+    }
+
+    #[test]
+    fn oracle_off_skips_final_verification() {
+        let mut opts = RunOptions::small();
+        opts.oracle = OracleMode::Off;
+        let res = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap();
+        assert_eq!(res.verify, VerifyOutcome::Skipped);
+        assert_eq!(res.oracle.checks, 0);
+        assert!(res.quarantine.is_empty());
+    }
+
+    #[test]
+    fn mid_run_oracle_checks_every_batch() {
+        let mut opts = RunOptions::small();
+        opts.oracle = OracleMode::EveryNBatches(1);
+        let res = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap();
+        assert_eq!(res.oracle.checks, res.metrics.batches);
+        assert_eq!(res.oracle.mismatches, 0);
+        assert!(res.verify.is_match());
+    }
+
+    #[test]
+    fn strict_run_with_faults_is_a_typed_error() {
+        let mut opts = RunOptions::small();
+        opts.fault_plan = FaultPlan::seeded(3).with_absent_deletions(1.0);
+        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Graph(_)), "got {err}");
+    }
+
+    #[test]
+    fn lenient_run_with_faults_degrades_with_evidence() {
+        let mut opts = RunOptions::small();
+        opts.ingest = IngestMode::Lenient;
+        opts.fault_plan = FaultPlan::seeded(3)
+            .with_absent_deletions(1.0)
+            .with_nan_weights(0.3)
+            .with_out_of_range_ids(0.2);
+        let res = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap();
+        assert!(!res.quarantine.is_empty(), "armed faults must quarantine something");
+        assert!(res.quarantine.count(QuarantineReason::AbsentDeletion) > 0);
+        assert!(
+            res.verify.is_match(),
+            "surviving updates still verify against the oracle: {:?}",
+            res.verify
+        );
+    }
+
+    #[test]
+    fn noop_fault_plan_under_lenient_matches_strict_run_exactly() {
+        let strict = run_streaming(
+            &mut LigraO,
+            Algo::cc(),
+            Dataset::Amazon,
+            Sizing::Tiny,
+            &RunOptions::small(),
+        )
+        .unwrap();
+        let mut opts = RunOptions::small();
+        opts.ingest = IngestMode::Lenient;
+        opts.fault_plan = FaultPlan::none();
+        let lenient =
+            run_streaming(&mut LigraO, Algo::cc(), Dataset::Amazon, Sizing::Tiny, &opts).unwrap();
+        assert!(lenient.quarantine.is_empty());
+        assert_eq!(format!("{:?}", lenient.metrics), format!("{:?}", strict.metrics));
+        assert_eq!(lenient.verify, strict.verify);
+    }
+
+    #[test]
+    fn wrong_states_engine_is_caught_by_the_mid_run_oracle() {
+        use crate::testutil::{FaultMode, FaultyEngine};
+        let mut opts = RunOptions::small();
+        opts.oracle = OracleMode::EveryNBatches(1);
+        let mut engine = FaultyEngine::new(FaultMode::WrongStatesOnBatch(0));
+        let res = run_streaming(&mut engine, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap();
+        assert!(res.oracle.mismatches > 0, "corrupted states must be detected mid-run");
+        assert!(!res.oracle.records.is_empty());
+        assert!(!res.verify.is_match());
     }
 }

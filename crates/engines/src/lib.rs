@@ -60,6 +60,9 @@ pub mod testutil;
 pub use ctx::BatchCtx;
 pub use engine::Engine;
 pub use error::EngineError;
-pub use harness::{run_streaming, run_streaming_workload, RunOptions, RunResult};
+pub use harness::{
+    run_streaming, run_streaming_workload, OracleCheck, OracleMode, OracleSummary, RunOptions,
+    RunResult,
+};
 pub use metrics::{RunMetrics, UpdateCounters};
 pub use registry::{EngineFactory, EngineRegistry};

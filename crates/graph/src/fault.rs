@@ -1,0 +1,462 @@
+//! Deterministic data-plane fault injection.
+//!
+//! A [`FaultPlan`] corrupts inputs *on purpose*, below the sweep runner,
+//! so the lenient-ingest and oracle machinery can be exercised end to end:
+//! malformed and truncated edge-list lines, out-of-range vertex ids,
+//! duplicate edges, deletions of absent edges, NaN / negative weights, and
+//! mid-stream I/O errors. Every decision is drawn from the crate's own
+//! [`Xoshiro256StarStar`] PRNG seeded per corruption site, so a plan is a
+//! pure function of `(seed, input)` — the same plan over the same input
+//! yields byte-identical corruption at any thread count.
+//!
+//! [`FaultPlan::none`] is the identity: every apply site checks
+//! [`FaultPlan::is_noop`] first and returns the input untouched, so a run
+//! with an empty plan is byte-identical to a run with no plan at all (the
+//! test suite asserts this).
+
+use std::io::{BufReader, Read};
+
+use crate::prng::Xoshiro256StarStar;
+use crate::types::{VertexId, Weight};
+use crate::update::{EdgeUpdate, UpdateKind};
+
+/// Seed-domain separator so batch-corruption streams never collide with
+/// the text-corruption stream of the same plan.
+const TEXT_DOMAIN: u64 = 0x7465_7874; // "text"
+const BATCH_DOMAIN: u64 = 0x6261_7463; // "batc"
+
+/// A deterministic recipe for corrupting data-plane inputs.
+///
+/// Each `f64` field is an independent per-record corruption probability in
+/// `[0, 1]`. The plan is `Copy` so it can serve as a sweep axis; equality
+/// compares the exact bit pattern of the probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// PRNG seed for every corruption decision.
+    pub seed: u64,
+    /// Per-line probability of replacing a data line with unparsable text.
+    pub malformed_line: f64,
+    /// Per-line probability of truncating a data line mid-token.
+    pub truncated_line: f64,
+    /// Per-record probability of rewriting a vertex id past the
+    /// `VertexId` range (text) or past the vertex count (batches).
+    pub out_of_range_id: f64,
+    /// Per-record probability of emitting a duplicate of the record.
+    pub duplicate_edge: f64,
+    /// Per-record probability of replacing an addition's weight with NaN.
+    pub nan_weight: f64,
+    /// Per-line probability of negating a weight (a *semantic* corruption:
+    /// both ingest modes accept it, and only the differential oracle can
+    /// notice what it does to shortest paths).
+    pub negative_weight: f64,
+    /// Per-batch probability of injecting a deletion of an edge that is
+    /// guaranteed absent (a self-edge — the store never holds one).
+    pub absent_deletion: f64,
+    /// Fail the reader with an injected I/O error after this many lines
+    /// have been served (mid-stream; `None` disables).
+    pub io_error_after: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: corrupts nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            malformed_line: 0.0,
+            truncated_line: 0.0,
+            out_of_range_id: 0.0,
+            duplicate_edge: 0.0,
+            nan_weight: 0.0,
+            negative_weight: 0.0,
+            absent_deletion: 0.0,
+            io_error_after: None,
+        }
+    }
+
+    /// A plan with `seed` and no faults armed; chain the builder methods
+    /// to arm specific faults.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::none() }
+    }
+
+    /// Arms malformed-line corruption at probability `p`.
+    #[must_use]
+    pub fn with_malformed_lines(mut self, p: f64) -> Self {
+        self.malformed_line = p;
+        self
+    }
+
+    /// Arms line truncation at probability `p`.
+    #[must_use]
+    pub fn with_truncated_lines(mut self, p: f64) -> Self {
+        self.truncated_line = p;
+        self
+    }
+
+    /// Arms out-of-range vertex-id rewrites at probability `p`.
+    #[must_use]
+    pub fn with_out_of_range_ids(mut self, p: f64) -> Self {
+        self.out_of_range_id = p;
+        self
+    }
+
+    /// Arms duplicate-record emission at probability `p`.
+    #[must_use]
+    pub fn with_duplicate_edges(mut self, p: f64) -> Self {
+        self.duplicate_edge = p;
+        self
+    }
+
+    /// Arms NaN-weight corruption at probability `p`.
+    #[must_use]
+    pub fn with_nan_weights(mut self, p: f64) -> Self {
+        self.nan_weight = p;
+        self
+    }
+
+    /// Arms weight negation at probability `p`.
+    #[must_use]
+    pub fn with_negative_weights(mut self, p: f64) -> Self {
+        self.negative_weight = p;
+        self
+    }
+
+    /// Arms absent-edge deletions at per-batch probability `p`.
+    #[must_use]
+    pub fn with_absent_deletions(mut self, p: f64) -> Self {
+        self.absent_deletion = p;
+        self
+    }
+
+    /// Arms a mid-stream I/O failure after `lines` lines.
+    #[must_use]
+    pub fn with_io_error_after(mut self, lines: usize) -> Self {
+        self.io_error_after = Some(lines);
+        self
+    }
+
+    /// Whether this plan corrupts nothing (the identity).
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.malformed_line == 0.0
+            && self.truncated_line == 0.0
+            && self.out_of_range_id == 0.0
+            && self.duplicate_edge == 0.0
+            && self.nan_weight == 0.0
+            && self.negative_weight == 0.0
+            && self.absent_deletion == 0.0
+            && self.io_error_after.is_none()
+    }
+
+    /// Compact stable label for reports and trace events, e.g.
+    /// `"faults[seed=7,nan=0.5,absdel=0.5]"`; `"none"` for the identity.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        if self.is_noop() {
+            return "none".to_string();
+        }
+        let mut parts = vec![format!("seed={}", self.seed)];
+        let mut p = |name: &str, v: f64| {
+            if v > 0.0 {
+                parts.push(format!("{name}={v}"));
+            }
+        };
+        p("malformed", self.malformed_line);
+        p("truncated", self.truncated_line);
+        p("oor", self.out_of_range_id);
+        p("dup", self.duplicate_edge);
+        p("nan", self.nan_weight);
+        p("neg", self.negative_weight);
+        p("absdel", self.absent_deletion);
+        if let Some(n) = self.io_error_after {
+            parts.push(format!("io_after={n}"));
+        }
+        format!("faults[{}]", parts.join(","))
+    }
+
+    /// Corrupts edge-list text line by line (deterministic in `seed`).
+    /// Comment and blank lines pass through untouched; each data line may
+    /// be malformed, truncated, id-rewritten, weight-corrupted, or
+    /// duplicated according to the armed probabilities.
+    #[must_use]
+    pub fn corrupt_text(&self, text: &str) -> String {
+        if self.is_noop() {
+            return text.to_string();
+        }
+        let mut rng = Xoshiro256StarStar::new(self.seed ^ TEXT_DOMAIN);
+        let mut out = String::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            let is_data =
+                !(trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%'));
+            let corrupted = if is_data { self.corrupt_line(trimmed, &mut rng) } else { None };
+            match corrupted {
+                Some(lines) => {
+                    for l in lines {
+                        out.push_str(&l);
+                        out.push('\n');
+                    }
+                }
+                None => {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// One data line's corruption decision; `None` means pass through.
+    fn corrupt_line(&self, line: &str, rng: &mut Xoshiro256StarStar) -> Option<Vec<String>> {
+        if rng.next_f64() < self.malformed_line {
+            return Some(vec![format!("?? {line} <corrupted>")]);
+        }
+        if rng.next_f64() < self.truncated_line {
+            let cut = (line.len() / 2).max(1).min(line.len());
+            return Some(vec![line[..cut].to_string()]);
+        }
+        if rng.next_f64() < self.out_of_range_id {
+            let mut parts: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            if let Some(first) = parts.first_mut() {
+                *first = (u64::from(VertexId::MAX) + 1 + rng.next_below(1024)).to_string();
+            }
+            return Some(vec![parts.join(" ")]);
+        }
+        if rng.next_f64() < self.nan_weight {
+            let mut parts: Vec<&str> = line.split_whitespace().collect();
+            parts.truncate(2);
+            return Some(vec![format!("{} NaN", parts.join(" "))]);
+        }
+        if rng.next_f64() < self.negative_weight {
+            let mut parts: Vec<&str> = line.split_whitespace().collect();
+            parts.truncate(2);
+            return Some(vec![format!("{} -{}", parts.join(" "), rng.next_below(8) + 1)]);
+        }
+        if rng.next_f64() < self.duplicate_edge {
+            return Some(vec![line.to_string(), line.to_string()]);
+        }
+        None
+    }
+
+    /// Wraps corrupted text in a reader that additionally fails with an
+    /// injected I/O error after `io_error_after` lines (when armed).
+    #[must_use]
+    pub fn corrupted_reader(&self, text: &str) -> BufReader<InterruptedRead> {
+        let corrupted = self.corrupt_text(text);
+        let fail_at = match self.io_error_after {
+            Some(lines) => byte_offset_of_line(&corrupted, lines),
+            None => usize::MAX,
+        };
+        BufReader::new(InterruptedRead::new(corrupted.into_bytes(), fail_at))
+    }
+
+    /// Corrupts one update batch's raw updates (deterministic in
+    /// `(seed, batch_index)`): NaN weights on additions, out-of-range
+    /// endpoints, duplicate records, and guaranteed-absent deletions.
+    /// Returns the input untouched when the plan is a no-op.
+    #[must_use]
+    pub fn corrupt_updates(
+        &self,
+        batch_index: u64,
+        updates: &[EdgeUpdate],
+        vertex_count: usize,
+    ) -> Vec<EdgeUpdate> {
+        if self.is_noop() {
+            return updates.to_vec();
+        }
+        let mut rng =
+            Xoshiro256StarStar::new(self.seed ^ BATCH_DOMAIN ^ batch_index.wrapping_mul(0x9E37));
+        let mut out = Vec::with_capacity(updates.len() + 2);
+        for u in updates {
+            let mut u = *u;
+            if u.kind == UpdateKind::Addition && rng.next_f64() < self.nan_weight {
+                u.weight = Weight::NAN;
+            }
+            if rng.next_f64() < self.out_of_range_id {
+                u.dst = out_of_range_vertex(vertex_count, &mut rng);
+            }
+            out.push(u);
+            if rng.next_f64() < self.duplicate_edge {
+                out.push(u);
+            }
+        }
+        if rng.next_f64() < self.absent_deletion {
+            // A self-edge is never stored (self-loops are dropped on
+            // insert), so deleting one is absent by construction.
+            let v = if vertex_count == 0 { 0 } else { rng.next_index(vertex_count) as VertexId };
+            out.push(EdgeUpdate::deletion(v, v));
+        }
+        out
+    }
+}
+
+/// A vertex id guaranteed to be outside a graph of `vertex_count`.
+fn out_of_range_vertex(vertex_count: usize, rng: &mut Xoshiro256StarStar) -> VertexId {
+    let base = VertexId::try_from(vertex_count).unwrap_or(VertexId::MAX - 1024);
+    base.saturating_add(rng.next_below(1024) as VertexId)
+}
+
+/// Byte offset of the start of 0-based line `line` in `text` (end of text
+/// when past the last line).
+fn byte_offset_of_line(text: &str, line: usize) -> usize {
+    let mut offset = 0usize;
+    for (i, l) in text.split_inclusive('\n').enumerate() {
+        if i == line {
+            return offset;
+        }
+        offset += l.len();
+    }
+    offset
+}
+
+/// A reader over an in-memory buffer that fails with an injected
+/// [`std::io::Error`] once `fail_at` bytes have been served — the
+/// mid-stream I/O fault of a [`FaultPlan`].
+#[derive(Debug)]
+pub struct InterruptedRead {
+    data: Vec<u8>,
+    pos: usize,
+    fail_at: usize,
+}
+
+impl InterruptedRead {
+    /// A reader over `data` that errors once `fail_at` bytes were read.
+    #[must_use]
+    pub fn new(data: Vec<u8>, fail_at: usize) -> Self {
+        Self { data, pos: 0, fail_at }
+    }
+}
+
+impl Read for InterruptedRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() && self.data.len() <= self.fail_at {
+            return Ok(0); // clean EOF before the fault point
+        }
+        if self.pos >= self.fail_at {
+            return Err(std::io::Error::other("injected i/o fault"));
+        }
+        let end = self.data.len().min(self.fail_at);
+        let n = buf.len().min(end - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    #[test]
+    fn noop_plan_is_the_identity_on_text_and_updates() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_noop());
+        assert_eq!(plan.describe(), "none");
+        let text = "# header\n0 1\n1 2 3.5\n";
+        assert_eq!(plan.corrupt_text(text), text);
+        let updates = vec![EdgeUpdate::addition(0, 1, 1.0), EdgeUpdate::deletion(1, 2)];
+        assert_eq!(plan.corrupt_updates(0, &updates, 8), updates);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(7)
+            .with_malformed_lines(0.3)
+            .with_nan_weights(0.3)
+            .with_duplicate_edges(0.3);
+        let text: String = (0..50).map(|i| format!("{i} {} 1.0\n", i + 1)).collect();
+        assert_eq!(plan.corrupt_text(&text), plan.corrupt_text(&text));
+        let other = FaultPlan { seed: 8, ..plan };
+        assert_ne!(plan.corrupt_text(&text), other.corrupt_text(&text));
+        let updates: Vec<EdgeUpdate> =
+            (0..40).map(|i| EdgeUpdate::addition(i, i + 1, 1.0)).collect();
+        // Compare via Debug: injected NaN weights are never `==` themselves.
+        let render = |us: Vec<EdgeUpdate>| format!("{us:?}");
+        assert_eq!(
+            render(plan.corrupt_updates(3, &updates, 64)),
+            render(plan.corrupt_updates(3, &updates, 64))
+        );
+        assert_ne!(
+            render(plan.corrupt_updates(3, &updates, 64)),
+            render(plan.corrupt_updates(4, &updates, 64))
+        );
+    }
+
+    #[test]
+    fn armed_text_faults_do_corrupt() {
+        let text: String = (0..100).map(|i| format!("{i} {}\n", i + 1)).collect();
+        let malformed = FaultPlan::seeded(1).with_malformed_lines(1.0).corrupt_text(&text);
+        assert!(malformed.lines().all(|l| l.starts_with("??")));
+        let dup = FaultPlan::seeded(1).with_duplicate_edges(1.0).corrupt_text(&text);
+        assert_eq!(dup.lines().count(), 200);
+        let oor = FaultPlan::seeded(1).with_out_of_range_ids(1.0).corrupt_text("3 4\n");
+        let first: u64 = oor.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(first > u64::from(VertexId::MAX));
+        let nan = FaultPlan::seeded(1).with_nan_weights(1.0).corrupt_text("3 4 2.0\n");
+        assert!(nan.contains("NaN"));
+        let neg = FaultPlan::seeded(1).with_negative_weights(1.0).corrupt_text("3 4 2.0\n");
+        assert!(neg.split_whitespace().nth(2).unwrap().starts_with('-'));
+    }
+
+    #[test]
+    fn comments_and_blanks_pass_through() {
+        let plan = FaultPlan::seeded(1).with_malformed_lines(1.0);
+        let out = plan.corrupt_text("# keep me\n\n0 1\n");
+        assert!(out.starts_with("# keep me\n\n"));
+        assert!(out.lines().nth(2).unwrap().starts_with("??"));
+    }
+
+    #[test]
+    fn absent_deletion_targets_self_edges() {
+        let plan = FaultPlan::seeded(9).with_absent_deletions(1.0);
+        let out = plan.corrupt_updates(0, &[EdgeUpdate::addition(0, 1, 1.0)], 16);
+        let last = out.last().unwrap();
+        assert_eq!(last.kind, UpdateKind::Deletion);
+        assert_eq!(last.src, last.dst, "guaranteed-absent deletion is a self-edge");
+    }
+
+    #[test]
+    fn out_of_range_updates_leave_the_vertex_range() {
+        let plan = FaultPlan::seeded(2).with_out_of_range_ids(1.0);
+        let out = plan.corrupt_updates(0, &[EdgeUpdate::addition(0, 1, 1.0)], 10);
+        assert!(out.iter().any(|u| u.dst as usize >= 10));
+    }
+
+    #[test]
+    fn interrupted_reader_fails_mid_stream() {
+        let plan = FaultPlan::seeded(0).with_io_error_after(2);
+        let mut reader = plan.corrupted_reader("0 1\n1 2\n2 3\n3 4\n");
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).is_ok());
+        line.clear();
+        assert!(reader.read_line(&mut line).is_ok());
+        line.clear();
+        let err = reader.read_line(&mut line).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn reader_without_fault_reads_to_eof() {
+        let plan = FaultPlan::none();
+        let mut reader = plan.corrupted_reader("0 1\n1 2\n");
+        let mut all = String::new();
+        reader.read_to_string(&mut all).unwrap();
+        assert_eq!(all, "0 1\n1 2\n");
+    }
+
+    #[test]
+    fn describe_lists_armed_faults() {
+        let plan = FaultPlan::seeded(5).with_nan_weights(0.25).with_io_error_after(10);
+        let d = plan.describe();
+        assert!(d.contains("seed=5") && d.contains("nan=0.25") && d.contains("io_after=10"));
+    }
+}

@@ -17,6 +17,14 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Two ingest disciplines are offered. The strict loaders
+//! ([`load_edge_list`] / [`parse_edge_list`]) reject the whole file on the
+//! first bad record, with the 1-based line number and a truncated copy of
+//! the offending line in every error variant. The lenient loaders
+//! ([`load_edge_list_lenient`] / [`parse_edge_list_lenient`]) skip each
+//! bad record into a bounded [`QuarantineReport`] and keep going — a
+//! mid-stream read error keeps the parsed prefix instead of losing it.
 
 use std::error::Error;
 use std::fmt;
@@ -24,6 +32,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::prng::Xoshiro256StarStar;
+use crate::quarantine::{truncate_detail, QuarantineReason, QuarantineReport};
 use crate::types::{Edge, VertexCount, VertexId};
 
 /// An edge list loaded from disk.
@@ -37,7 +46,9 @@ pub struct LoadedGraph {
     pub skipped_lines: usize,
 }
 
-/// Error loading an edge list.
+/// Error loading an edge list. Every variant that refers to file content
+/// carries the 1-based line number and a truncated copy of the offending
+/// line, so the error alone locates the bad record.
 #[derive(Debug)]
 pub enum LoadError {
     /// Underlying I/O failure.
@@ -46,7 +57,7 @@ pub enum LoadError {
     Parse {
         /// 1-based line number.
         line: usize,
-        /// The offending content.
+        /// The offending content (truncated to a bounded length).
         content: String,
     },
     /// A vertex id parsed but does not fit in [`VertexId`]; truncating it
@@ -56,6 +67,8 @@ pub enum LoadError {
         line: usize,
         /// The out-of-range id as parsed.
         id: u64,
+        /// The offending content (truncated to a bounded length).
+        content: String,
     },
 }
 
@@ -66,9 +79,9 @@ impl fmt::Display for LoadError {
             LoadError::Parse { line, content } => {
                 write!(f, "unparsable edge at line {line}: {content:?}")
             }
-            LoadError::TooManyVertices { line, id } => write!(
+            LoadError::TooManyVertices { line, id, content } => write!(
                 f,
-                "vertex id {id} at line {line} exceeds the {}-bit VertexId range",
+                "vertex id {id} at line {line} exceeds the {}-bit VertexId range: {content:?}",
                 VertexId::BITS
             ),
         }
@@ -90,6 +103,61 @@ impl From<std::io::Error> for LoadError {
     }
 }
 
+/// Why one data line failed to parse (shared by the strict and lenient
+/// paths so the two modes reject / quarantine *exactly* the same records).
+enum LineFault {
+    /// Tokens missing or unparsable, or a non-finite weight.
+    Malformed,
+    /// An endpoint id exceeds the [`VertexId`] range.
+    Overflow(u64),
+}
+
+impl LineFault {
+    fn reason(&self) -> QuarantineReason {
+        match self {
+            LineFault::Malformed => QuarantineReason::MalformedLine,
+            LineFault::Overflow(_) => QuarantineReason::IdOverflow,
+        }
+    }
+
+    fn into_error(self, line: usize, content: &str) -> LoadError {
+        let content = truncate_detail(content);
+        match self {
+            LineFault::Malformed => LoadError::Parse { line, content },
+            LineFault::Overflow(id) => LoadError::TooManyVertices { line, id, content },
+        }
+    }
+}
+
+/// Parses one trimmed, non-comment data line into `(src, dst, weight)`.
+/// `None` weight means unweighted (synthesize one). Non-finite explicit
+/// weights are malformed: NaN propagates through every algorithm state,
+/// so letting one in would poison a whole run silently.
+fn parse_data_line(trimmed: &str) -> Result<(VertexId, VertexId, Option<f32>), LineFault> {
+    let mut parts = trimmed.split_whitespace();
+    let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+        return Err(LineFault::Malformed);
+    };
+    // Parse at full u64 width first so an id past the VertexId range is
+    // reported as an overflow, not truncated or misread as garbage.
+    let (Ok(src64), Ok(dst64)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+        return Err(LineFault::Malformed);
+    };
+    let src = VertexId::try_from(src64).map_err(|_| LineFault::Overflow(src64))?;
+    let dst = VertexId::try_from(dst64).map_err(|_| LineFault::Overflow(dst64))?;
+    let weight = match parts.next() {
+        Some(w) => {
+            let w = w.parse::<f32>().map_err(|_| LineFault::Malformed)?;
+            if !w.is_finite() {
+                return Err(LineFault::Malformed);
+            }
+            Some(w)
+        }
+        None => None,
+    };
+    Ok((src, dst, weight))
+}
+
 /// Loads a SNAP-style edge list: one `src dst [weight]` triple per line,
 /// whitespace-separated, `#`-prefixed comment lines ignored. Unweighted
 /// edges receive deterministic small-integer weights in `{1, …, 64}`
@@ -99,10 +167,26 @@ impl From<std::io::Error> for LoadError {
 /// # Errors
 ///
 /// [`LoadError::Io`] on file errors, [`LoadError::Parse`] on malformed
-/// lines.
+/// lines (including non-finite explicit weights),
+/// [`LoadError::TooManyVertices`] on an id past the [`VertexId`] range.
 pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, LoadError> {
     let file = std::fs::File::open(path)?;
     parse_edge_list(BufReader::new(file))
+}
+
+/// Lenient variant of [`load_edge_list`]: bad records are skipped into the
+/// returned [`QuarantineReport`] instead of aborting the load.
+///
+/// # Errors
+///
+/// [`LoadError::Io`] only when the file cannot be opened; a read error
+/// mid-stream is quarantined ([`QuarantineReason::IoInterrupted`]) and the
+/// parsed prefix is returned.
+pub fn load_edge_list_lenient<P: AsRef<Path>>(
+    path: P,
+) -> Result<(LoadedGraph, QuarantineReport), LoadError> {
+    let file = std::fs::File::open(path)?;
+    Ok(parse_edge_list_lenient(BufReader::new(file)))
 }
 
 /// Parses an edge list from any reader (see [`load_edge_list`]).
@@ -121,25 +205,9 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, LoadError> 
             skipped += 1;
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
-            return Err(LoadError::Parse { line: idx + 1, content: line.clone() });
-        };
-        // Parse at full u64 width first so an id past the VertexId range is
-        // reported as an overflow, not truncated or misread as garbage.
-        let (Ok(src64), Ok(dst64)) = (a.parse::<u64>(), b.parse::<u64>()) else {
-            return Err(LoadError::Parse { line: idx + 1, content: line.clone() });
-        };
-        let src = VertexId::try_from(src64)
-            .map_err(|_| LoadError::TooManyVertices { line: idx + 1, id: src64 })?;
-        let dst = VertexId::try_from(dst64)
-            .map_err(|_| LoadError::TooManyVertices { line: idx + 1, id: dst64 })?;
-        let weight = match parts.next() {
-            Some(w) => w
-                .parse::<f32>()
-                .map_err(|_| LoadError::Parse { line: idx + 1, content: line.clone() })?,
-            None => synthetic_weight(src, dst),
-        };
+        let (src, dst, weight) =
+            parse_data_line(trimmed).map_err(|fault| fault.into_error(idx + 1, &line))?;
+        let weight = weight.unwrap_or_else(|| synthetic_weight(src, dst));
         max_vertex = max_vertex.max(u64::from(src)).max(u64::from(dst));
         if src != dst {
             edges.push(Edge::new(src, dst, weight));
@@ -148,6 +216,47 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, LoadError> 
     let vertex_count =
         if edges.is_empty() && max_vertex == 0 { 0 } else { max_vertex as usize + 1 };
     Ok(LoadedGraph { edges, vertex_count, skipped_lines: skipped })
+}
+
+/// Lenient variant of [`parse_edge_list`]: every record strict mode would
+/// reject is skipped and recorded in the [`QuarantineReport`] (same line
+/// number, truncated content), and parsing continues. A mid-stream read
+/// error ends the parse but keeps the prefix, quarantined as
+/// [`QuarantineReason::IoInterrupted`]. Infallible by design — the only
+/// unrecoverable failure (opening the file) happens before parsing.
+#[must_use]
+pub fn parse_edge_list_lenient<R: BufRead>(reader: R) -> (LoadedGraph, QuarantineReport) {
+    let mut report = QuarantineReport::new();
+    let mut edges = Vec::new();
+    let mut max_vertex: u64 = 0;
+    let mut skipped = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                report.record(QuarantineReason::IoInterrupted, Some(idx + 1), &e.to_string());
+                break;
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            skipped += 1;
+            continue;
+        }
+        match parse_data_line(trimmed) {
+            Ok((src, dst, weight)) => {
+                let weight = weight.unwrap_or_else(|| synthetic_weight(src, dst));
+                max_vertex = max_vertex.max(u64::from(src)).max(u64::from(dst));
+                if src != dst {
+                    edges.push(Edge::new(src, dst, weight));
+                }
+            }
+            Err(fault) => report.record(fault.reason(), Some(idx + 1), &line),
+        }
+    }
+    let vertex_count =
+        if edges.is_empty() && max_vertex == 0 { 0 } else { max_vertex as usize + 1 };
+    (LoadedGraph { edges, vertex_count, skipped_lines: skipped }, report)
 }
 
 /// Deterministic small-integer weight for an unweighted edge.
@@ -174,6 +283,7 @@ pub fn save_edge_list<P: AsRef<Path>>(path: P, edges: &[Edge]) -> std::io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use std::io::Cursor;
 
     #[test]
@@ -209,17 +319,66 @@ mod tests {
     }
 
     #[test]
-    fn malformed_line_reports_position() {
+    fn malformed_line_reports_position_and_content() {
         let err = parse_edge_list(Cursor::new("0 1\nnot an edge\n")).unwrap_err();
         match err {
-            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            LoadError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not an edge");
+            }
             other => panic!("expected parse error, got {other}"),
         }
     }
 
     #[test]
-    fn missing_endpoint_is_an_error() {
-        assert!(parse_edge_list(Cursor::new("42\n")).is_err());
+    fn missing_endpoint_reports_position_and_content() {
+        let err = parse_edge_list(Cursor::new("42\n")).unwrap_err();
+        match err {
+            LoadError::Parse { line, content } => {
+                assert_eq!(line, 1);
+                assert_eq!(content, "42");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unparsable_weight_reports_position_and_content() {
+        let err = parse_edge_list(Cursor::new("0 1\n1 2 heavy\n")).unwrap_err();
+        match err {
+            LoadError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "1 2 heavy");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_weight_is_a_parse_error() {
+        for bad in ["0 1 NaN", "0 1 inf", "0 1 -inf"] {
+            let err = parse_edge_list(Cursor::new(format!("{bad}\n"))).unwrap_err();
+            match err {
+                LoadError::Parse { line, content } => {
+                    assert_eq!(line, 1, "{bad}");
+                    assert_eq!(content, bad);
+                }
+                other => panic!("expected parse error for {bad:?}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_error_content_is_truncated() {
+        let long = format!("0 1 {}", "z".repeat(500));
+        let err = parse_edge_list(Cursor::new(format!("{long}\n"))).unwrap_err();
+        match err {
+            LoadError::Parse { content, .. } => {
+                assert!(content.chars().count() <= crate::quarantine::MAX_DETAIL_CHARS + 1);
+                assert!(content.ends_with('…'));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
     }
 
     #[test]
@@ -243,14 +402,15 @@ mod tests {
     }
 
     #[test]
-    fn vertex_id_overflow_is_reported_not_truncated() {
+    fn vertex_id_overflow_reports_position_and_content() {
         // 2^33 parses as u64 but cannot be a 32-bit VertexId; a silent
         // `as u32` cast would alias it onto vertex 0.
         let err = parse_edge_list(Cursor::new("0 1\n8589934592 2\n")).unwrap_err();
-        match err {
-            LoadError::TooManyVertices { line, id } => {
-                assert_eq!(line, 2);
-                assert_eq!(id, 1 << 33);
+        match &err {
+            LoadError::TooManyVertices { line, id, content } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*id, 1 << 33);
+                assert_eq!(content, "8589934592 2");
             }
             other => panic!("expected TooManyVertices, got {other}"),
         }
@@ -270,5 +430,53 @@ mod tests {
         let err = load_edge_list("/nonexistent/tdgraph/file.txt").unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
         assert!(err.to_string().contains("i/o error"));
+        assert!(load_edge_list_lenient("/nonexistent/tdgraph/file.txt").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_what_strict_rejects() {
+        let text = "0 1\nbroken\n8589934592 2\n2 3 NaN\n3 4 2.5\n";
+        assert!(parse_edge_list(Cursor::new(text)).is_err());
+        let (g, q) = parse_edge_list_lenient(Cursor::new(text));
+        assert_eq!(g.edges.len(), 2, "good records survive");
+        assert_eq!(q.total(), 3);
+        assert_eq!(q.count(QuarantineReason::MalformedLine), 2, "broken + NaN weight");
+        assert_eq!(q.count(QuarantineReason::IdOverflow), 1);
+        assert_eq!(q.exemplars()[0].line, Some(2));
+        assert_eq!(q.exemplars()[0].detail, "broken");
+    }
+
+    #[test]
+    fn lenient_parse_of_clean_input_matches_strict() {
+        let text = "# header\n0 1 2.0\n1 2\n\n2 0 1.5\n";
+        let strict = parse_edge_list(Cursor::new(text)).unwrap();
+        let (lenient, q) = parse_edge_list_lenient(Cursor::new(text));
+        assert!(q.is_empty());
+        assert_eq!(lenient, strict);
+    }
+
+    #[test]
+    fn lenient_parse_keeps_prefix_on_io_fault() {
+        let plan = FaultPlan::seeded(0).with_io_error_after(2);
+        let (g, q) = parse_edge_list_lenient(plan.corrupted_reader("0 1\n1 2\n2 3\n3 4\n"));
+        assert_eq!(g.edges.len(), 2, "prefix before the fault survives");
+        assert_eq!(q.count(QuarantineReason::IoInterrupted), 1);
+        assert!(q.exemplars()[0].detail.contains("injected"));
+        // Strict mode rejects the same stream outright.
+        let err = parse_edge_list(plan.corrupted_reader("0 1\n1 2\n2 3\n3 4\n")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+
+    #[test]
+    fn lenient_parse_of_faulted_text_quarantines_every_armed_fault() {
+        let clean: String = (0..64).map(|i| format!("{i} {} 1.0\n", i + 1)).collect();
+        let plan = FaultPlan::seeded(42)
+            .with_malformed_lines(0.2)
+            .with_truncated_lines(0.2)
+            .with_out_of_range_ids(0.2);
+        let (g, q) = parse_edge_list_lenient(plan.corrupted_reader(&clean));
+        assert!(!q.is_empty(), "armed plan must corrupt something");
+        assert!(!g.edges.is_empty(), "clean records must survive");
+        assert_eq!(g.edges.len() as u64 + q.total(), 64, "every line is kept or quarantined");
     }
 }

@@ -12,7 +12,11 @@
 //! * [`datasets`] — synthetic stand-ins for the six SNAP datasets of Table 2,
 //! * [`partition`] — vertex-range chunking for the 64 simulated cores,
 //! * [`stats`] — degree-distribution and skew measures,
-//! * [`prng`] — deterministic SplitMix64 / Xoshiro256** generators.
+//! * [`prng`] — deterministic SplitMix64 / Xoshiro256** generators,
+//! * [`fault`] — seeded [`fault::FaultPlan`] input corruption for chaos
+//!   testing,
+//! * [`quarantine`] — lenient-ingest accounting
+//!   ([`quarantine::QuarantineReport`]).
 //!
 //! # Example
 //!
@@ -35,19 +39,25 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod csr;
 pub mod datasets;
 pub mod error;
+pub mod fault;
 pub mod generate;
 pub mod io;
 pub mod partition;
 pub mod prng;
+pub mod quarantine;
 pub mod stats;
 pub mod streaming;
 pub mod types;
 pub mod update;
 
 pub use csr::Csr;
+pub use fault::FaultPlan;
+pub use quarantine::{IngestMode, QuarantineReason, QuarantineReport};
 pub use streaming::StreamingGraph;
 pub use types::{EdgeCount, VertexCount, VertexId, Weight};
 pub use update::{EdgeUpdate, UpdateBatch};

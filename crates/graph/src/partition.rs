@@ -130,7 +130,8 @@ impl Schedule {
         let mut load = vec![0u64; cores];
         let mut assignments = vec![Vec::new(); cores];
         for i in order {
-            let core = (0..cores).min_by_key(|&c| (load[c], c)).expect("cores > 0");
+            // `cores > 0` is asserted above, so the range is never empty.
+            let core = (0..cores).min_by_key(|&c| (load[c], c)).unwrap_or(0);
             load[core] += costs[i];
             assignments[core].push(i);
         }

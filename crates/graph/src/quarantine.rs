@@ -1,0 +1,312 @@
+//! Lenient-ingest quarantine accounting.
+//!
+//! The data plane has two ingest disciplines. [`IngestMode::Strict`] is
+//! today's behavior: the first malformed record aborts the whole load or
+//! batch with a typed error. [`IngestMode::Lenient`] keeps going: each bad
+//! record is repaired or skipped and accounted in a bounded
+//! [`QuarantineReport`] — per-[`QuarantineReason`] counts plus the first
+//! few exemplars — so a corrupted input degrades a run with evidence
+//! instead of killing it.
+//!
+//! The two modes are exact complements, and the test suite asserts it:
+//! on any input, strict mode errors **iff** lenient mode quarantines at
+//! least one record, and when the quarantine is empty the lenient result
+//! is identical to the strict one.
+
+use std::fmt;
+
+/// How many exemplar records a report retains by default.
+pub const DEFAULT_EXEMPLAR_CAP: usize = 8;
+
+/// Longest exemplar / error detail retained, in characters. Longer input
+/// is truncated with a trailing ellipsis so a hostile multi-megabyte line
+/// cannot balloon an error value or a report.
+pub const MAX_DETAIL_CHARS: usize = 96;
+
+/// Truncates `detail` to [`MAX_DETAIL_CHARS`] characters, appending `…`
+/// when anything was cut.
+#[must_use]
+pub fn truncate_detail(detail: &str) -> String {
+    let mut out = String::new();
+    for (taken, ch) in detail.chars().enumerate() {
+        if taken == MAX_DETAIL_CHARS {
+            out.push('…');
+            return out;
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// How the data plane treats malformed records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IngestMode {
+    /// Reject the whole input on the first bad record (typed error).
+    #[default]
+    Strict,
+    /// Repair or skip each bad record into a [`QuarantineReport`].
+    Lenient,
+}
+
+/// Why a record was quarantined. Each reason corresponds to exactly one
+/// strict-mode error on the same surface (edge-list parsing, batch
+/// construction, or batch application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QuarantineReason {
+    /// An edge-list line did not parse (`LoadError::Parse`).
+    MalformedLine,
+    /// A vertex id parsed but overflows `VertexId`
+    /// (`LoadError::TooManyVertices`).
+    IdOverflow,
+    /// The reader failed mid-stream (`LoadError::Io` after some lines were
+    /// already consumed); the partial prefix is kept.
+    IoInterrupted,
+    /// A self-loop addition in a batch (`BatchError::SelfLoop`).
+    SelfLoop,
+    /// One `(src, dst)` pair both added and deleted in a batch
+    /// (`BatchError::ConflictingUpdates`).
+    ConflictingUpdate,
+    /// An addition carried a NaN or infinite weight
+    /// (`BatchError::NonFiniteWeight`).
+    NonFiniteWeight,
+    /// An update endpoint outside the graph's vertex range
+    /// (`ApplyError::VertexOutOfBounds`).
+    VertexOutOfBounds,
+    /// A deletion of an edge that is not present
+    /// (`ApplyError::MissingEdge`).
+    AbsentDeletion,
+}
+
+impl QuarantineReason {
+    /// Every reason, in the stable order reports iterate.
+    pub const ALL: [QuarantineReason; 8] = [
+        QuarantineReason::MalformedLine,
+        QuarantineReason::IdOverflow,
+        QuarantineReason::IoInterrupted,
+        QuarantineReason::SelfLoop,
+        QuarantineReason::ConflictingUpdate,
+        QuarantineReason::NonFiniteWeight,
+        QuarantineReason::VertexOutOfBounds,
+        QuarantineReason::AbsentDeletion,
+    ];
+
+    /// Stable lower-snake label (also the observability key suffix:
+    /// `quarantine.<label>`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            QuarantineReason::MalformedLine => "malformed_line",
+            QuarantineReason::IdOverflow => "id_overflow",
+            QuarantineReason::IoInterrupted => "io_interrupted",
+            QuarantineReason::SelfLoop => "self_loop",
+            QuarantineReason::ConflictingUpdate => "conflicting_update",
+            QuarantineReason::NonFiniteWeight => "non_finite_weight",
+            QuarantineReason::VertexOutOfBounds => "vertex_out_of_bounds",
+            QuarantineReason::AbsentDeletion => "absent_deletion",
+        }
+    }
+
+    fn index(self) -> usize {
+        QuarantineReason::ALL.iter().position(|&r| r == self).unwrap_or(0)
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One retained exemplar of a quarantined record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+    /// 1-based source line, when the record came from an edge-list file.
+    pub line: Option<usize>,
+    /// Truncated copy of the offending content (≤ [`MAX_DETAIL_CHARS`]).
+    pub detail: String,
+}
+
+/// Bounded accounting of everything lenient ingest repaired or skipped.
+///
+/// Counts are exact; exemplars are capped (first-N in arrival order) so a
+/// hostile input cannot grow the report without bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineReport {
+    counts: [u64; QuarantineReason::ALL.len()],
+    exemplars: Vec<QuarantinedRecord>,
+    exemplar_cap: usize,
+}
+
+impl Default for QuarantineReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuarantineReport {
+    /// An empty report with the default exemplar cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_exemplar_cap(DEFAULT_EXEMPLAR_CAP)
+    }
+
+    /// An empty report retaining at most `cap` exemplars.
+    #[must_use]
+    pub fn with_exemplar_cap(cap: usize) -> Self {
+        Self { counts: [0; QuarantineReason::ALL.len()], exemplars: Vec::new(), exemplar_cap: cap }
+    }
+
+    /// Records one quarantined record. `detail` is truncated to
+    /// [`MAX_DETAIL_CHARS`]; the exemplar is kept only while under the cap.
+    pub fn record(&mut self, reason: QuarantineReason, line: Option<usize>, detail: &str) {
+        self.counts[reason.index()] += 1;
+        if self.exemplars.len() < self.exemplar_cap {
+            self.exemplars.push(QuarantinedRecord {
+                reason,
+                line,
+                detail: truncate_detail(detail),
+            });
+        }
+    }
+
+    /// Total quarantined records across all reasons.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Quarantined records for one reason.
+    #[must_use]
+    pub fn count(&self, reason: QuarantineReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Whether nothing was quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// `(reason, count)` pairs with a non-zero count, in stable order.
+    pub fn counts(&self) -> impl Iterator<Item = (QuarantineReason, u64)> + '_ {
+        QuarantineReason::ALL.iter().map(|&r| (r, self.count(r))).filter(|&(_, n)| n > 0)
+    }
+
+    /// The retained exemplars, in arrival order (at most the cap).
+    #[must_use]
+    pub fn exemplars(&self) -> &[QuarantinedRecord] {
+        &self.exemplars
+    }
+
+    /// Folds another report into this one. Counts add; exemplars append
+    /// up to this report's cap.
+    pub fn merge(&mut self, other: &QuarantineReport) {
+        for (i, n) in other.counts.iter().enumerate() {
+            self.counts[i] += n;
+        }
+        for ex in &other.exemplars {
+            if self.exemplars.len() >= self.exemplar_cap {
+                break;
+            }
+            self.exemplars.push(ex.clone());
+        }
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `"3 quarantined (absent_deletion: 2, non_finite_weight: 1)"`.
+    /// Empty string when nothing was quarantined.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> =
+            self.counts().map(|(r, n)| format!("{}: {n}", r.label())).collect();
+        format!("{} quarantined ({})", self.total(), parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_caps_hostile_details() {
+        let long = "x".repeat(500);
+        let t = truncate_detail(&long);
+        assert_eq!(t.chars().count(), MAX_DETAIL_CHARS + 1);
+        assert!(t.ends_with('…'));
+        assert_eq!(truncate_detail("short"), "short");
+        // Multi-byte chars must not split.
+        let uni = "é".repeat(200);
+        assert!(truncate_detail(&uni).ends_with('…'));
+    }
+
+    #[test]
+    fn counts_are_exact_and_exemplars_bounded() {
+        let mut q = QuarantineReport::with_exemplar_cap(2);
+        for i in 0..5 {
+            q.record(QuarantineReason::AbsentDeletion, Some(i), &format!("del {i}"));
+        }
+        q.record(QuarantineReason::MalformedLine, None, "garbage");
+        assert_eq!(q.total(), 6);
+        assert_eq!(q.count(QuarantineReason::AbsentDeletion), 5);
+        assert_eq!(q.count(QuarantineReason::MalformedLine), 1);
+        assert_eq!(q.exemplars().len(), 2, "cap holds");
+        assert_eq!(q.exemplars()[0].detail, "del 0");
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counts_iterator_skips_zero_reasons_in_stable_order() {
+        let mut q = QuarantineReport::new();
+        q.record(QuarantineReason::AbsentDeletion, None, "");
+        q.record(QuarantineReason::MalformedLine, Some(3), "bad");
+        q.record(QuarantineReason::MalformedLine, Some(4), "bad");
+        let pairs: Vec<_> = q.counts().collect();
+        assert_eq!(
+            pairs,
+            vec![(QuarantineReason::MalformedLine, 2), (QuarantineReason::AbsentDeletion, 1)]
+        );
+    }
+
+    #[test]
+    fn merge_adds_counts_and_respects_cap() {
+        let mut a = QuarantineReport::with_exemplar_cap(3);
+        a.record(QuarantineReason::SelfLoop, None, "a");
+        let mut b = QuarantineReport::new();
+        b.record(QuarantineReason::SelfLoop, None, "b1");
+        b.record(QuarantineReason::IdOverflow, Some(9), "b2");
+        b.record(QuarantineReason::IdOverflow, Some(10), "b3");
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(QuarantineReason::SelfLoop), 2);
+        assert_eq!(a.count(QuarantineReason::IdOverflow), 2);
+        assert_eq!(a.exemplars().len(), 3, "merge stops at the cap");
+    }
+
+    #[test]
+    fn summary_reads_naturally() {
+        let mut q = QuarantineReport::new();
+        assert_eq!(q.summary(), "");
+        q.record(QuarantineReason::NonFiniteWeight, None, "NaN");
+        q.record(QuarantineReason::AbsentDeletion, None, "(1, 2)");
+        q.record(QuarantineReason::AbsentDeletion, None, "(3, 4)");
+        assert_eq!(q.summary(), "3 quarantined (non_finite_weight: 1, absent_deletion: 2)");
+    }
+
+    #[test]
+    fn default_mode_is_strict() {
+        assert_eq!(IngestMode::default(), IngestMode::Strict);
+    }
+
+    #[test]
+    fn reason_labels_are_stable() {
+        for r in QuarantineReason::ALL {
+            assert!(!r.label().is_empty());
+            assert_eq!(r.to_string(), r.label());
+        }
+    }
+}

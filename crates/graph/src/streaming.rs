@@ -11,6 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::csr::Csr;
+use crate::quarantine::{QuarantineReason, QuarantineReport};
 use crate::types::{Edge, EdgeCount, VertexCount, VertexId, Weight};
 use crate::update::{UpdateBatch, UpdateKind};
 
@@ -212,15 +213,73 @@ impl StreamingGraph {
                     applied.affected.push(u.dst);
                 }
                 UpdateKind::Deletion => {
-                    let w = self.remove_edge_unchecked(u.src, u.dst).expect("validated above");
-                    applied.deleted.push(Edge::new(u.src, u.dst, w));
-                    applied.affected.push(u.dst);
+                    // Presence was validated above; `None` here would mean
+                    // the batch self-conflicted, which `UpdateBatch`
+                    // construction already rules out.
+                    let w = self.remove_edge_unchecked(u.src, u.dst);
+                    debug_assert!(w.is_some(), "deletion validated as present above");
+                    if let Some(w) = w {
+                        applied.deleted.push(Edge::new(u.src, u.dst, w));
+                        applied.affected.push(u.dst);
+                    }
                 }
             }
         }
         applied.affected.sort_unstable();
         applied.affected.dedup();
         Ok(applied)
+    }
+
+    /// Applies a batch leniently: updates that strict
+    /// [`StreamingGraph::apply_batch`] would reject are skipped and
+    /// accounted in `quarantine` instead of failing the batch.
+    ///
+    /// Skipped records: updates with an endpoint outside the vertex range
+    /// ([`QuarantineReason::VertexOutOfBounds`]) and deletions of absent
+    /// edges ([`QuarantineReason::AbsentDeletion`]). Skipped updates do not
+    /// mark any vertex affected. When nothing is quarantined the result is
+    /// identical to strict application.
+    pub fn apply_batch_lenient(
+        &mut self,
+        batch: &UpdateBatch,
+        quarantine: &mut QuarantineReport,
+    ) -> AppliedBatch {
+        let mut applied = AppliedBatch::default();
+        for u in batch.updates() {
+            if self.check_bounds(u.src).is_err() || self.check_bounds(u.dst).is_err() {
+                quarantine.record(
+                    QuarantineReason::VertexOutOfBounds,
+                    None,
+                    &format!("({}, {})", u.src, u.dst),
+                );
+                continue;
+            }
+            match u.kind {
+                UpdateKind::Addition => {
+                    match self.insert_edge_unchecked(u.edge()) {
+                        None => applied.added.push(u.edge()),
+                        Some(old) => applied.reweighted.push((u.edge(), old)),
+                    }
+                    applied.affected.push(u.dst);
+                }
+                UpdateKind::Deletion => match self.remove_edge_unchecked(u.src, u.dst) {
+                    Some(w) => {
+                        applied.deleted.push(Edge::new(u.src, u.dst, w));
+                        applied.affected.push(u.dst);
+                    }
+                    None => {
+                        quarantine.record(
+                            QuarantineReason::AbsentDeletion,
+                            None,
+                            &format!("({}, {})", u.src, u.dst),
+                        );
+                    }
+                },
+            }
+        }
+        applied.affected.sort_unstable();
+        applied.affected.dedup();
+        applied
     }
 
     /// Materializes an immutable CSR snapshot of the current graph.
@@ -348,5 +407,47 @@ mod tests {
         assert_eq!(a.to_string(), "deletion of absent edge (1, 2)");
         let b = ApplyError::VertexOutOfBounds { vertex: 9, vertex_count: 3 };
         assert!(b.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn lenient_apply_quarantines_what_strict_rejects() {
+        let batch = UpdateBatch::from_updates(vec![
+            EdgeUpdate::addition(3, 4, 2.0),
+            EdgeUpdate::deletion(5, 0),       // absent
+            EdgeUpdate::addition(0, 99, 1.0), // out of bounds
+            EdgeUpdate::deletion(1, 2),       // fine
+        ])
+        .unwrap();
+
+        let mut strict = base();
+        assert!(strict.apply_batch(&batch).is_err());
+
+        let mut lenient = base();
+        let mut q = QuarantineReport::new();
+        let applied = lenient.apply_batch_lenient(&batch, &mut q);
+        assert_eq!(q.total(), 2);
+        assert_eq!(q.count(QuarantineReason::AbsentDeletion), 1);
+        assert_eq!(q.count(QuarantineReason::VertexOutOfBounds), 1);
+        assert!(lenient.contains_edge(3, 4));
+        assert!(!lenient.contains_edge(1, 2));
+        assert_eq!(applied.affected_vertices(), &[2, 4], "skipped updates mark nothing affected");
+    }
+
+    #[test]
+    fn lenient_apply_of_clean_batch_matches_strict() {
+        let batch = UpdateBatch::from_updates(vec![
+            EdgeUpdate::addition(3, 4, 2.0),
+            EdgeUpdate::addition(0, 1, 7.0), // reweight
+            EdgeUpdate::deletion(1, 2),
+        ])
+        .unwrap();
+        let mut strict = base();
+        let want = strict.apply_batch(&batch).unwrap();
+        let mut lenient = base();
+        let mut q = QuarantineReport::new();
+        let got = lenient.apply_batch_lenient(&batch, &mut q);
+        assert!(q.is_empty());
+        assert_eq!(got, want);
+        assert_eq!(lenient.edges_vec(), strict.edges_vec());
     }
 }

@@ -12,6 +12,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::prng::Xoshiro256StarStar;
+use crate::quarantine::{QuarantineReason, QuarantineReport};
 use crate::types::{Edge, VertexId, Weight};
 
 /// The kind of a single graph update.
@@ -57,7 +58,10 @@ impl EdgeUpdate {
 }
 
 /// Error building an [`UpdateBatch`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`Eq` is deliberately absent: [`BatchError::NonFiniteWeight`] carries
+/// the offending `f32`, and NaN is not reflexively equal.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum BatchError {
     /// The same `(src, dst)` pair appears in two conflicting updates.
     ConflictingUpdates {
@@ -71,6 +75,16 @@ pub enum BatchError {
         /// The looping vertex.
         vertex: VertexId,
     },
+    /// An addition carries a NaN or infinite weight, which would poison
+    /// every downstream algorithm state it touches.
+    NonFiniteWeight {
+        /// Source vertex of the offending addition.
+        src: VertexId,
+        /// Destination vertex of the offending addition.
+        dst: VertexId,
+        /// The non-finite weight as supplied.
+        weight: Weight,
+    },
 }
 
 impl fmt::Display for BatchError {
@@ -82,6 +96,9 @@ impl fmt::Display for BatchError {
             BatchError::SelfLoop { vertex } => {
                 write!(f, "self-loop addition on vertex {vertex}")
             }
+            BatchError::NonFiniteWeight { src, dst, weight } => {
+                write!(f, "non-finite weight {weight} on addition of edge ({src}, {dst})")
+            }
         }
     }
 }
@@ -92,6 +109,7 @@ impl Error for BatchError {}
 ///
 /// Invariants enforced at construction:
 /// * no self-loop additions,
+/// * no NaN / infinite addition weights,
 /// * no `(src, dst)` pair appears with both an addition and a deletion
 ///   (the paper applies a batch atomically, so such a pair is ambiguous),
 /// * duplicate identical updates are dropped.
@@ -100,35 +118,82 @@ pub struct UpdateBatch {
     updates: Vec<EdgeUpdate>,
 }
 
+/// The per-update violation [`UpdateBatch::from_updates`] rejects (strict)
+/// and [`UpdateBatch::from_updates_lenient`] quarantines — one shared
+/// check so the two modes act on exactly the same records.
+fn check_update(
+    u: &EdgeUpdate,
+    pair_kind: &mut std::collections::HashMap<(VertexId, VertexId), UpdateKind>,
+) -> Result<(), BatchError> {
+    if u.kind == UpdateKind::Addition && u.src == u.dst {
+        return Err(BatchError::SelfLoop { vertex: u.src });
+    }
+    if u.kind == UpdateKind::Addition && !u.weight.is_finite() {
+        return Err(BatchError::NonFiniteWeight { src: u.src, dst: u.dst, weight: u.weight });
+    }
+    if let Some(&k) = pair_kind.get(&(u.src, u.dst)) {
+        if k != u.kind {
+            return Err(BatchError::ConflictingUpdates { src: u.src, dst: u.dst });
+        }
+    } else {
+        pair_kind.insert((u.src, u.dst), u.kind);
+    }
+    Ok(())
+}
+
 impl UpdateBatch {
     /// Builds a batch from raw updates, validating and deduplicating.
     ///
     /// # Errors
     ///
-    /// Returns [`BatchError::SelfLoop`] for a self-loop addition and
-    /// [`BatchError::ConflictingUpdates`] if one `(src, dst)` pair is both
-    /// added and deleted in the same batch.
+    /// [`BatchError::SelfLoop`] for a self-loop addition,
+    /// [`BatchError::NonFiniteWeight`] for an addition whose weight is NaN
+    /// or infinite, and [`BatchError::ConflictingUpdates`] if one
+    /// `(src, dst)` pair is both added and deleted in the same batch.
     pub fn from_updates(updates: Vec<EdgeUpdate>) -> Result<Self, BatchError> {
         let mut seen: HashSet<(VertexId, VertexId, UpdateKind)> = HashSet::new();
         let mut pair_kind: std::collections::HashMap<(VertexId, VertexId), UpdateKind> =
             std::collections::HashMap::new();
         let mut out = Vec::with_capacity(updates.len());
         for u in updates {
-            if u.kind == UpdateKind::Addition && u.src == u.dst {
-                return Err(BatchError::SelfLoop { vertex: u.src });
-            }
-            if let Some(&k) = pair_kind.get(&(u.src, u.dst)) {
-                if k != u.kind {
-                    return Err(BatchError::ConflictingUpdates { src: u.src, dst: u.dst });
-                }
-            } else {
-                pair_kind.insert((u.src, u.dst), u.kind);
-            }
+            check_update(&u, &mut pair_kind)?;
             if seen.insert((u.src, u.dst, u.kind)) {
                 out.push(u);
             }
         }
         Ok(Self { updates: out })
+    }
+
+    /// Lenient variant of [`UpdateBatch::from_updates`]: each update
+    /// strict mode would reject is skipped and recorded in `report`
+    /// instead of failing the whole batch. Duplicates still collapse
+    /// silently (a normalization, not a fault, in both modes).
+    #[must_use]
+    pub fn from_updates_lenient(updates: Vec<EdgeUpdate>, report: &mut QuarantineReport) -> Self {
+        let mut seen: HashSet<(VertexId, VertexId, UpdateKind)> = HashSet::new();
+        let mut pair_kind: std::collections::HashMap<(VertexId, VertexId), UpdateKind> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(updates.len());
+        for u in updates {
+            match check_update(&u, &mut pair_kind) {
+                Ok(()) => {
+                    if seen.insert((u.src, u.dst, u.kind)) {
+                        out.push(u);
+                    }
+                }
+                Err(e) => {
+                    let reason = match e {
+                        BatchError::SelfLoop { .. } => QuarantineReason::SelfLoop,
+                        BatchError::NonFiniteWeight { .. } => QuarantineReason::NonFiniteWeight,
+                        BatchError::ConflictingUpdates { .. } => {
+                            QuarantineReason::ConflictingUpdate
+                        }
+                    };
+                    report.record(reason, None, &e.to_string());
+                }
+            }
+        }
+        Self { updates: out }
     }
 
     /// The validated updates, in arrival order.
@@ -168,6 +233,10 @@ pub struct BatchComposer {
     pending_additions: Vec<Edge>,
     rng: Xoshiro256StarStar,
     add_fraction: f64,
+    /// Edges this stream has deleted and not since re-added. Callers that
+    /// pass a stale `present_edges` pool (one not refreshed after every
+    /// batch) would otherwise see the composer delete the same edge twice.
+    deleted_in_stream: HashSet<(VertexId, VertexId)>,
 }
 
 impl BatchComposer {
@@ -184,7 +253,12 @@ impl BatchComposer {
             (0.0..=1.0).contains(&add_fraction),
             "add_fraction must be in [0,1], got {add_fraction}"
         );
-        Self { pending_additions, rng: Xoshiro256StarStar::new(seed), add_fraction }
+        Self {
+            pending_additions,
+            rng: Xoshiro256StarStar::new(seed),
+            add_fraction,
+            deleted_in_stream: HashSet::new(),
+        }
     }
 
     /// Number of additions still pending.
@@ -195,8 +269,11 @@ impl BatchComposer {
 
     /// Composes the next batch of up to `batch_size` updates. Deletion
     /// candidates are sampled (without replacement within the batch) from
-    /// `present_edges`. Returns `None` once both the addition pool and the
-    /// requested deletions are exhausted.
+    /// `present_edges`, excluding edges this stream already deleted in an
+    /// earlier batch and has not re-added — so a caller that reuses a
+    /// stale pool never sees the same edge deleted twice. Returns `None`
+    /// once both the addition pool and the requested deletions are
+    /// exhausted.
     pub fn next_batch(&mut self, batch_size: usize, present_edges: &[Edge]) -> Option<UpdateBatch> {
         if batch_size == 0 {
             return None;
@@ -213,8 +290,14 @@ impl BatchComposer {
         for _ in 0..want_adds {
             let i = self.rng.next_index(self.pending_additions.len());
             let e = self.pending_additions.swap_remove(i);
+            // Defensive normalization: a caller-supplied pool may carry
+            // self-loops or non-finite weights the batch would reject.
+            if e.src == e.dst || !e.weight.is_finite() {
+                continue;
+            }
             if touched.insert((e.src, e.dst)) {
                 updates.push(EdgeUpdate::addition(e.src, e.dst, e.weight));
+                self.deleted_in_stream.remove(&(e.src, e.dst));
             }
         }
         let mut attempts = 0;
@@ -223,14 +306,24 @@ impl BatchComposer {
         {
             attempts += 1;
             let e = present_edges[self.rng.next_index(present_edges.len())];
+            if self.deleted_in_stream.contains(&(e.src, e.dst)) {
+                continue;
+            }
             if touched.insert((e.src, e.dst)) {
                 updates.push(EdgeUpdate::deletion(e.src, e.dst));
+                self.deleted_in_stream.insert((e.src, e.dst));
             }
         }
         if updates.is_empty() {
             return None;
         }
-        Some(UpdateBatch::from_updates(updates).expect("composer produces valid batches"))
+        match UpdateBatch::from_updates(updates) {
+            Ok(batch) => Some(batch),
+            // The `touched` set and the sampling filters uphold every
+            // batch invariant; surfacing a regression as stream
+            // exhaustion would hide the bug, so fail loudly instead.
+            Err(e) => unreachable!("composer produced an invalid batch: {e}"),
+        }
     }
 }
 
@@ -318,5 +411,100 @@ mod tests {
     #[should_panic(expected = "add_fraction")]
     fn composer_rejects_bad_fraction() {
         let _ = BatchComposer::new(vec![], 1.5, 1);
+    }
+
+    #[test]
+    fn batch_rejects_nan_and_infinite_addition_weights() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = UpdateBatch::from_updates(vec![EdgeUpdate::addition(0, 1, bad)]).unwrap_err();
+            assert!(
+                matches!(err, BatchError::NonFiniteWeight { src: 0, dst: 1, .. }),
+                "weight {bad}: got {err}"
+            );
+            assert!(err.to_string().contains("non-finite weight"));
+        }
+    }
+
+    #[test]
+    fn deletion_weight_is_ignored_by_the_finiteness_check() {
+        // Deletions carry no meaningful weight; a hand-built NaN there
+        // must not fail construction.
+        let del = EdgeUpdate { kind: UpdateKind::Deletion, src: 0, dst: 1, weight: f32::NAN };
+        assert!(UpdateBatch::from_updates(vec![del]).is_ok());
+    }
+
+    #[test]
+    fn lenient_batch_quarantines_what_strict_rejects() {
+        let updates = vec![
+            EdgeUpdate::addition(0, 1, 1.0),
+            EdgeUpdate::addition(2, 2, 1.0),      // self-loop
+            EdgeUpdate::addition(3, 4, f32::NAN), // non-finite
+            EdgeUpdate::addition(5, 6, 1.0),
+            EdgeUpdate::deletion(5, 6), // conflict
+        ];
+        assert!(UpdateBatch::from_updates(updates.clone()).is_err());
+        let mut q = QuarantineReport::new();
+        let b = UpdateBatch::from_updates_lenient(updates, &mut q);
+        assert_eq!(b.len(), 2, "the two good updates survive");
+        assert_eq!(q.total(), 3);
+        assert_eq!(q.count(QuarantineReason::SelfLoop), 1);
+        assert_eq!(q.count(QuarantineReason::NonFiniteWeight), 1);
+        assert_eq!(q.count(QuarantineReason::ConflictingUpdate), 1);
+    }
+
+    #[test]
+    fn lenient_batch_on_clean_input_matches_strict() {
+        let updates = vec![EdgeUpdate::addition(0, 1, 1.0), EdgeUpdate::deletion(2, 3)];
+        let strict = UpdateBatch::from_updates(updates.clone()).unwrap();
+        let mut q = QuarantineReport::new();
+        let lenient = UpdateBatch::from_updates_lenient(updates, &mut q);
+        assert!(q.is_empty());
+        assert_eq!(lenient, strict);
+    }
+
+    #[test]
+    fn composer_never_redeletes_with_a_stale_present_pool() {
+        // Regression: with a pool that is never refreshed, every batch
+        // used to be able to re-sample an edge deleted in an earlier
+        // batch, producing a deletion for an already-absent edge.
+        let stale: Vec<Edge> = (0..40).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let mut c = BatchComposer::new(vec![], 0.0, 99);
+        let mut seen: HashSet<(VertexId, VertexId)> = HashSet::new();
+        for _ in 0..6 {
+            let Some(b) = c.next_batch(8, &stale) else { break };
+            for u in b.deletions() {
+                assert!(
+                    seen.insert((u.src, u.dst)),
+                    "edge ({}, {}) deleted twice across the stream",
+                    u.src,
+                    u.dst
+                );
+            }
+        }
+        assert!(seen.len() > 8, "the stream must span multiple batches");
+    }
+
+    #[test]
+    fn composer_allows_redeletion_after_readdition() {
+        // Delete (0, 1) in batch 1, re-add it via the pending pool, then
+        // a later batch may delete it again.
+        let present = vec![Edge::new(0, 1, 1.0)];
+        let mut c = BatchComposer::new(vec![Edge::new(0, 1, 2.0)], 0.0, 7);
+        let b1 = c.next_batch(1, &present).unwrap();
+        assert_eq!(b1.deletions().count(), 1);
+        assert!(c.next_batch(1, &present).is_none(), "still-deleted edge is excluded");
+        c.add_fraction = 1.0;
+        let b2 = c.next_batch(1, &present).unwrap();
+        assert_eq!(b2.additions().count(), 1);
+        c.add_fraction = 0.0;
+        let b3 = c.next_batch(1, &present).unwrap();
+        assert_eq!(b3.deletions().count(), 1, "re-added edge is deletable again");
+    }
+
+    #[test]
+    fn composer_skips_invalid_pool_edges() {
+        let pool = vec![Edge::new(3, 3, 1.0), Edge::new(0, 1, f32::NAN)];
+        let mut c = BatchComposer::new(pool, 1.0, 1);
+        assert!(c.next_batch(4, &[]).is_none(), "only invalid pool edges → no batch");
     }
 }

@@ -66,3 +66,29 @@ pub const RUN_ALGO: &str = "run.algo";
 pub const PHASE_PROPAGATION: &str = "propagation";
 /// Every other phase (batch application, tracking, scheduling).
 pub const PHASE_OTHER: &str = "other";
+
+/// Total records quarantined by lenient ingest. Emitted only when
+/// non-zero so clean runs stay byte-identical to pre-quarantine snapshots.
+pub const QUARANTINE_TOTAL: &str = "quarantine.total";
+/// Quarantine per-reason counter: unparseable edge-list lines.
+pub const QUARANTINE_MALFORMED_LINE: &str = "quarantine.malformed_line";
+/// Quarantine per-reason counter: vertex ids overflowing `VertexId`.
+pub const QUARANTINE_ID_OVERFLOW: &str = "quarantine.id_overflow";
+/// Quarantine per-reason counter: reader failures mid-stream.
+pub const QUARANTINE_IO_INTERRUPTED: &str = "quarantine.io_interrupted";
+/// Quarantine per-reason counter: self-loop additions.
+pub const QUARANTINE_SELF_LOOP: &str = "quarantine.self_loop";
+/// Quarantine per-reason counter: add+delete conflicts within a batch.
+pub const QUARANTINE_CONFLICTING_UPDATE: &str = "quarantine.conflicting_update";
+/// Quarantine per-reason counter: NaN/±inf addition weights.
+pub const QUARANTINE_NON_FINITE_WEIGHT: &str = "quarantine.non_finite_weight";
+/// Quarantine per-reason counter: endpoints outside the vertex range.
+pub const QUARANTINE_VERTEX_OUT_OF_BOUNDS: &str = "quarantine.vertex_out_of_bounds";
+/// Quarantine per-reason counter: deletions of absent edges.
+pub const QUARANTINE_ABSENT_DELETION: &str = "quarantine.absent_deletion";
+
+/// Differential-oracle comparisons performed mid-run. Emitted only when
+/// non-zero (i.e., `OracleMode::EveryNBatches` was active).
+pub const ORACLE_CHECKS: &str = "oracle.checks";
+/// Differential-oracle comparisons that found a mismatch.
+pub const ORACLE_MISMATCHES: &str = "oracle.mismatches";

@@ -16,9 +16,21 @@ impl Config {
 }
 
 impl Default for Config {
+    /// 64 cases, overridable globally through the `PROPTEST_CASES`
+    /// environment variable (mirroring the real crate, so CI can scale
+    /// property coverage without touching sources). An explicit
+    /// `with_cases` in a `proptest_config` attribute is not affected.
     fn default() -> Self {
-        Self { cases: 64 }
+        Self { cases: cases_from(std::env::var("PROPTEST_CASES").ok().as_deref()) }
     }
+}
+
+const DEFAULT_CASES: u32 = 64;
+
+/// Parses a `PROPTEST_CASES` value; unset, unparsable, or zero falls back
+/// to [`DEFAULT_CASES`].
+fn cases_from(var: Option<&str>) -> u32 {
+    var.and_then(|s| s.trim().parse::<u32>().ok()).filter(|&c| c > 0).unwrap_or(DEFAULT_CASES)
 }
 
 /// Derives the deterministic seed for a test from its fully-qualified
@@ -107,6 +119,16 @@ mod tests {
     #[test]
     fn seeds_differ_by_test_name() {
         assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+
+    #[test]
+    fn proptest_cases_env_values_parse_with_a_safe_fallback() {
+        assert_eq!(cases_from(None), DEFAULT_CASES);
+        assert_eq!(cases_from(Some("512")), 512);
+        assert_eq!(cases_from(Some(" 16 ")), 16);
+        assert_eq!(cases_from(Some("0")), DEFAULT_CASES, "zero cases would skip every test");
+        assert_eq!(cases_from(Some("lots")), DEFAULT_CASES);
+        assert_eq!(cases_from(Some("-3")), DEFAULT_CASES);
     }
 
     #[test]

@@ -82,8 +82,12 @@ mod tests {
 
     #[test]
     fn every_layer_converts_with_source() {
-        let g: TdgraphError =
-            GraphError::Load(LoadError::TooManyVertices { line: 1, id: 1 << 33 }).into();
+        let g: TdgraphError = GraphError::Load(LoadError::TooManyVertices {
+            line: 1,
+            id: 1 << 33,
+            content: "8589934592 2".into(),
+        })
+        .into();
         assert!(matches!(g, TdgraphError::Graph(_)));
         assert!(g.source().is_some());
 

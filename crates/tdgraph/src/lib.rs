@@ -50,9 +50,11 @@ pub use sweep::{
     SweepReport, SweepRunner, SweepSpec,
 };
 pub use tdgraph_engines::error::EngineError;
-pub use tdgraph_engines::harness::{RunOptions, RunResult};
+pub use tdgraph_engines::harness::{OracleMode, OracleSummary, RunOptions, RunResult};
 pub use tdgraph_engines::metrics::RunMetrics;
 pub use tdgraph_engines::registry::EngineRegistry;
+pub use tdgraph_graph::fault::FaultPlan;
+pub use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
 pub use tdgraph_obs::{JsonlSink, Snapshot, TraceEvent, TraceSink, VecSink};
 
 /// Streaming-graph substrate (re-export of `tdgraph-graph`).

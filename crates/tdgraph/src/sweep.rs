@@ -70,10 +70,12 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use tdgraph_algos::traits::Algo;
-use tdgraph_engines::harness::{run_streaming_workload, RunOptions, RunResult};
+use tdgraph_engines::harness::{run_streaming_workload, OracleMode, RunOptions, RunResult};
 use tdgraph_engines::metrics::RunMetrics;
 use tdgraph_engines::registry::EngineRegistry;
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::fault::FaultPlan;
+use tdgraph_graph::quarantine::{IngestMode, QuarantineReport};
 use tdgraph_obs::{
     keys, JsonlSink, MemoryRecorder, Recorder, ShardedRecorder, Snapshot, TraceEvent, TraceSink,
 };
@@ -167,6 +169,8 @@ pub struct SweepSpec {
     alphas: Vec<f64>,
     add_fractions: Vec<f64>,
     seeds: Vec<u64>,
+    fault_plans: Vec<FaultPlan>,
+    oracle_modes: Vec<OracleMode>,
     resume: Option<PathBuf>,
 }
 
@@ -194,6 +198,8 @@ impl SweepSpec {
             alphas: Vec::new(),
             add_fractions: Vec::new(),
             seeds: Vec::new(),
+            fault_plans: Vec::new(),
+            oracle_modes: Vec::new(),
             resume: None,
         }
     }
@@ -305,6 +311,31 @@ impl SweepSpec {
         self
     }
 
+    /// Adds a fault-plan override axis: each plan becomes its own chaos
+    /// cell. Include [`FaultPlan::none`] for control cells.
+    #[must_use]
+    pub fn fault_plans(mut self, plans: impl IntoIterator<Item = FaultPlan>) -> Self {
+        self.fault_plans.extend(plans);
+        self
+    }
+
+    /// Adds a differential-oracle cadence axis.
+    #[must_use]
+    pub fn oracle_modes(mut self, modes: impl IntoIterator<Item = OracleMode>) -> Self {
+        self.oracle_modes.extend(modes);
+        self
+    }
+
+    /// Sets the ingest discipline for every cell (default
+    /// [`IngestMode::Strict`]). Lenient ingest turns data-plane faults
+    /// into [`CellOutcome::Degraded`] cells with quarantine evidence
+    /// instead of [`CellOutcome::Failed`].
+    #[must_use]
+    pub fn ingest(mut self, mode: IngestMode) -> Self {
+        self.base.ingest = mode;
+        self
+    }
+
     /// Resumes from the checkpoint file at `path`: cells recorded there
     /// are restored into the report without re-executing, and only the
     /// remaining cells run. A missing file means a fresh start, so the
@@ -330,11 +361,14 @@ impl SweepSpec {
             * or1(self.alphas.len())
             * or1(self.add_fractions.len())
             * or1(self.seeds.len())
+            * or1(self.fault_plans.len())
+            * or1(self.oracle_modes.len())
     }
 
     /// Expands the grid into independent cells, in the documented stable
     /// order: algorithms → datasets → engines → batch sizes → α →
-    /// add-fractions → seeds, each axis in insertion order.
+    /// add-fractions → seeds → fault plans → oracle modes, each axis in
+    /// insertion order.
     ///
     /// Every cell owns a fully-resolved copy of the run options (its own
     /// `SimConfig` and PRNG seed), so running a cell is deterministic no
@@ -353,6 +387,8 @@ impl SweepSpec {
         let alphas = axis(&self.alphas, self.base.alpha);
         let add_fractions = axis(&self.add_fractions, self.base.add_fraction);
         let seeds = axis(&self.seeds, self.base.seed);
+        let fault_plans = axis(&self.fault_plans, self.base.fault_plan);
+        let oracle_modes = axis(&self.oracle_modes, self.base.oracle);
 
         let mut cells = Vec::with_capacity(self.cell_count());
         for algo in &algos {
@@ -362,19 +398,25 @@ impl SweepSpec {
                         for &alpha in &alphas {
                             for &add_fraction in &add_fractions {
                                 for &seed in &seeds {
-                                    let mut options = self.base.clone();
-                                    options.batch_size = batch_size;
-                                    options.alpha = alpha;
-                                    options.add_fraction = add_fraction;
-                                    options.seed = seed;
-                                    cells.push(ExperimentCell {
-                                        index: cells.len(),
-                                        dataset,
-                                        sizing: self.sizing,
-                                        algo: *algo,
-                                        engine: engine.clone(),
-                                        options,
-                                    });
+                                    for &fault_plan in &fault_plans {
+                                        for &oracle in &oracle_modes {
+                                            let mut options = self.base.clone();
+                                            options.batch_size = batch_size;
+                                            options.alpha = alpha;
+                                            options.add_fraction = add_fraction;
+                                            options.seed = seed;
+                                            options.fault_plan = fault_plan;
+                                            options.oracle = oracle;
+                                            cells.push(ExperimentCell {
+                                                index: cells.len(),
+                                                dataset,
+                                                sizing: self.sizing,
+                                                algo: *algo,
+                                                engine: engine.clone(),
+                                                options,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -458,6 +500,9 @@ const BACKTRACE_HINT: &str =
 pub enum OutcomeKind {
     /// The cell ran to completion.
     Completed,
+    /// The cell ran to completion but quarantined records or hit mid-run
+    /// oracle mismatches along the way.
+    Degraded,
     /// The cell was restored from a checkpoint without re-executing.
     Restored,
     /// The cell failed with a typed error.
@@ -475,6 +520,7 @@ impl OutcomeKind {
     pub fn label(self) -> &'static str {
         match self {
             OutcomeKind::Completed => "completed",
+            OutcomeKind::Degraded => "degraded",
             OutcomeKind::Restored => "restored",
             OutcomeKind::Failed => "failed",
             OutcomeKind::Panicked => "panicked",
@@ -489,6 +535,19 @@ pub enum CellOutcome {
     /// The cell ran to completion (metrics and oracle verdict inside,
     /// boxed to keep the failure variants small).
     Completed(Box<RunResult>),
+    /// The cell survived to completion, but only by degrading: lenient
+    /// ingest quarantined records and/or the mid-run oracle found
+    /// mismatches. The full result (including the
+    /// [`QuarantineReport`]) is inside; the headline totals are
+    /// duplicated here so reporting never digs into the payload.
+    Degraded {
+        /// The completed run, same shape as a clean completion.
+        result: Box<RunResult>,
+        /// Total records lenient ingest quarantined.
+        quarantined: u64,
+        /// Mid-run differential-oracle mismatches.
+        oracle_mismatches: u64,
+    },
     /// The cell's canonical record was restored from a checkpoint.
     Restored(CanonicalCell),
     /// The cell failed with a typed error before or during the run.
@@ -515,6 +574,7 @@ impl CellOutcome {
     pub fn kind(&self) -> OutcomeKind {
         match self {
             CellOutcome::Completed(_) => OutcomeKind::Completed,
+            CellOutcome::Degraded { .. } => OutcomeKind::Degraded,
             CellOutcome::Restored(_) => OutcomeKind::Restored,
             CellOutcome::Failed(_) => OutcomeKind::Failed,
             CellOutcome::Panicked { .. } => OutcomeKind::Panicked,
@@ -522,10 +582,14 @@ impl CellOutcome {
         }
     }
 
-    /// Whether the cell produced a usable result (completed or restored).
+    /// Whether the cell produced a usable result (completed, degraded, or
+    /// restored).
     #[must_use]
     pub fn is_ok(&self) -> bool {
-        matches!(self, CellOutcome::Completed(_) | CellOutcome::Restored(_))
+        matches!(
+            self,
+            CellOutcome::Completed(_) | CellOutcome::Degraded { .. } | CellOutcome::Restored(_)
+        )
     }
 
     /// The full run result, when the cell actually executed this launch.
@@ -533,15 +597,30 @@ impl CellOutcome {
     pub fn run_result(&self) -> Option<&RunResult> {
         match self {
             CellOutcome::Completed(r) => Some(r),
+            CellOutcome::Degraded { result, .. } => Some(result),
             _ => None,
         }
     }
 
-    /// One-line failure description (empty for ok outcomes).
+    /// One-line failure / degradation description (empty for clean
+    /// outcomes).
     #[must_use]
     pub fn detail(&self) -> String {
         match self {
             CellOutcome::Completed(_) | CellOutcome::Restored(_) => String::new(),
+            CellOutcome::Degraded { result, quarantined, oracle_mismatches } => {
+                let mut parts = Vec::new();
+                if *quarantined > 0 {
+                    parts.push(result.quarantine.summary());
+                }
+                if *oracle_mismatches > 0 {
+                    parts.push(format!(
+                        "{oracle_mismatches} oracle mismatch(es) across {} check(s)",
+                        result.oracle.checks
+                    ));
+                }
+                parts.join("; ")
+            }
             CellOutcome::Failed(e) => e.to_string(),
             CellOutcome::Panicked { message, .. } => message.clone(),
             CellOutcome::TimedOut { timeout } => {
@@ -579,6 +658,9 @@ impl CellResult {
     pub fn is_verified(&self) -> bool {
         match &self.outcome {
             CellOutcome::Completed(r) => r.verify.is_match(),
+            CellOutcome::Degraded { result, oracle_mismatches, .. } => {
+                result.verify.is_match() && *oracle_mismatches == 0
+            }
             CellOutcome::Restored(c) => c.verified,
             _ => false,
         }
@@ -598,7 +680,10 @@ impl CellResult {
         self.run_result().map(|r| &r.metrics)
     }
 
-    /// The canonical record of an ok cell (completed or restored).
+    /// The canonical record of a *clean* ok cell (completed or restored).
+    /// Degraded cells return `None` — they are serialized with their
+    /// degradation totals appended (see [`SweepReport::canonical_lines`])
+    /// and are never checkpointed, so a resume re-runs them.
     #[must_use]
     pub fn canonical(&self) -> Option<CanonicalCell> {
         match &self.outcome {
@@ -614,6 +699,8 @@ impl CellResult {
 pub struct OutcomeCounts {
     /// Cells that ran to completion.
     pub completed: usize,
+    /// Cells that completed with quarantined records or oracle mismatches.
+    pub degraded: usize,
     /// Cells restored from a checkpoint.
     pub restored: usize,
     /// Cells that failed with a typed error.
@@ -671,6 +758,7 @@ impl SweepReport {
         for c in &self.cells {
             match c.outcome.kind() {
                 OutcomeKind::Completed => counts.completed += 1,
+                OutcomeKind::Degraded => counts.degraded += 1,
                 OutcomeKind::Restored => counts.restored += 1,
                 OutcomeKind::Failed => counts.failed += 1,
                 OutcomeKind::Panicked => counts.panicked += 1,
@@ -780,6 +868,19 @@ impl SweepReport {
     pub fn canonical_lines(&self) -> String {
         let mut out = String::new();
         for c in &self.cells {
+            if let CellOutcome::Degraded { result, quarantined, oracle_mismatches } = &c.outcome {
+                // A degraded cell serializes like a completed one, plus
+                // its degradation totals — the metrics are real, the
+                // outcome tag says they were earned the hard way.
+                let record = CanonicalCell::of(&c.cell, result).to_json_line();
+                let base = record.strip_suffix('}').unwrap_or(&record);
+                out.push_str(base);
+                out.push_str(&format!(
+                    ",\"outcome\":\"degraded\",\"quarantined\":{quarantined},\"oracle_mismatches\":{oracle_mismatches}}}"
+                ));
+                out.push('\n');
+                continue;
+            }
             match c.canonical() {
                 Some(record) => {
                     out.push_str(&record.to_json_line());
@@ -807,6 +908,48 @@ impl SweepReport {
     #[must_use]
     pub fn total_wall(&self) -> Duration {
         self.cells.iter().map(|c| c.wall).sum()
+    }
+
+    /// Degraded cells, in report order.
+    #[must_use]
+    pub fn degraded(&self) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| c.outcome.kind() == OutcomeKind::Degraded).collect()
+    }
+
+    /// A human-readable digest of everything the sweep survived by
+    /// degrading: per-cell quarantine / oracle totals plus a merged
+    /// quarantine breakdown. Empty when no cell degraded.
+    #[must_use]
+    pub fn degradation_digest(&self) -> String {
+        let degraded = self.degraded();
+        if degraded.is_empty() {
+            return String::new();
+        }
+        let mut merged = QuarantineReport::new();
+        let mut oracle_checks = 0u64;
+        let mut oracle_mismatches = 0u64;
+        let mut out = format!("{} of {} cells degraded:\n", degraded.len(), self.len());
+        for c in &degraded {
+            let Some(r) = c.run_result() else { continue };
+            merged.merge(&r.quarantine);
+            oracle_checks += r.oracle.checks;
+            oracle_mismatches += r.oracle.mismatches;
+            out.push_str(&format!(
+                "  cell {} [{}]: {}\n",
+                c.cell.index,
+                checkpoint::cell_coordinates(&c.cell),
+                c.outcome.detail(),
+            ));
+        }
+        if !merged.is_empty() {
+            out.push_str(&format!("  total: {}\n", merged.summary()));
+        }
+        if oracle_checks > 0 {
+            out.push_str(&format!(
+                "  oracle: {oracle_mismatches} mismatch(es) across {oracle_checks} check(s)\n"
+            ));
+        }
+        out
     }
 }
 
@@ -869,6 +1012,24 @@ mod events {
             .field("outcome", outcome)
             .field("detail", detail)
             .field("retries", u64::from(retries))
+            .wall_micros("wall_micros", wall_micros)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn cell_degraded(
+        cell: usize,
+        ds: &str,
+        algo: &str,
+        eng: &str,
+        cycles: u64,
+        quarantined: u64,
+        oracle_mismatches: u64,
+        wall_micros: u128,
+    ) -> TraceEvent {
+        cell_coords("cell_degraded", cell, ds, algo, eng)
+            .field("cycles", cycles)
+            .field("quarantined", quarantined)
+            .field("oracle_mismatches", oracle_mismatches)
             .wall_micros("wall_micros", wall_micros)
     }
 
@@ -1163,6 +1324,20 @@ impl SweepRunner {
                         wall.as_micros(),
                     ));
                 }
+                // Degraded cells are deliberately NOT checkpointed: a
+                // resume re-runs them, so a fixed input gets a clean pass.
+                CellOutcome::Degraded { result, quarantined, oracle_mismatches } => {
+                    self.emit(&events::cell_degraded(
+                        cell.index,
+                        ds,
+                        algo,
+                        eng,
+                        result.metrics.cycles,
+                        *quarantined,
+                        *oracle_mismatches,
+                        wall.as_micros(),
+                    ));
+                }
                 failure => {
                     self.emit(&events::cell_failed(
                         cell.index,
@@ -1281,6 +1456,7 @@ fn plan_resume(
 fn cell_snapshot(result: &CellResult) -> Option<Snapshot> {
     match &result.outcome {
         CellOutcome::Completed(r) => Some(r.metrics.to_snapshot()),
+        CellOutcome::Degraded { result, .. } => Some(result.metrics.to_snapshot()),
         CellOutcome::Restored(record) => Some(restored_snapshot(record)),
         _ => None,
     }
@@ -1360,7 +1536,15 @@ fn execute_cell(
 /// contained panics into outcomes.
 fn execute_inline(cell: &ExperimentCell, registry: &EngineRegistry) -> CellOutcome {
     match catch_unwind(AssertUnwindSafe(|| cell.run_checked(registry))) {
-        Ok(Ok(result)) => CellOutcome::Completed(Box::new(result)),
+        Ok(Ok(result)) => {
+            let quarantined = result.quarantine.total();
+            let oracle_mismatches = result.oracle.mismatches;
+            if quarantined > 0 || oracle_mismatches > 0 {
+                CellOutcome::Degraded { result: Box::new(result), quarantined, oracle_mismatches }
+            } else {
+                CellOutcome::Completed(Box::new(result))
+            }
+        }
         Ok(Err(e)) => CellOutcome::Failed(e),
         Err(payload) => CellOutcome::Panicked {
             message: panic_message(payload.as_ref()),
@@ -1742,6 +1926,88 @@ mod tests {
         // The cell's config survives key-based resolution: disabling the
         // VSCU must not fall back to the default ("TDGraph-H") build.
         assert_eq!(report.cells[0].metrics().unwrap().engine, "TDGraph-H-without");
+    }
+
+    #[test]
+    fn fault_and_oracle_axes_expand_innermost() {
+        let spec = SweepSpec::new()
+            .dataset(Dataset::Amazon)
+            .sizing(Sizing::Tiny)
+            .engine(EngineKind::LigraO)
+            .fault_plans([FaultPlan::none(), FaultPlan::seeded(1).with_nan_weights(0.5)])
+            .oracle_modes([OracleMode::Final, OracleMode::EveryNBatches(1)]);
+        assert_eq!(spec.cell_count(), 4);
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 4);
+        // Innermost axis is the oracle mode, then the fault plan.
+        assert!(cells[0].options.fault_plan.is_noop());
+        assert_eq!(cells[0].options.oracle, OracleMode::Final);
+        assert_eq!(cells[1].options.oracle, OracleMode::EveryNBatches(1));
+        assert!(!cells[2].options.fault_plan.is_noop());
+        // Unset chaos axes inherit the base options.
+        let plain = tiny_spec().expand();
+        assert!(plain.iter().all(|c| c.options.fault_plan.is_noop()));
+        assert!(plain.iter().all(|c| c.options.oracle == OracleMode::Final));
+        assert!(plain.iter().all(|c| c.options.ingest == IngestMode::Strict));
+    }
+
+    #[test]
+    fn lenient_chaos_cells_degrade_with_evidence() {
+        let sink = Arc::new(tdgraph_obs::VecSink::new());
+        let spec = tiny_spec()
+            .ingest(IngestMode::Lenient)
+            .fault_plans([FaultPlan::seeded(5).with_absent_deletions(1.0)]);
+        let report = SweepRunner::new().threads(2).trace_sink(Arc::clone(&sink)).run(&spec);
+        report.assert_all_ok();
+        let counts = report.outcome_counts();
+        assert_eq!(counts.degraded, 4, "every cell must degrade, not fail: {counts:?}");
+        assert_eq!(counts.not_ok(), 0);
+        for c in &report.cells {
+            let r = c.run_result().expect("degraded cells carry their result");
+            assert!(!r.quarantine.is_empty());
+            assert!(c.is_verified(), "surviving updates still verify");
+        }
+        let digest = report.degradation_digest();
+        assert!(digest.contains("4 of 4 cells degraded"), "{digest}");
+        assert!(digest.contains("absent_deletion"), "{digest}");
+        assert_eq!(
+            sink.events().iter().filter(|e| e.name() == "cell_degraded").count(),
+            4,
+            "degraded cells emit their own progress event"
+        );
+        let lines = report.canonical_lines();
+        assert!(lines.contains("\"outcome\":\"degraded\""), "{lines}");
+        assert!(lines.contains("\"quarantined\":"), "{lines}");
+    }
+
+    #[test]
+    fn strict_chaos_cells_fail_instead_of_degrading() {
+        let spec = tiny_spec().fault_plans([FaultPlan::seeded(5).with_absent_deletions(1.0)]);
+        let report = SweepRunner::new().threads(1).run(&spec);
+        assert_eq!(report.outcome_counts().failed, 4);
+        assert_eq!(report.outcome_counts().degraded, 0);
+        assert!(report.degradation_digest().is_empty());
+    }
+
+    #[test]
+    fn degraded_sweep_is_byte_identical_across_thread_counts() {
+        let spec = tiny_spec()
+            .ingest(IngestMode::Lenient)
+            .fault_plans([FaultPlan::seeded(9).with_absent_deletions(1.0).with_nan_weights(0.4)]);
+        let one = SweepRunner::new().threads(1).run(&spec);
+        let two = SweepRunner::new().threads(2).run(&spec);
+        assert_eq!(one.canonical_lines(), two.canonical_lines());
+        assert_eq!(one.degradation_digest(), two.degradation_digest());
+    }
+
+    #[test]
+    fn noop_fault_plan_matches_the_plain_sweep_byte_for_byte() {
+        let plain = SweepRunner::new().threads(2).run(&tiny_spec());
+        let chaos_control = SweepRunner::new()
+            .threads(2)
+            .run(&tiny_spec().ingest(IngestMode::Lenient).fault_plans([FaultPlan::none()]));
+        assert_eq!(plain.canonical_lines(), chaos_control.canonical_lines());
+        assert_eq!(chaos_control.outcome_counts().degraded, 0);
     }
 
     #[test]

@@ -11,9 +11,11 @@ use tdgraph::algos::tap::NullTap;
 use tdgraph::algos::traits::{Algo, AlgorithmKind};
 use tdgraph::algos::verify::compare;
 use tdgraph::graph::csr::Csr;
+use tdgraph::graph::streaming::ApplyError;
 use tdgraph::graph::streaming::StreamingGraph;
 use tdgraph::graph::types::{Edge, VertexId};
 use tdgraph::graph::update::{EdgeUpdate, UpdateBatch};
+use tdgraph::QuarantineReport;
 
 const N: u32 = 24;
 
@@ -236,6 +238,169 @@ proptest! {
         prop_assert!(s.top_half_pct_edge_share <= s.top1pct_edge_share + 1e-12);
         prop_assert!((-1e-9..=1.0).contains(&s.gini));
         prop_assert!(s.max_degree <= s.edges.max(1));
+    }
+}
+
+/// One possibly-hostile update. The discriminant mixes clean traffic with
+/// every corruption the data plane is specified to survive: non-finite
+/// addition weights, self-loops, out-of-range endpoints, conflicting
+/// add+delete pairs (by collision), and deletions of absent edges.
+fn arb_hostile_update() -> impl Strategy<Value = EdgeUpdate> {
+    (0u32..8, 0..N + 8, 0..N + 8, 1u32..5).prop_map(|(kind, s, d, w)| match kind {
+        0 => EdgeUpdate::addition(s % N, d % N, f32::NAN),
+        1 => EdgeUpdate::addition(s % N, d % N, f32::INFINITY),
+        2 => EdgeUpdate::addition(s % N, d % N, f32::NEG_INFINITY),
+        3 => EdgeUpdate::addition(s, d, w as f32), // endpoints possibly out of range
+        4 => EdgeUpdate::deletion(s, d),           // possibly out of range
+        5 => EdgeUpdate::deletion(s % N, d % N),   // likely absent
+        _ => EdgeUpdate::addition(s % N, d % N, w as f32),
+    })
+}
+
+fn arb_hostile_stream() -> impl Strategy<Value = Vec<EdgeUpdate>> {
+    proptest::collection::vec(arb_hostile_update(), 0..48)
+}
+
+// Hostile-batch properties (the robustness PR's data-plane contract). This
+// block deliberately runs under the default shim configuration so the CI
+// chaos job can scale coverage through `PROPTEST_CASES`.
+proptest! {
+    /// A batch followed by its inverse restores the CSR byte-for-byte:
+    /// added pairs deleted, deleted edges re-added with their original
+    /// weights, reweighted edges re-overwritten with their old weights.
+    #[test]
+    fn batch_then_inverse_restores_the_csr_byte_for_byte(
+        initial in arb_graph_edges(),
+        proposals in proptest::collection::vec((arb_edge(), any::<bool>()), 1..24),
+    ) {
+        let mut graph = StreamingGraph::with_capacity(N as usize);
+        graph.insert_edges(initial.iter().copied()).unwrap();
+        let before = graph.snapshot();
+
+        let batch = normalize_batch(&graph, &proposals);
+        let applied = graph.apply_batch(&batch).expect("normalized batch applies");
+
+        let mut inverse = Vec::new();
+        for e in applied.added_edges() {
+            inverse.push(EdgeUpdate::deletion(e.src, e.dst));
+        }
+        for (e, old_weight) in applied.reweighted_edges() {
+            inverse.push(EdgeUpdate::addition(e.src, e.dst, *old_weight));
+        }
+        for e in applied.deleted_edges() {
+            inverse.push(EdgeUpdate::addition(e.src, e.dst, e.weight));
+        }
+        let inverse = UpdateBatch::from_updates(inverse)
+            .expect("the categories of an applied batch are pairwise disjoint");
+        graph.apply_batch(&inverse).expect("inverse of an applied batch applies");
+
+        let after = graph.snapshot();
+        prop_assert_eq!(&after, &before);
+        // Byte-for-byte, not just `==`: render both and compare exactly.
+        prop_assert_eq!(format!("{after:?}"), format!("{before:?}"));
+    }
+
+    /// Deleting an absent edge under strict apply is a typed
+    /// [`ApplyError::MissingEdge`] naming the pair — never a silent no-op —
+    /// and the failed batch leaves the graph untouched.
+    #[test]
+    fn absent_deletion_is_a_typed_error_never_a_silent_noop(
+        initial in arb_graph_edges(),
+        s in 0..N,
+        d in 0..N,
+    ) {
+        let mut graph = StreamingGraph::with_capacity(N as usize);
+        graph.insert_edges(initial.iter().copied()).unwrap();
+        if graph.contains_edge(s, d) {
+            let evict = UpdateBatch::from_updates(vec![EdgeUpdate::deletion(s, d)]).unwrap();
+            graph.apply_batch(&evict).expect("present edge deletes");
+        }
+        let before = graph.snapshot();
+
+        let batch = UpdateBatch::from_updates(vec![EdgeUpdate::deletion(s, d)])
+            .expect("absent deletions are undetectable at construction");
+        let err = graph.apply_batch(&batch).expect_err("absent deletion must not no-op");
+        prop_assert_eq!(err, ApplyError::MissingEdge { src: s, dst: d });
+        prop_assert_eq!(graph.snapshot(), before, "failed batch must not mutate");
+    }
+
+    /// Batch construction: strict errors **iff** lenient quarantines, and
+    /// on clean input the two produce the identical batch.
+    #[test]
+    fn strict_construction_rejects_exactly_what_lenient_quarantines(
+        updates in arb_hostile_stream(),
+    ) {
+        let strict = UpdateBatch::from_updates(updates.clone());
+        let mut quarantine = QuarantineReport::new();
+        let lenient = UpdateBatch::from_updates_lenient(updates, &mut quarantine);
+        prop_assert_eq!(
+            strict.is_err(),
+            !quarantine.is_empty(),
+            "strict {strict:?} vs quarantine {quarantine:?}"
+        );
+        if let Ok(strict) = strict {
+            // Debug render: hostile streams can carry NaN weights.
+            prop_assert_eq!(format!("{lenient:?}"), format!("{strict:?}"));
+        }
+    }
+
+    /// Batch application: strict errors **iff** lenient quarantines, and
+    /// with an empty quarantine the applied result and final graph are
+    /// identical.
+    #[test]
+    fn strict_apply_rejects_exactly_what_lenient_quarantines(
+        initial in arb_graph_edges(),
+        updates in arb_hostile_stream(),
+    ) {
+        let mut graph = StreamingGraph::with_capacity(N as usize);
+        graph.insert_edges(initial.iter().copied()).unwrap();
+        // Construction-clean but possibly apply-hostile (out-of-range
+        // endpoints and absent deletions survive construction).
+        let batch =
+            UpdateBatch::from_updates_lenient(updates, &mut QuarantineReport::new());
+
+        let mut strict_graph = graph.clone();
+        let strict = strict_graph.apply_batch(&batch);
+        let mut quarantine = QuarantineReport::new();
+        let lenient = graph.apply_batch_lenient(&batch, &mut quarantine);
+
+        prop_assert_eq!(
+            strict.is_err(),
+            !quarantine.is_empty(),
+            "strict {strict:?} vs quarantine {quarantine:?}"
+        );
+        if let Ok(strict_applied) = strict {
+            prop_assert_eq!(format!("{lenient:?}"), format!("{strict_applied:?}"));
+            prop_assert_eq!(graph.snapshot(), strict_graph.snapshot());
+        }
+    }
+
+    /// Lenient ingest is deterministic: the same hostile stream yields the
+    /// same batch, the same applied result, the same final graph, and the
+    /// same quarantine report every time.
+    #[test]
+    fn lenient_ingest_is_deterministic(
+        initial in arb_graph_edges(),
+        updates in arb_hostile_stream(),
+    ) {
+        let mut base = StreamingGraph::with_capacity(N as usize);
+        base.insert_edges(initial.iter().copied()).unwrap();
+
+        let run = |updates: Vec<EdgeUpdate>| {
+            let mut construction = QuarantineReport::new();
+            let batch = UpdateBatch::from_updates_lenient(updates, &mut construction);
+            let mut graph = base.clone();
+            let mut apply = QuarantineReport::new();
+            let applied = graph.apply_batch_lenient(&batch, &mut apply);
+            (format!("{batch:?}"), format!("{applied:?}"), graph.snapshot(), construction, apply)
+        };
+        let a = run(updates.clone());
+        let b = run(updates);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3);
+        prop_assert_eq!(a.4, b.4);
     }
 }
 
