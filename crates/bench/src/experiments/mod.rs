@@ -16,6 +16,7 @@ mod fig21;
 mod fig22;
 mod fig23;
 mod fig24;
+mod parallel;
 mod tables;
 
 use tdgraph::graph::datasets::Sizing;
@@ -62,11 +63,14 @@ pub enum ExperimentId {
     Fig24,
     /// Ablation of this reproduction's cycle-handling decisions.
     Ablation,
+    /// Host-parallel sharded execution: intra-cell speedup, cells/sec,
+    /// merge overhead (emits `BENCH_parallel.json`).
+    Parallel,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 18] = [
+    pub const ALL: [ExperimentId; 19] = [
         ExperimentId::Table1,
         ExperimentId::Table2,
         ExperimentId::Table3,
@@ -85,6 +89,7 @@ impl ExperimentId {
         ExperimentId::Fig23,
         ExperimentId::Fig24,
         ExperimentId::Ablation,
+        ExperimentId::Parallel,
     ];
 
     /// CLI name (e.g. `fig10`, `table2`).
@@ -109,6 +114,7 @@ impl ExperimentId {
             ExperimentId::Fig23 => "fig23",
             ExperimentId::Fig24 => "fig24",
             ExperimentId::Ablation => "ablation",
+            ExperimentId::Parallel => "parallel",
         }
     }
 
@@ -201,6 +207,7 @@ pub fn run_experiment(id: ExperimentId, scope: Scope) -> ExperimentOutput {
         ExperimentId::Fig23 => fig23::run(scope),
         ExperimentId::Fig24 => fig24::run(scope),
         ExperimentId::Ablation => ablation::run(scope),
+        ExperimentId::Parallel => parallel::run(scope),
     }
 }
 

@@ -1,0 +1,174 @@
+//! Host-parallel sharded execution bench: intra-cell wall-clock speedup
+//! of `ExecMode::Sharded` over `Serial` on the reference fig10-style cell
+//! (largest synthetic dataset, TDGraph plus two baselines), sweep
+//! throughput in cells/sec, and the record/replay merge overhead.
+//!
+//! Every sharded run is checked against its serial twin — metrics and
+//! oracle verdict must agree byte-for-byte, and a divergence aborts the
+//! bench — so the emitted numbers are guaranteed to price identical work.
+//! Results land in `BENCH_parallel.json` (override the path with the
+//! `BENCH_PARALLEL_OUT` environment variable).
+
+use std::time::Instant;
+
+use tdgraph::prelude::*;
+
+use super::{ExperimentId, ExperimentOutput, Scope};
+
+/// Fig 10's engine trio: the TDGraph accelerator and two baselines.
+const ENGINES: [EngineKind; 3] = [EngineKind::TdGraphH, EngineKind::LigraO, EngineKind::TdGraphS];
+
+/// Friendster is the largest dataset of Table 2 and generates the largest
+/// synthetic workload at every sizing.
+const DATASET: Dataset = Dataset::Friendster;
+
+struct EngineRow {
+    engine: &'static str,
+    serial_secs: f64,
+    sharded1_secs: f64,
+    sharded4_secs: f64,
+}
+
+impl EngineRow {
+    fn speedup4(&self) -> f64 {
+        self.serial_secs / self.sharded4_secs.max(1e-9)
+    }
+
+    /// Cost of recording + replaying the boundary-event stream with no
+    /// parallelism to pay for it: `Sharded(1)` wall over serial wall.
+    fn merge_overhead(&self) -> f64 {
+        self.sharded1_secs / self.serial_secs.max(1e-9) - 1.0
+    }
+}
+
+/// One timed cell. Panics (failing the bench run and the CI smoke job) if
+/// the sharded result diverges from the serial one.
+fn timed_run(
+    kind: &EngineKind,
+    workload: &StreamingWorkload,
+    opts: &RunOptions,
+    exec: ExecMode,
+) -> (f64, String) {
+    let mut engine = (*kind).try_build().expect("fig10 engines are registered");
+    let opts = RunOptions { exec, ..opts.clone() };
+    let start = Instant::now();
+    let res = run_streaming_workload(engine.as_mut(), Algo::pagerank(), workload.clone(), &opts)
+        .expect("reference cell runs clean");
+    let wall = start.elapsed().as_secs_f64();
+    assert!(res.verify.is_match(), "{} under {} failed the oracle", kind.key(), exec.label());
+    (wall, format!("{:?} {:?}", res.metrics, res.verify))
+}
+
+pub fn run(scope: Scope) -> ExperimentOutput {
+    let sizing = scope.sweep_sizing();
+    let opts = scope.options();
+    let workload =
+        StreamingWorkload::try_prepare(DATASET, sizing).expect("reference workload generates");
+
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut lines = vec![
+        format!("host cpus: {host_cpus} (wall-clock speedup is bounded by available parallelism)"),
+        format!(
+            "{:<12} {:>10} {:>11} {:>11} {:>9} {:>9}",
+            "engine", "serial(s)", "sharded1(s)", "sharded4(s)", "x4 speed", "merge ovh"
+        ),
+    ];
+    let mut rows = Vec::new();
+    for kind in &ENGINES {
+        let (serial_secs, serial_out) = timed_run(kind, &workload, &opts, ExecMode::Serial);
+        let (sharded1_secs, sharded1_out) = timed_run(kind, &workload, &opts, ExecMode::Sharded(1));
+        let (sharded4_secs, sharded4_out) = timed_run(kind, &workload, &opts, ExecMode::Sharded(4));
+        // The divergence gate: sharded output must be byte-identical.
+        assert_eq!(serial_out, sharded1_out, "{} diverged under Sharded(1)", kind.key());
+        assert_eq!(serial_out, sharded4_out, "{} diverged under Sharded(4)", kind.key());
+        let row = EngineRow { engine: kind.key(), serial_secs, sharded1_secs, sharded4_secs };
+        lines.push(format!(
+            "{:<12} {:>10.3} {:>11.3} {:>11.3} {:>8.2}x {:>8.1}%",
+            row.engine,
+            row.serial_secs,
+            row.sharded1_secs,
+            row.sharded4_secs,
+            row.speedup4(),
+            100.0 * row.merge_overhead(),
+        ));
+        rows.push(row);
+    }
+
+    // Sweep throughput: the same trio over all four algorithms, run by the
+    // parallel sweep runner with sharded cells.
+    let spec = SweepSpec::new()
+        .algo(Algo::pagerank())
+        .algo(Algo::adsorption())
+        .hub_sssp()
+        .algo(Algo::cc())
+        .dataset(DATASET)
+        .sizing(sizing)
+        .engines(ENGINES)
+        .options(RunOptions { exec: ExecMode::Sharded(4), ..opts.clone() });
+    let cells = spec.cell_count();
+    let start = Instant::now();
+    let report = SweepRunner::new().threads(4).run(&spec);
+    let sweep_secs = start.elapsed().as_secs_f64();
+    report.assert_all_verified();
+    let cells_per_sec = cells as f64 / sweep_secs.max(1e-9);
+    lines.push(String::new());
+    lines.push(format!(
+        "sweep: {cells} sharded cells in {sweep_secs:.2}s at 4 host threads = {cells_per_sec:.2} cells/sec"
+    ));
+
+    let json = render_json(scope, sizing, &rows, cells, sweep_secs, cells_per_sec);
+    let out_path =
+        std::env::var("BENCH_PARALLEL_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => lines.push(format!("wrote {out_path}")),
+        Err(e) => lines.push(format!("could not write {out_path}: {e}")),
+    }
+
+    ExperimentOutput {
+        id: ExperimentId::Parallel,
+        title: "Host-parallel sharded execution: intra-cell speedup and sweep throughput".into(),
+        lines,
+    }
+}
+
+fn render_json(
+    scope: Scope,
+    sizing: Sizing,
+    rows: &[EngineRow],
+    cells: usize,
+    sweep_secs: f64,
+    cells_per_sec: f64,
+) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"parallel\",\n");
+    s.push_str(&format!(
+        "  \"scope\": \"{}\",\n",
+        if scope == Scope::Quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!("  \"dataset\": \"{}\",\n", DATASET.abbrev()));
+    s.push_str(&format!("  \"sizing\": \"{sizing:?}\",\n"));
+    s.push_str("  \"reference_cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"serial_secs\": {:.6}, \"sharded1_secs\": {:.6}, \
+             \"sharded4_secs\": {:.6}, \"speedup_4_threads\": {:.4}, \
+             \"merge_overhead\": {:.4}, \"diverged\": false}}{}\n",
+            r.engine,
+            r.serial_secs,
+            r.sharded1_secs,
+            r.sharded4_secs,
+            r.speedup4(),
+            r.merge_overhead(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"sweep\": {{\"cells\": {cells}, \"host_threads\": 4, \"wall_secs\": {sweep_secs:.4}, \
+         \"cells_per_sec\": {cells_per_sec:.4}}}\n"
+    ));
+    s.push_str("}\n");
+    s
+}

@@ -13,13 +13,14 @@ use tdgraph_algos::traits::Algo;
 use tdgraph_algos::verify::{compare, VerifyOutcome};
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
 use tdgraph_graph::fault::FaultPlan;
-use tdgraph_graph::partition::partition_by_edges;
+use tdgraph_graph::partition::{partition_by_edges, ShardPlan};
 use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
 use tdgraph_graph::update::{BatchComposer, UpdateBatch};
 use tdgraph_obs::{keys, MemoryRecorder, NullRecorder, Recorder, RecorderHandle, TraceEvent};
 use tdgraph_sim::address::AddressSpace;
 use tdgraph_sim::config::SimConfig;
 use tdgraph_sim::energy::{EnergyBreakdown, EnergyConstants};
+use tdgraph_sim::exec::ExecMode;
 use tdgraph_sim::machine::Machine;
 use tdgraph_sim::stats::{Actor, Op, PhaseKind};
 
@@ -119,6 +120,11 @@ pub struct RunOptions {
     pub fault_plan: FaultPlan,
     /// Differential-oracle cadence.
     pub oracle: OracleMode,
+    /// Host execution mode. [`ExecMode::Sharded`]`(n)` runs the machine's
+    /// record/replay pipeline over `n` worker threads; every metric,
+    /// snapshot, and verified state stays byte-identical to
+    /// [`ExecMode::Serial`].
+    pub exec: ExecMode,
 }
 
 impl Default for RunOptions {
@@ -134,6 +140,7 @@ impl Default for RunOptions {
             ingest: IngestMode::Strict,
             fault_plan: FaultPlan::none(),
             oracle: OracleMode::Final,
+            exec: ExecMode::Serial,
         }
     }
 }
@@ -214,6 +221,11 @@ fn validate_options(opts: &RunOptions) -> Result<(), EngineError> {
             reason: "oracle cadence EveryNBatches(0) is meaningless; use Off".into(),
         });
     }
+    if opts.exec == ExecMode::Sharded(0) {
+        return Err(EngineError::InvalidOptions {
+            reason: "ExecMode::Sharded(0) has no worker threads; use Serial".into(),
+        });
+    }
     opts.sim.try_validate()?;
     Ok(())
 }
@@ -261,11 +273,21 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
     let edge_capacity = graph.edge_count() + pending.len();
     let coalesced = ((n as f64 * opts.alpha).ceil() as usize).max(16);
     let layout = AddressSpace::layout(n, edge_capacity, coalesced);
-    let mut machine = Machine::new(opts.sim.clone(), layout);
 
     // Initial fixed point (not charged: the paper measures per-batch
     // incremental processing, not the cold start).
     let snapshot = graph.snapshot();
+    let mut machine = match opts.exec {
+        ExecMode::Serial => Machine::new(opts.sim.clone(), layout),
+        exec @ ExecMode::Sharded(_) => {
+            // One static, edge-balanced shard plan from the initial
+            // snapshot: replay shards keep their private caches for the
+            // whole run, so the grouping must not change per batch.
+            let chunks = partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
+            let plan = ShardPlan::balanced(&chunks, opts.sim.cores, exec.replay_shards());
+            Machine::with_exec(opts.sim.clone(), layout, exec, &plan)
+        }
+    };
     let mut state = AlgoState::from_solution(solve(&algo, &snapshot), n);
 
     let default_batch = (graph.edge_count() / 16).max(64);
@@ -318,7 +340,7 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
             let mut tap = MachineTap::new(&mut machine, &chunks);
             seed_after_batch(&algo, &snapshot, &transpose, &mut state, &applied, &mut tap)
         };
-        let other_cycles = machine.end_phase(PhaseKind::Other);
+        let other_cycles = machine.end_phase_synced(PhaseKind::Other);
         recorder.span_exit(keys::PHASE_OTHER, other_cycles);
 
         // Engine propagation.
@@ -334,10 +356,11 @@ pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
                 counters: &mut counters,
                 out_mass: &mass,
                 obs: RecorderHandle::new(&mut *recorder),
+                exec: opts.exec,
             };
             engine.process_batch(&mut ctx, &affected);
         }
-        let propagation_cycles = machine.end_phase(PhaseKind::Propagation);
+        let propagation_cycles = machine.end_phase_synced(PhaseKind::Propagation);
         recorder.span_exit(keys::PHASE_PROPAGATION, propagation_cycles);
 
         // Classify this batch's updates.
@@ -588,6 +611,94 @@ mod tests {
         assert!(lenient.quarantine.is_empty());
         assert_eq!(format!("{:?}", lenient.metrics), format!("{:?}", strict.metrics));
         assert_eq!(lenient.verify, strict.verify);
+    }
+
+    #[test]
+    fn sharded_zero_is_a_typed_error() {
+        let mut opts = RunOptions::small();
+        opts.exec = ExecMode::Sharded(0);
+        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_byte_for_byte() {
+        let serial = run_streaming(
+            &mut LigraO,
+            Algo::sssp(0),
+            Dataset::Amazon,
+            Sizing::Tiny,
+            &RunOptions::small(),
+        )
+        .unwrap();
+        for workers in [1, 2, 4] {
+            let mut opts = RunOptions::small();
+            opts.exec = ExecMode::Sharded(workers);
+            let sharded =
+                run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+                    .unwrap();
+            assert_eq!(
+                format!("{:?}", sharded.metrics),
+                format!("{:?}", serial.metrics),
+                "Sharded({workers}) metrics diverge from serial"
+            );
+            assert_eq!(sharded.verify, serial.verify);
+        }
+    }
+
+    #[test]
+    fn every_software_engine_matches_serial_under_sharding() {
+        // Engines with mid-batch `end_phase` sync points (GraphBolt, Dzig)
+        // exercise the pipeline's multi-phase path; the rest the plain
+        // path. All must be byte-identical to their serial runs.
+        let registry = crate::registry::EngineRegistry::with_software();
+        for key in crate::registry::SOFTWARE_KEYS {
+            let mut engine = registry.build(key).expect("software engine registered");
+            let serial = run_streaming(
+                &mut *engine,
+                Algo::sssp(0),
+                Dataset::Amazon,
+                Sizing::Tiny,
+                &RunOptions::small(),
+            )
+            .unwrap();
+            let mut opts = RunOptions::small();
+            opts.exec = ExecMode::Sharded(2);
+            let mut engine = registry.build(key).expect("software engine registered");
+            let sharded =
+                run_streaming(&mut *engine, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+                    .unwrap();
+            assert_eq!(
+                format!("{:?}", sharded.metrics),
+                format!("{:?}", serial.metrics),
+                "{key}: Sharded(2) metrics diverge from serial"
+            );
+            assert_eq!(sharded.verify, serial.verify, "{key}: verification outcome diverges");
+        }
+    }
+
+    #[test]
+    fn sharded_observed_run_snapshot_matches_serial() {
+        let run = |exec: ExecMode| {
+            let mut opts = RunOptions::small();
+            opts.exec = exec;
+            let mut rec = MemoryRecorder::new();
+            run_streaming_observed(
+                &mut LigraO,
+                Algo::pagerank(),
+                Dataset::Amazon,
+                Sizing::Tiny,
+                &opts,
+                &mut rec,
+            )
+            .unwrap();
+            // Wall-clock excluded: it is host time, not model output.
+            rec.into_snapshot().canonical_json_line()
+        };
+        let serial = run(ExecMode::Serial);
+        assert_eq!(serial, run(ExecMode::Sharded(2)));
+        assert_eq!(serial, run(ExecMode::Sharded(4)));
     }
 
     #[test]

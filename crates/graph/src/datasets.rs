@@ -132,7 +132,10 @@ impl PaperStats {
 
 /// A fully prepared streaming workload: the initial 50 %-loaded graph plus
 /// the edge pool that streams in afterwards (§4.1 methodology).
-#[derive(Debug)]
+///
+/// `Clone` lets one generated workload drive several timed runs (the
+/// parallel bench replays the same cell under every exec mode).
+#[derive(Debug, Clone)]
 pub struct StreamingWorkload {
     /// Graph pre-loaded with 50 % of the edges.
     pub graph: StreamingGraph,

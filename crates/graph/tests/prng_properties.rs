@@ -1,0 +1,27 @@
+//! Property tests for the workload PRNG — internal infrastructure below
+//! the `tdgraph::prelude` stability boundary, so tested with its crate.
+
+use proptest::prelude::*;
+
+use tdgraph_graph::prng::Xoshiro256StarStar;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prng_bounded_draws_respect_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn prng_is_deterministic_per_seed(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::new(seed);
+        let mut b = Xoshiro256StarStar::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -92,3 +92,15 @@ pub const QUARANTINE_ABSENT_DELETION: &str = "quarantine.absent_deletion";
 pub const ORACLE_CHECKS: &str = "oracle.checks";
 /// Differential-oracle comparisons that found a mismatch.
 pub const ORACLE_MISMATCHES: &str = "oracle.mismatches";
+
+/// Per-shard replay telemetry: access events replayed by a shard's
+/// private-cache workers (host-parallel execution only).
+pub const SHARD_EVENTS_REPLAYED: &str = "sim.shard.events_replayed";
+/// Per-shard replay telemetry: boundary fill events a shard forwarded to
+/// the sequential reduction pass.
+pub const SHARD_BOUNDARY_FILLS: &str = "sim.shard.boundary_fills";
+/// Per-shard replay telemetry: directory invalidation candidates probed.
+pub const SHARD_INVAL_PROBES: &str = "sim.shard.inval_probes";
+/// Per-shard replay telemetry: invalidations that actually dropped a
+/// private line.
+pub const SHARD_INVALIDATIONS: &str = "sim.shard.invalidations";

@@ -177,9 +177,24 @@ impl SetAssocCache {
         let (victim_idx, evicted) = if let Some(i) = ways.iter().position(|l| !l.valid) {
             (i, None)
         } else {
-            let mut metas: Vec<u32> = ways.iter().map(|l| l.meta).collect();
-            let v = policy.choose_victim(&mut metas);
-            for (l, m) in ways.iter_mut().zip(metas) {
+            // Victim selection mutates replacement metadata (RRPV aging);
+            // stage it on the stack — this runs on every capacity miss,
+            // so a heap allocation here dominates the access path.
+            let n = ways.len();
+            let mut stack = [0u32; 64];
+            let mut heap: Vec<u32> = Vec::new();
+            let metas: &mut [u32] = if n <= 64 {
+                let m = &mut stack[..n];
+                for (dst, l) in m.iter_mut().zip(ways.iter()) {
+                    *dst = l.meta;
+                }
+                m
+            } else {
+                heap.extend(ways.iter().map(|l| l.meta));
+                &mut heap
+            };
+            let v = policy.choose_victim(metas);
+            for (l, &m) in ways.iter_mut().zip(metas.iter()) {
                 l.meta = m;
             }
             let out = ways[v];
@@ -219,6 +234,18 @@ impl SetAssocCache {
         let ways = self.slice(set);
         if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == line) {
             l.touched |= 1 << word;
+        }
+    }
+
+    /// Crate-internal: overwrites each resident line's touched-word mask
+    /// from an external authoritative source. The sharded reduction pass
+    /// tracks masks in a compact side index and syncs them back here at
+    /// finalization so the end-of-run flush reports the serial state.
+    pub(crate) fn sync_touched(&mut self, mut mask_of: impl FnMut(u64) -> u16) {
+        for l in &mut self.sets {
+            if l.valid {
+                l.touched = mask_of(l.tag);
+            }
         }
     }
 

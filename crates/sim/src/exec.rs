@@ -1,0 +1,1167 @@
+//! Host-parallel sharded execution of the machine model.
+//!
+//! The timing model never feeds back into engine behaviour: engines issue
+//! typed accesses and discard the returned latencies, and the directory is
+//! a pure function of the access stream. That makes the machine walk
+//! *replayable*: the main thread records each access as a compact event
+//! (plus the directory-derived invalidation candidates), per-core private
+//! L1/L2 state is replayed on host worker threads, and a single sequential
+//! reduction pass replays the shared LLC / DRAM / phase accounting in
+//! global access order. Every statistic, energy input, and time-breakdown
+//! value is byte-identical to the serial walk at any worker count, because
+//! each sub-model sees exactly the serial event order:
+//!
+//! * **Record (main thread)** — computes addresses, counts `accesses` /
+//!   per-region / per-op statistics, maintains the sharer directory inline
+//!   (it depends only on the stream), queues invalidation candidates for
+//!   victim cores, and appends one 16 B event per access to a per-core
+//!   log. Logs are cut into fixed-size segments and shipped down the
+//!   pipeline, so memory stays bounded and replay overlaps recording.
+//! * **Replay (worker threads)** — each shard owns its cores' L1/L2 caches
+//!   for the whole run and replays their merged access + invalidation
+//!   streams in sequence order. Private hits are charged locally; every
+//!   access emits exactly one boundary event — a *touch* for private hits
+//!   (packed into 8 B: sequence number, word, line), or a *fill* carrying
+//!   the private latency for L2 misses (24 B, rare).
+//! * **Reduce (one thread)** — owns the LLC, the DRAM envelope, and the
+//!   time breakdown. Boundary events are scattered into a dense
+//!   per-segment scratch indexed by sequence number and replayed in
+//!   order: touches OR word usage into a compact line → mask index
+//!   mirroring LLC residency (touching never mutates replacement state,
+//!   so the set-associative way scan is avoided on the hot path), and
+//!   fills walk the LLC (and DRAM on miss) with the exact serial
+//!   stamp/replacement state. Phase markers fold per-core timelines
+//!   (main-side compute + replay-side hits + reduce-side fills) into the
+//!   serial `max`-over-cores phase length.
+//!
+//! [`ExecMode::Sharded`]`(n)` spawns `n` auxiliary host threads next to
+//! the recording thread: `n == 1` runs replay + reduce on one combined
+//! worker, `n >= 2` dedicates one thread to reduction and `n - 1` to
+//! replay shards. The shard → core grouping comes from a
+//! [`ShardPlan`]; any plan (and any `n`) produces identical output, the
+//! plan only balances wall-clock.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use tdgraph_graph::partition::ShardPlan;
+use tdgraph_obs::{keys, Recorder, ShardedRecorder, Snapshot};
+
+use crate::cache::SetAssocCache;
+use crate::config::SimConfig;
+use crate::memory::DramModel;
+use crate::noc::Mesh;
+use crate::stats::{Actor, LineUtilization, PhaseKind, TimeBreakdown};
+
+/// How a machine executes: the classic single-thread walk, or the
+/// record/replay pipeline over host worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Everything on the calling thread (the reference path).
+    #[default]
+    Serial,
+    /// `Sharded(n)`: `n ≥ 1` auxiliary host worker threads next to the
+    /// recording thread. `n == 1` replays and reduces on one combined
+    /// worker; `n ≥ 2` uses `n - 1` replay shards plus a dedicated
+    /// reduction thread. Output is byte-identical to [`ExecMode::Serial`]
+    /// for every `n`.
+    Sharded(usize),
+}
+
+impl ExecMode {
+    /// Whether this mode runs the sharded pipeline.
+    #[must_use]
+    pub fn is_sharded(self) -> bool {
+        matches!(self, ExecMode::Sharded(_))
+    }
+
+    /// Number of replay shards the mode uses (0 for serial).
+    #[must_use]
+    pub fn replay_shards(self) -> usize {
+        match self {
+            ExecMode::Serial => 0,
+            ExecMode::Sharded(n) => n.max(2) - 1,
+        }
+    }
+
+    /// Stable lowercase label (`serial`, `sharded4`) for reports and
+    /// bench output.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            ExecMode::Serial => "serial".into(),
+            ExecMode::Sharded(n) => format!("sharded{n}"),
+        }
+    }
+}
+
+/// Events per pipeline segment. Segments bound in-flight memory (8–24 B
+/// per event per stage) and set the record → replay → reduce overlap
+/// granularity.
+const SEG: u64 = 1 << 18;
+
+const WORD_MASK: u32 = 0xF;
+const WRITE_BIT: u32 = 1 << 4;
+const ACTOR_BIT: u32 = 1 << 5;
+const REGION_SHIFT: u32 = 8;
+const CORE_SHIFT: u32 = 16;
+
+/// Bits of line address a packed touch can carry (64 TiB of simulated
+/// address space). Checked once per machine at pipeline spawn.
+const TOUCH_LINE_BITS: u32 = 42;
+const TOUCH_LINE_MASK: u64 = (1 << TOUCH_LINE_BITS) - 1;
+const TOUCH_WORD_SHIFT: u32 = TOUCH_LINE_BITS;
+const TOUCH_REL_SHIFT: u32 = TOUCH_LINE_BITS + 4;
+/// Scratch-slot tag discriminating a fill reference from a packed touch
+/// (touches only populate the low `TOUCH_REL_SHIFT` bits).
+const FILL_TAG: u64 = 1 << 63;
+
+/// The largest line address a packed touch can represent; the pipeline
+/// asserts the machine's address space fits at spawn.
+pub(crate) const MAX_TOUCH_LINE: u64 = TOUCH_LINE_MASK;
+
+/// A private-hit boundary touch packed into one word: segment-relative
+/// sequence number, touched word, and line address. Touches are 90+% of
+/// the boundary stream, so their footprint dominates the replay → reduce
+/// traffic; packing them keeps the sequential reduction memory-bound
+/// stages ~3x smaller than shipping full [`BoundaryEvent`]s.
+fn pack_touch(rel: u32, word: u8, line: u64) -> u64 {
+    (u64::from(rel) << TOUCH_REL_SHIFT) | (u64::from(word) << TOUCH_WORD_SHIFT) | line
+}
+
+fn pack_access(word: u8, write: bool, actor: Actor, region_idx: usize) -> u32 {
+    u32::from(word)
+        | if write { WRITE_BIT } else { 0 }
+        | if matches!(actor, Actor::Accel) { ACTOR_BIT } else { 0 }
+        | ((region_idx as u32) << REGION_SHIFT)
+}
+
+/// One recorded access of a core (16 B): segment-relative sequence number,
+/// line address, and packed word/write/actor/region.
+#[derive(Debug, Clone, Copy)]
+struct AccessEvent {
+    rel: u32,
+    meta: u32,
+    line: u64,
+}
+
+/// One invalidation candidate for a victim core: the writing access's
+/// sequence number, the writer's core id, and the line.
+#[derive(Debug, Clone, Copy)]
+struct InvalEvent {
+    rel: u32,
+    writer: u32,
+    line: u64,
+}
+
+/// One fill boundary event for the reduction pass (24 B): an access that
+/// missed the private levels and must walk the shared LLC (and DRAM on a
+/// further miss). Carries the private latency accumulated up to (and
+/// including) the NoC round trip and LLC lookup.
+#[derive(Debug, Clone, Copy)]
+struct BoundaryEvent {
+    rel: u32,
+    base_lat: u32,
+    meta: u32,
+    line: u64,
+}
+
+/// Per-segment input for one replay shard: the shard's cores' event and
+/// invalidation logs, parallel to its core list.
+struct SegmentInput {
+    events: Vec<Vec<AccessEvent>>,
+    invals: Vec<Vec<InvalEvent>>,
+}
+
+/// Per-segment output of one replay shard.
+struct SegmentOutput {
+    /// Packed private-hit touches (scattered by the reducer by their
+    /// embedded sequence number, so cross-core order is irrelevant).
+    touches: Vec<u64>,
+    /// LLC fill events, the rare heavyweight boundary crossings.
+    fills: Vec<BoundaryEvent>,
+    /// Private-hit timeline contributions: `(core, core_cycles,
+    /// accel_cycles)`.
+    contrib: Vec<(u32, u64, u64)>,
+    l1_hits: u64,
+    l2_hits: u64,
+    noc_hop_cycles: u64,
+    invalidations: u64,
+    /// Telemetry: events replayed / fills emitted / invalidation probes.
+    events_replayed: u64,
+    fill_count: u64,
+    inval_probes: u64,
+}
+
+/// A replay shard: persistent per-core private caches plus the pure
+/// latency inputs needed to price hits and fills.
+struct ShardReplayer {
+    /// Global core ids owned by this shard.
+    cores: Vec<usize>,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    mesh: Mesh,
+    l1_lat: u64,
+    l2_lat: u64,
+    llc_lat: u64,
+    mlp: u64,
+}
+
+impl ShardReplayer {
+    fn replay_segment(&mut self, input: &SegmentInput) -> SegmentOutput {
+        let mut out = SegmentOutput {
+            touches: Vec::new(),
+            fills: Vec::new(),
+            contrib: Vec::with_capacity(self.cores.len()),
+            l1_hits: 0,
+            l2_hits: 0,
+            noc_hop_cycles: 0,
+            invalidations: 0,
+            events_replayed: 0,
+            fill_count: 0,
+            inval_probes: 0,
+        };
+        let total: usize = input.events.iter().map(Vec::len).sum();
+        out.touches.reserve(total);
+        let ShardReplayer { cores, l1, l2, mesh, l1_lat, l2_lat, llc_lat, mlp } = self;
+        for (i, &core) in cores.iter().enumerate() {
+            let (l1, l2) = (&mut l1[i], &mut l2[i]);
+            let (mut core_cyc, mut accel_cyc) = (0u64, 0u64);
+            let events = &input.events[i];
+            let invals = &input.invals[i];
+            out.events_replayed += events.len() as u64;
+            out.inval_probes += invals.len() as u64;
+            let (mut e, mut v) = (0usize, 0usize);
+            loop {
+                let next_access =
+                    e < events.len() && (v >= invals.len() || events[e].rel < invals[v].rel);
+                if next_access {
+                    let ev = events[e];
+                    e += 1;
+                    let word = (ev.meta & WORD_MASK) as u8;
+                    let write = ev.meta & WRITE_BIT != 0;
+                    let accel = ev.meta & ACTOR_BIT != 0;
+                    let region =
+                        crate::address::Region::ALL[((ev.meta >> REGION_SHIFT) & 0xFF) as usize];
+                    let mut latency = *l1_lat;
+                    if l1.access(ev.line, word, write, region).hit {
+                        out.l1_hits += 1;
+                    } else {
+                        latency += *l2_lat;
+                        if l2.access(ev.line, word, write, region).hit {
+                            out.l2_hits += 1;
+                        } else {
+                            let noc = mesh.round_trip_cycles(core, ev.line);
+                            out.noc_hop_cycles += noc;
+                            latency += noc + *llc_lat;
+                            out.fill_count += 1;
+                            out.fills.push(BoundaryEvent {
+                                rel: ev.rel,
+                                base_lat: u32::try_from(latency).unwrap_or(u32::MAX),
+                                meta: ev.meta | ((core as u32) << CORE_SHIFT),
+                                line: ev.line,
+                            });
+                            continue;
+                        }
+                    }
+                    // Private hit: charge the issuing timeline here and
+                    // emit a packed touch so the LLC copy learns the word
+                    // usage.
+                    if accel {
+                        accel_cyc += latency.div_ceil(*mlp);
+                    } else {
+                        core_cyc += latency;
+                    }
+                    out.touches.push(pack_touch(ev.rel, word, ev.line));
+                } else if v < invals.len() {
+                    let inv = invals[v];
+                    v += 1;
+                    // Mirror the serial walk: probe both levels (never
+                    // short-circuit — both drops must happen), count one
+                    // invalidation if either held the line.
+                    let in_l1 = l1.invalidate(inv.line).is_some();
+                    let in_l2 = l2.invalidate(inv.line).is_some();
+                    if in_l1 || in_l2 {
+                        out.invalidations += 1;
+                        out.noc_hop_cycles += mesh.one_way_cycles(inv.writer as usize, core);
+                    }
+                } else {
+                    break;
+                }
+            }
+            out.contrib.push((core as u32, core_cyc, accel_cyc));
+        }
+        out
+    }
+}
+
+/// Open-addressed `line → touched-word mask` index mirroring LLC
+/// residency, with linear probing and backward-shift deletion.
+///
+/// In sharded mode this table — not the `touched` field inside the LLC's
+/// own lines — is authoritative for word-usage masks: the reduction pass
+/// applies one touch per private hit, and probing the set-associative
+/// ways for each (a linear scan over full `Line` structs) dominates the
+/// whole pipeline. A compact hash keyed by line address makes each touch
+/// one or two host cache-line probes. Masks are synced back into the LLC
+/// at finalization so the end-of-run flush sees the serial state.
+struct TouchIndex {
+    keys: Vec<u64>,
+    masks: Vec<u16>,
+    cap_mask: usize,
+}
+
+/// Sentinel for an empty slot; line addresses are bounded by
+/// [`MAX_TOUCH_LINE`], so `u64::MAX` can never collide with a real key.
+const EMPTY_KEY: u64 = u64::MAX;
+
+impl TouchIndex {
+    /// `resident_capacity` is the most lines the LLC can hold; the table
+    /// keeps a ≤ 25% load factor so probe chains stay short.
+    fn new(resident_capacity: usize) -> Self {
+        let size = (resident_capacity * 4).next_power_of_two().max(16);
+        Self { keys: vec![EMPTY_KEY; size], masks: vec![0; size], cap_mask: size - 1 }
+    }
+
+    #[inline]
+    fn slot(&self, line: u64) -> usize {
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) ^ h) as usize & self.cap_mask
+    }
+
+    /// Registers a freshly inserted LLC line with its first touched word.
+    #[inline]
+    fn insert(&mut self, line: u64, mask: u16) {
+        let mut i = self.slot(line);
+        while self.keys[i] != EMPTY_KEY {
+            debug_assert_ne!(self.keys[i], line, "line inserted while already resident");
+            i = (i + 1) & self.cap_mask;
+        }
+        self.keys[i] = line;
+        self.masks[i] = mask;
+    }
+
+    /// ORs `bits` into a resident line's mask; a no-op when the line is
+    /// not resident (matching [`SetAssocCache::touch_word`]).
+    #[inline]
+    fn or_if_present(&mut self, line: u64, bits: u16) {
+        let mut i = self.slot(line);
+        loop {
+            let k = self.keys[i];
+            if k == line {
+                self.masks[i] |= bits;
+                return;
+            }
+            if k == EMPTY_KEY {
+                return;
+            }
+            i = (i + 1) & self.cap_mask;
+        }
+    }
+
+    /// Removes an evicted line, returning its accumulated mask. Uses
+    /// backward-shift deletion so probe chains never need tombstones.
+    #[inline]
+    fn remove(&mut self, line: u64) -> u16 {
+        let mut i = self.slot(line);
+        while self.keys[i] != line {
+            debug_assert_ne!(self.keys[i], EMPTY_KEY, "evicted line must be indexed");
+            i = (i + 1) & self.cap_mask;
+        }
+        let out = self.masks[i];
+        loop {
+            self.keys[i] = EMPTY_KEY;
+            let mut j = i;
+            loop {
+                j = (j + 1) & self.cap_mask;
+                if self.keys[j] == EMPTY_KEY {
+                    return out;
+                }
+                let home = self.slot(self.keys[j]);
+                // The entry at j may back-shift into the hole at i only
+                // if its home precedes i along the probe chain.
+                if (j.wrapping_sub(home) & self.cap_mask) >= (j.wrapping_sub(i) & self.cap_mask) {
+                    self.keys[i] = self.keys[j];
+                    self.masks[i] = self.masks[j];
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The mask of a resident line (finalization sync).
+    fn get(&self, line: u64) -> u16 {
+        let mut i = self.slot(line);
+        while self.keys[i] != line {
+            debug_assert_ne!(self.keys[i], EMPTY_KEY, "resident line must be indexed");
+            i = (i + 1) & self.cap_mask;
+        }
+        self.masks[i]
+    }
+}
+
+/// The sequential reduction state: shared LLC, DRAM envelope, breakdown,
+/// and the per-phase timeline folds.
+struct Reducer {
+    llc: SetAssocCache,
+    dram: DramModel,
+    breakdown: TimeBreakdown,
+    llc_hits: u64,
+    llc_misses: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    noc_hop_cycles: u64,
+    invalidations: u64,
+    state_lines: LineUtilization,
+    mlp: u64,
+    /// Replay + reduce timeline contributions for the open phase.
+    core_sum: Vec<u64>,
+    accel_sum: Vec<u64>,
+    /// Dense per-segment sequence scratch: slot `rel` holds either a
+    /// packed touch (bit 63 clear) or `FILL_TAG | shard << 32 | index`
+    /// referencing a shard's fill list.
+    scratch: Vec<u64>,
+    /// Authoritative touched-word masks for LLC-resident lines.
+    touch_masks: TouchIndex,
+    shard_counters: Vec<ShardCounters>,
+}
+
+/// Telemetry per replay shard, exported through a [`ShardedRecorder`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardCounters {
+    events_replayed: u64,
+    fills: u64,
+    inval_probes: u64,
+    invalidations: u64,
+}
+
+impl Reducer {
+    fn new(llc: SetAssocCache, dram: DramModel, cfg: &SimConfig, shards: usize) -> Self {
+        let touch_masks = TouchIndex::new(llc.set_count() * llc.ways());
+        Self {
+            llc,
+            dram,
+            breakdown: TimeBreakdown::default(),
+            llc_hits: 0,
+            llc_misses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            noc_hop_cycles: 0,
+            invalidations: 0,
+            state_lines: LineUtilization::default(),
+            mlp: cfg.accel_mlp,
+            core_sum: vec![0; cfg.cores],
+            accel_sum: vec![0; cfg.cores],
+            scratch: Vec::new(),
+            touch_masks,
+            shard_counters: vec![ShardCounters::default(); shards],
+        }
+    }
+
+    fn reduce_segment(&mut self, len: u32, outs: &[SegmentOutput]) {
+        self.scratch.clear();
+        self.scratch.resize(len as usize, 0);
+        let mut filled = 0usize;
+        for (shard, out) in outs.iter().enumerate() {
+            self.l1_hits += out.l1_hits;
+            self.l2_hits += out.l2_hits;
+            self.noc_hop_cycles += out.noc_hop_cycles;
+            self.invalidations += out.invalidations;
+            let c = &mut self.shard_counters[shard];
+            c.events_replayed += out.events_replayed;
+            c.fills += out.fill_count;
+            c.inval_probes += out.inval_probes;
+            c.invalidations += out.invalidations;
+            for &(core, cc, ac) in &out.contrib {
+                self.core_sum[core as usize] += cc;
+                self.accel_sum[core as usize] += ac;
+            }
+            for &t in &out.touches {
+                self.scratch[(t >> TOUCH_REL_SHIFT) as usize] = t & (FILL_TAG - 1);
+                filled += 1;
+            }
+            let tag = FILL_TAG | ((shard as u64) << 32);
+            for (i, f) in out.fills.iter().enumerate() {
+                self.scratch[f.rel as usize] = tag | i as u64;
+                filled += 1;
+            }
+        }
+        debug_assert_eq!(filled, len as usize, "every sequence slot must carry one event");
+        for idx in 0..self.scratch.len() {
+            let slot = self.scratch[idx];
+            if slot & FILL_TAG == 0 {
+                // A private-hit touch: propagate word usage to the LLC
+                // copy (if resident). Never mutates replacement state, so
+                // it only needs the O(1) mask index, not a way scan.
+                let bits = 1u16 << ((slot >> TOUCH_WORD_SHIFT) & 0xF);
+                self.touch_masks.or_if_present(slot & TOUCH_LINE_MASK, bits);
+                continue;
+            }
+            let shard = ((slot >> 32) & 0x7FFF_FFFF) as usize;
+            let ev = outs[shard].fills[(slot & 0xFFFF_FFFF) as usize];
+            let word = (ev.meta & WORD_MASK) as u8;
+            let write = ev.meta & WRITE_BIT != 0;
+            let region = crate::address::Region::ALL[((ev.meta >> REGION_SHIFT) & 0xFF) as usize];
+            let core = ((ev.meta >> CORE_SHIFT) & 0xFF) as usize;
+            let mut latency = u64::from(ev.base_lat);
+            let llc_out = self.llc.access(ev.line, word, write, region);
+            if llc_out.hit {
+                self.llc_hits += 1;
+                self.touch_masks.or_if_present(ev.line, 1 << word);
+            } else {
+                self.llc_misses += 1;
+                latency += self.dram.read_line();
+            }
+            if let Some(evicted) = llc_out.evicted {
+                // The side index, not the line's internal counter, holds
+                // the authoritative touched mask in sharded mode.
+                let mask = self.touch_masks.remove(evicted.line);
+                if evicted.region.is_state_region() {
+                    self.state_lines.record(mask.count_ones());
+                }
+                if evicted.dirty {
+                    self.dram.writeback_line();
+                }
+            }
+            if !llc_out.hit {
+                self.touch_masks.insert(ev.line, 1 << word);
+            }
+            if ev.meta & ACTOR_BIT != 0 {
+                self.accel_sum[core] += latency.div_ceil(self.mlp);
+            } else {
+                self.core_sum[core] += latency;
+            }
+        }
+    }
+
+    fn end_phase(&mut self, kind: PhaseKind, main_core: &[u64], main_accel: &[u64]) -> u64 {
+        let compute = (0..self.core_sum.len())
+            .map(|c| {
+                let core = main_core[c] + self.core_sum[c];
+                let accel = main_accel[c] + self.accel_sum[c];
+                core.max(accel)
+            })
+            .max()
+            .unwrap_or(0);
+        let cycles = self.dram.close_phase(compute);
+        self.core_sum.iter_mut().for_each(|c| *c = 0);
+        self.accel_sum.iter_mut().for_each(|c| *c = 0);
+        self.breakdown.add(kind, cycles);
+        cycles
+    }
+
+    fn into_final(mut self) -> FinalState {
+        // Hand the LLC back with serial-exact touched masks so the
+        // machine's end-of-run flush sees what a serial walk left behind.
+        let masks = &self.touch_masks;
+        self.llc.sync_touched(|line| masks.get(line));
+        let telemetry = ShardedRecorder::new();
+        for (i, c) in self.shard_counters.iter().enumerate() {
+            let mut shard = telemetry.shard(i as u64);
+            shard.counter(keys::SHARD_EVENTS_REPLAYED, c.events_replayed);
+            shard.counter(keys::SHARD_BOUNDARY_FILLS, c.fills);
+            shard.counter(keys::SHARD_INVAL_PROBES, c.inval_probes);
+            shard.counter(keys::SHARD_INVALIDATIONS, c.invalidations);
+            shard.finish();
+        }
+        FinalState {
+            llc: self.llc,
+            dram: self.dram,
+            breakdown: self.breakdown,
+            l1_hits: self.l1_hits,
+            l2_hits: self.l2_hits,
+            llc_hits: self.llc_hits,
+            llc_misses: self.llc_misses,
+            noc_hop_cycles: self.noc_hop_cycles,
+            invalidations: self.invalidations,
+            state_lines: self.state_lines,
+            shard_telemetry: telemetry.merged(),
+            shard_snapshots: telemetry.shard_snapshots(),
+        }
+    }
+}
+
+/// Everything the pipeline hands back to the machine at finalization.
+pub(crate) struct FinalState {
+    pub(crate) llc: SetAssocCache,
+    pub(crate) dram: DramModel,
+    pub(crate) breakdown: TimeBreakdown,
+    pub(crate) l1_hits: u64,
+    pub(crate) l2_hits: u64,
+    pub(crate) llc_hits: u64,
+    pub(crate) llc_misses: u64,
+    pub(crate) noc_hop_cycles: u64,
+    pub(crate) invalidations: u64,
+    pub(crate) state_lines: LineUtilization,
+    /// Merged per-shard replay telemetry (key-ordered, thread-count
+    /// independent totals).
+    pub(crate) shard_telemetry: Snapshot,
+    /// The per-shard snapshots behind the merge, in shard order.
+    pub(crate) shard_snapshots: Vec<(u64, Snapshot)>,
+}
+
+enum ReduceMsg {
+    SegMeta { seg: u64, len: u32 },
+    SegOut { seg: u64, shard: usize, out: SegmentOutput },
+    EndPhase { seg_end: u64, kind: PhaseKind, main_core: Vec<u64>, main_accel: Vec<u64> },
+    Drain { reply: mpsc::Sender<u64> },
+}
+
+enum CombinedMsg {
+    Segment { len: u32, input: SegmentInput },
+    EndPhase { kind: PhaseKind, main_core: Vec<u64>, main_accel: Vec<u64> },
+    Drain { reply: mpsc::Sender<u64> },
+}
+
+enum Senders {
+    Split { replayers: Vec<mpsc::SyncSender<SegmentInput>>, reducer: mpsc::SyncSender<ReduceMsg> },
+    Combined { tx: mpsc::SyncSender<CombinedMsg> },
+}
+
+/// The live pipeline: record-side state plus the worker threads.
+pub(crate) struct Pipeline {
+    /// Global sequence number of the next access.
+    seq: u64,
+    seg_base: u64,
+    seg_index: u64,
+    /// Per-core event logs for the open segment.
+    events: Vec<Vec<AccessEvent>>,
+    invals: Vec<Vec<InvalEvent>>,
+    /// Shard → cores (replay grouping actually spawned).
+    shard_cores: Vec<Vec<usize>>,
+    senders: Option<Senders>,
+    replay_handles: Vec<JoinHandle<()>>,
+    final_handle: Option<JoinHandle<FinalState>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("seq", &self.seq)
+            .field("shards", &self.shard_cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Spawns the worker topology for `workers` auxiliary threads, taking
+    /// ownership of the machine's caches and DRAM model.
+    pub(crate) fn spawn(
+        cfg: &SimConfig,
+        plan: &ShardPlan,
+        workers: usize,
+        l1: Vec<SetAssocCache>,
+        l2: Vec<SetAssocCache>,
+        llc: SetAssocCache,
+        dram: DramModel,
+    ) -> Self {
+        assert!(workers >= 1, "sharded execution needs at least one worker thread");
+        assert_eq!(plan.cores(), cfg.cores, "shard plan must cover every simulated core");
+        let replay_shards = if workers == 1 { 1 } else { workers - 1 };
+        // Regroup the plan onto the spawned shard count (plans with a
+        // different shard count redistribute round-robin, preserving the
+        // plan's grouping where possible).
+        let mut shard_cores: Vec<Vec<usize>> = vec![Vec::new(); replay_shards];
+        for s in 0..plan.shards() {
+            shard_cores[s % replay_shards].extend_from_slice(plan.cores_for(s));
+        }
+        for cores in &mut shard_cores {
+            cores.sort_unstable();
+        }
+        let mut l1_by_core: Vec<Option<SetAssocCache>> = l1.into_iter().map(Some).collect();
+        let mut l2_by_core: Vec<Option<SetAssocCache>> = l2.into_iter().map(Some).collect();
+        let mesh = Mesh::new(cfg.mesh_dim, cfg.hop_cycles);
+        let make_replayer = |cores: &Vec<usize>,
+                             l1s: &mut Vec<Option<SetAssocCache>>,
+                             l2s: &mut Vec<Option<SetAssocCache>>| {
+            ShardReplayer {
+                cores: cores.clone(),
+                l1: cores.iter().map(|&c| l1s[c].take().expect("core owned once")).collect(),
+                l2: cores.iter().map(|&c| l2s[c].take().expect("core owned once")).collect(),
+                mesh,
+                l1_lat: cfg.l1d.latency,
+                l2_lat: cfg.l2.latency,
+                llc_lat: cfg.llc.latency,
+                mlp: cfg.accel_mlp,
+            }
+        };
+
+        let reducer = Reducer::new(llc, dram, cfg, replay_shards);
+        let mut replay_handles = Vec::new();
+        let senders;
+        let final_handle;
+        if workers == 1 {
+            let mut shard = make_replayer(&shard_cores[0], &mut l1_by_core, &mut l2_by_core);
+            let (tx, rx) = mpsc::sync_channel::<CombinedMsg>(8);
+            let handle = std::thread::Builder::new()
+                .name("tdgraph-shard".into())
+                .spawn(move || run_combined(rx, &mut shard, reducer))
+                .expect("spawn combined shard worker");
+            senders = Senders::Combined { tx };
+            final_handle = Some(handle);
+        } else {
+            let (red_tx, red_rx) = mpsc::sync_channel::<ReduceMsg>(replay_shards * 4 + 8);
+            let mut replayer_txs = Vec::with_capacity(replay_shards);
+            for (s, cores) in shard_cores.iter().enumerate() {
+                let mut shard = make_replayer(cores, &mut l1_by_core, &mut l2_by_core);
+                let (tx, rx) = mpsc::sync_channel::<SegmentInput>(4);
+                let out_tx = red_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("tdgraph-replay{s}"))
+                    .spawn(move || {
+                        let mut seg = 0u64;
+                        while let Ok(input) = rx.recv() {
+                            let out = shard.replay_segment(&input);
+                            if out_tx.send(ReduceMsg::SegOut { seg, shard: s, out }).is_err() {
+                                break;
+                            }
+                            seg += 1;
+                        }
+                    })
+                    .expect("spawn replay worker");
+                replayer_txs.push(tx);
+                replay_handles.push(handle);
+            }
+            let shards = replay_shards;
+            let handle = std::thread::Builder::new()
+                .name("tdgraph-reduce".into())
+                .spawn(move || run_reducer(red_rx, reducer, shards))
+                .expect("spawn reduce worker");
+            senders = Senders::Split { replayers: replayer_txs, reducer: red_tx };
+            final_handle = Some(handle);
+        }
+
+        Self {
+            seq: 0,
+            seg_base: 0,
+            seg_index: 0,
+            events: (0..cfg.cores).map(|_| Vec::new()).collect(),
+            invals: (0..cfg.cores).map(|_| Vec::new()).collect(),
+            shard_cores,
+            senders: Some(senders),
+            replay_handles,
+            final_handle: Some(handle_opt_unwrap(final_handle)),
+        }
+    }
+
+    /// Queues an invalidation candidate for `victim` at the *next* access's
+    /// sequence number (the write being recorded).
+    pub(crate) fn push_inval(&mut self, victim: usize, writer: usize, line: u64) {
+        let rel = (self.seq - self.seg_base) as u32;
+        self.invals[victim].push(InvalEvent { rel, writer: writer as u32, line });
+    }
+
+    /// Records one access and advances the sequence number, cutting a
+    /// segment when full.
+    pub(crate) fn record(
+        &mut self,
+        core: usize,
+        actor: Actor,
+        region: crate::address::Region,
+        line: u64,
+        word: u8,
+        write: bool,
+    ) {
+        let rel = (self.seq - self.seg_base) as u32;
+        self.events[core].push(AccessEvent {
+            rel,
+            meta: pack_access(word, write, actor, region.index()),
+            line,
+        });
+        self.seq += 1;
+        if self.seq - self.seg_base == SEG {
+            self.cut_segment();
+        }
+    }
+
+    fn cut_segment(&mut self) {
+        let len = (self.seq - self.seg_base) as u32;
+        if len == 0 {
+            return;
+        }
+        let seg = self.seg_index;
+        let mut inputs: Vec<SegmentInput> = self
+            .shard_cores
+            .iter()
+            .map(|cores| SegmentInput {
+                events: cores.iter().map(|&c| std::mem::take(&mut self.events[c])).collect(),
+                invals: cores.iter().map(|&c| std::mem::take(&mut self.invals[c])).collect(),
+            })
+            .collect();
+        match self.senders.as_ref().expect("pipeline finalized") {
+            Senders::Split { replayers, reducer } => {
+                reducer.send(ReduceMsg::SegMeta { seg, len }).expect("reduce worker alive");
+                for (tx, input) in replayers.iter().zip(inputs.drain(..)) {
+                    tx.send(input).expect("replay worker alive");
+                }
+            }
+            Senders::Combined { tx } => {
+                let input = inputs.pop().expect("single shard");
+                let _ = seg;
+                tx.send(CombinedMsg::Segment { len, input }).expect("shard worker alive");
+            }
+        }
+        self.seg_base = self.seq;
+        self.seg_index += 1;
+    }
+
+    /// Ships the open partial segment and a phase marker carrying the
+    /// main-side timeline snapshot.
+    pub(crate) fn end_phase(&mut self, kind: PhaseKind, main_core: Vec<u64>, main_accel: Vec<u64>) {
+        self.cut_segment();
+        let seg_end = self.seg_index;
+        match self.senders.as_ref().expect("pipeline finalized") {
+            Senders::Split { reducer, .. } => reducer
+                .send(ReduceMsg::EndPhase { seg_end, kind, main_core, main_accel })
+                .expect("reduce worker alive"),
+            Senders::Combined { tx } => tx
+                .send(CombinedMsg::EndPhase { kind, main_core, main_accel })
+                .expect("shard worker alive"),
+        }
+    }
+
+    /// Blocks until the most recently marked phase is reduced; returns its
+    /// exact cycle count (identical to the serial `end_phase` return).
+    pub(crate) fn drain_last_phase(&mut self) -> u64 {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        match self.senders.as_ref().expect("pipeline finalized") {
+            Senders::Split { reducer, .. } => {
+                reducer.send(ReduceMsg::Drain { reply: reply_tx }).expect("reduce worker alive");
+            }
+            Senders::Combined { tx } => {
+                tx.send(CombinedMsg::Drain { reply: reply_tx }).expect("shard worker alive");
+            }
+        }
+        reply_rx.recv().expect("reduce worker answers drains")
+    }
+
+    /// Ships any tail events, closes the channels, joins every worker, and
+    /// returns the merged machine state.
+    pub(crate) fn finalize(mut self) -> FinalState {
+        self.cut_segment();
+        drop(self.senders.take());
+        for handle in self.replay_handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let handle = self.final_handle.take().expect("pipeline finalized once");
+        match handle.join() {
+            Ok(state) => state,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+fn handle_opt_unwrap(h: Option<JoinHandle<FinalState>>) -> JoinHandle<FinalState> {
+    match h {
+        Some(h) => h,
+        None => unreachable!("final handle always set"),
+    }
+}
+
+fn run_combined(
+    rx: mpsc::Receiver<CombinedMsg>,
+    shard: &mut ShardReplayer,
+    mut reducer: Reducer,
+) -> FinalState {
+    let mut phase_cycles: Vec<u64> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CombinedMsg::Segment { len, input } => {
+                let out = shard.replay_segment(&input);
+                reducer.reduce_segment(len, &[out]);
+            }
+            CombinedMsg::EndPhase { kind, main_core, main_accel } => {
+                phase_cycles.push(reducer.end_phase(kind, &main_core, &main_accel));
+            }
+            CombinedMsg::Drain { reply } => {
+                let cycles = phase_cycles.last().copied().unwrap_or(0);
+                let _ = reply.send(cycles);
+            }
+        }
+    }
+    reducer.into_final()
+}
+
+fn run_reducer(rx: mpsc::Receiver<ReduceMsg>, mut reducer: Reducer, shards: usize) -> FinalState {
+    let mut next_seg = 0u64;
+    let mut metas: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut outs: BTreeMap<u64, Vec<Option<SegmentOutput>>> = BTreeMap::new();
+    let mut marks: VecDeque<(u64, PhaseKind, Vec<u64>, Vec<u64>)> = VecDeque::new();
+    let mut drains: VecDeque<(u64, mpsc::Sender<u64>)> = VecDeque::new();
+    let mut phases_announced = 0u64;
+    let mut phase_cycles: Vec<u64> = Vec::new();
+
+    let progress = |next_seg: &mut u64,
+                    metas: &mut BTreeMap<u64, u32>,
+                    outs: &mut BTreeMap<u64, Vec<Option<SegmentOutput>>>,
+                    marks: &mut VecDeque<(u64, PhaseKind, Vec<u64>, Vec<u64>)>,
+                    drains: &mut VecDeque<(u64, mpsc::Sender<u64>)>,
+                    phase_cycles: &mut Vec<u64>,
+                    reducer: &mut Reducer| {
+        loop {
+            // Close every phase whose segments are all reduced.
+            while let Some(&(seg_end, _, _, _)) = marks.front() {
+                if seg_end > *next_seg {
+                    break;
+                }
+                let (_, kind, mc, ma) = match marks.pop_front() {
+                    Some(m) => m,
+                    None => break,
+                };
+                phase_cycles.push(reducer.end_phase(kind, &mc, &ma));
+            }
+            // Answer drains whose target phase is closed.
+            while let Some(&(target, _)) = drains.front() {
+                if target > phase_cycles.len() as u64 {
+                    break;
+                }
+                if let Some((target, reply)) = drains.pop_front() {
+                    let cycles = if target == 0 { 0 } else { phase_cycles[target as usize - 1] };
+                    let _ = reply.send(cycles);
+                }
+            }
+            // Reduce the next segment if complete.
+            let ready = metas.get(next_seg).copied().is_some()
+                && outs.get(next_seg).is_some_and(|v| v.iter().all(Option::is_some));
+            if !ready {
+                break;
+            }
+            let len = match metas.remove(next_seg) {
+                Some(len) => len,
+                None => break,
+            };
+            let segouts: Vec<SegmentOutput> =
+                outs.remove(next_seg).unwrap_or_default().into_iter().flatten().collect();
+            reducer.reduce_segment(len, &segouts);
+            *next_seg += 1;
+        }
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ReduceMsg::SegMeta { seg, len } => {
+                metas.insert(seg, len);
+            }
+            ReduceMsg::SegOut { seg, shard, out } => {
+                // Slot by shard index: per-shard telemetry attribution must
+                // not depend on cross-thread arrival order.
+                let slots = outs.entry(seg).or_insert_with(|| {
+                    let mut v = Vec::with_capacity(shards);
+                    v.resize_with(shards, || None);
+                    v
+                });
+                slots[shard] = Some(out);
+            }
+            ReduceMsg::EndPhase { seg_end, kind, main_core, main_accel } => {
+                phases_announced += 1;
+                marks.push_back((seg_end, kind, main_core, main_accel));
+            }
+            ReduceMsg::Drain { reply } => {
+                drains.push_back((phases_announced, reply));
+            }
+        }
+        progress(
+            &mut next_seg,
+            &mut metas,
+            &mut outs,
+            &mut marks,
+            &mut drains,
+            &mut phase_cycles,
+            &mut reducer,
+        );
+    }
+    progress(
+        &mut next_seg,
+        &mut metas,
+        &mut outs,
+        &mut marks,
+        &mut drains,
+        &mut phase_cycles,
+        &mut reducer,
+    );
+    debug_assert!(metas.is_empty() && outs.is_empty() && marks.is_empty());
+    reducer.into_final()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{AddressSpace, Region};
+    use crate::machine::Machine;
+    use crate::stats::Op;
+
+    /// Deterministic xorshift for synthetic access streams.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn drive(m: &mut Machine, seed: u64, phases: usize, accesses_per_phase: usize) -> Vec<u64> {
+        let mut rng = Rng(seed | 1);
+        let cores = m.cores();
+        let mut phase_lens = Vec::new();
+        for p in 0..phases {
+            for _ in 0..accesses_per_phase {
+                let r = rng.next();
+                let core = (r % cores as u64) as usize;
+                let actor = if r & 0x10 != 0 { Actor::Accel } else { Actor::Core };
+                let region = match (r >> 8) % 4 {
+                    0 => Region::VertexStates,
+                    1 => Region::NeighborArray,
+                    2 => Region::OffsetArray,
+                    _ => Region::ActiveVertices,
+                };
+                let index = (r >> 16) % 4096;
+                let write = (r >> 5) & 0x3 == 0;
+                m.access(core, actor, region, index, write);
+                if r & 0x7 == 0 {
+                    m.compute(core, Actor::Core, Op::EdgeProcess, 2);
+                }
+            }
+            let kind = if p % 2 == 0 { PhaseKind::Propagation } else { PhaseKind::Other };
+            phase_lens.push(m.end_phase_synced(kind));
+        }
+        m.finish();
+        phase_lens
+    }
+
+    fn machines_agree(exec: ExecMode) {
+        let layout = AddressSpace::layout(4096, 16384, 64);
+        let cfg = SimConfig::small_test();
+        let mut serial = Machine::new(cfg.clone(), layout.clone());
+        let serial_phases = drive(&mut serial, 0xABCD, 5, 4000);
+
+        let mut sharded = Machine::with_exec(
+            cfg,
+            layout,
+            exec,
+            &ShardPlan::uniform(serial.cores(), exec.replay_shards()),
+        );
+        let sharded_phases = drive(&mut sharded, 0xABCD, 5, 4000);
+
+        assert_eq!(serial_phases, sharded_phases, "{exec:?} phase cycles diverge");
+        assert_eq!(serial.stats(), sharded.stats(), "{exec:?} stats diverge");
+        assert_eq!(serial.breakdown(), sharded.breakdown(), "{exec:?} breakdown diverges");
+        assert_eq!(serial.total_cycles(), sharded.total_cycles());
+        assert_eq!(serial.dram().total_bytes(), sharded.dram().total_bytes());
+        assert_eq!(serial.dram().total_reads(), sharded.dram().total_reads());
+        assert_eq!(serial.dram().total_writebacks(), sharded.dram().total_writebacks());
+    }
+
+    #[test]
+    fn sharded_one_matches_serial() {
+        machines_agree(ExecMode::Sharded(1));
+    }
+
+    #[test]
+    fn sharded_two_matches_serial() {
+        machines_agree(ExecMode::Sharded(2));
+    }
+
+    #[test]
+    fn sharded_four_matches_serial() {
+        machines_agree(ExecMode::Sharded(4));
+    }
+
+    #[test]
+    fn sharded_handles_empty_phases_and_tail_accesses() {
+        let layout = AddressSpace::layout(1024, 4096, 16);
+        let cfg = SimConfig::small_test();
+        let mut serial = Machine::new(cfg.clone(), layout.clone());
+        let plan = ShardPlan::uniform(cfg.cores, ExecMode::Sharded(3).replay_shards());
+        let mut sharded = Machine::with_exec(cfg, layout, ExecMode::Sharded(3), &plan);
+        for m in [&mut serial, &mut sharded] {
+            // Empty phase first.
+            let empty = m.end_phase_synced(PhaseKind::Other);
+            assert_eq!(empty, 0);
+            m.access(0, Actor::Core, Region::VertexStates, 0, true);
+            m.access(1, Actor::Core, Region::VertexStates, 0, true);
+            let p = m.end_phase_synced(PhaseKind::Propagation);
+            assert!(p > 0);
+            // Tail accesses never folded into a phase still count in stats.
+            m.access(2, Actor::Core, Region::VertexStates, 0, false);
+            m.finish();
+        }
+        assert_eq!(serial.stats(), sharded.stats());
+        assert_eq!(serial.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn touch_index_matches_a_reference_map_under_churn() {
+        use std::collections::HashMap;
+        let mut t = TouchIndex::new(8); // 32 slots — forces probe chains
+        let mut reference: HashMap<u64, u16> = HashMap::new();
+        let mut rng = Rng(0x7AB1E);
+        for _ in 0..20_000 {
+            let r = rng.next();
+            let line = (r >> 8) % 48; // dense key space → heavy collisions
+            let bit = 1u16 << (r % 16);
+            match r % 5 {
+                0 | 1 => {
+                    // Touch: OR iff resident.
+                    t.or_if_present(line, bit);
+                    if let Some(m) = reference.get_mut(&line) {
+                        *m |= bit;
+                    }
+                }
+                2 | 3 => {
+                    // Fill: evict-if-resident then insert fresh.
+                    if let Some(m) = reference.remove(&line) {
+                        assert_eq!(t.remove(line), m);
+                    }
+                    if reference.len() < 24 {
+                        t.insert(line, bit);
+                        reference.insert(line, bit);
+                    }
+                }
+                _ => {
+                    if let Some(m) = reference.remove(&line) {
+                        assert_eq!(t.remove(line), m);
+                    }
+                }
+            }
+        }
+        for (&line, &m) in &reference {
+            assert_eq!(t.get(line), m);
+        }
+    }
+
+    #[test]
+    fn exec_mode_labels_and_shards() {
+        assert_eq!(ExecMode::Serial.label(), "serial");
+        assert_eq!(ExecMode::Sharded(4).label(), "sharded4");
+        assert_eq!(ExecMode::Serial.replay_shards(), 0);
+        assert_eq!(ExecMode::Sharded(1).replay_shards(), 1);
+        assert_eq!(ExecMode::Sharded(2).replay_shards(), 1);
+        assert_eq!(ExecMode::Sharded(4).replay_shards(), 3);
+        assert!(ExecMode::Sharded(1).is_sharded());
+        assert!(!ExecMode::Serial.is_sharded());
+    }
+
+    #[test]
+    fn shard_telemetry_totals_are_thread_count_independent() {
+        let layout = AddressSpace::layout(4096, 16384, 64);
+        let cfg = SimConfig::small_test();
+        let mut snaps = Vec::new();
+        for exec in [ExecMode::Sharded(1), ExecMode::Sharded(2), ExecMode::Sharded(4)] {
+            let plan = ShardPlan::uniform(cfg.cores, exec.replay_shards());
+            let mut m = Machine::with_exec(cfg.clone(), layout.clone(), exec, &plan);
+            drive(&mut m, 0x5EED, 3, 2000);
+            snaps.push(m.shard_telemetry().expect("sharded run has telemetry").clone());
+        }
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[1], snaps[2]);
+    }
+}

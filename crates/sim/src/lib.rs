@@ -15,6 +15,9 @@
 //!   L1 → L2 → NoC → LLC → DRAM, coherence invalidations are modeled via a
 //!   directory, and time is accounted per core with separate core and
 //!   accelerator timelines,
+//! * [`exec`] — host-parallel sharded execution: accesses recorded on the
+//!   driving thread are replayed on worker threads and merged in a
+//!   sequential reduction, byte-identical to the serial walk,
 //! * [`energy`] — per-event energy constants producing the Fig 19
 //!   component breakdown,
 //! * [`trace`] — an optional bounded access trace for model inspection.
@@ -39,6 +42,7 @@ pub mod cache;
 pub mod config;
 pub mod energy;
 pub mod error;
+pub mod exec;
 pub mod machine;
 pub mod memory;
 pub mod noc;
@@ -49,5 +53,6 @@ pub mod trace;
 pub use address::{AddressSpace, Region};
 pub use config::SimConfig;
 pub use error::SimError;
+pub use exec::ExecMode;
 pub use machine::Machine;
 pub use stats::{Actor, Op, PhaseKind};

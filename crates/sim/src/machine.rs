@@ -7,9 +7,13 @@
 //! hierarchy, charges latencies to the issuing timeline (core or paired
 //! accelerator), and maintains all statistics.
 
+use tdgraph_graph::partition::ShardPlan;
+use tdgraph_obs::Snapshot;
+
 use crate::address::{AddressSpace, Region};
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
+use crate::exec::{ExecMode, Pipeline};
 use crate::memory::DramModel;
 use crate::noc::Mesh;
 use crate::stats::{Actor, MachineStats, Op, PhaseKind, TimeBreakdown};
@@ -32,6 +36,14 @@ pub struct Machine {
     breakdown: TimeBreakdown,
     stats: MachineStats,
     trace: Option<AccessTrace>,
+    /// The host-parallel record/replay pipeline, when constructed with
+    /// [`ExecMode::Sharded`]. While active, `l1`/`l2`/`llc`/`dram` are
+    /// placeholders owned by the pipeline workers; [`Machine::finish`]
+    /// merges them back, after which all accessors report the exact
+    /// serial values.
+    pipeline: Option<Pipeline>,
+    shard_telemetry: Option<Snapshot>,
+    shard_snapshots: Vec<(u64, Snapshot)>,
 }
 
 impl Machine {
@@ -67,12 +79,61 @@ impl Machine {
             breakdown: TimeBreakdown::default(),
             stats: MachineStats::default(),
             trace: None,
+            pipeline: None,
+            shard_telemetry: None,
+            shard_snapshots: Vec::new(),
             cfg,
         }
     }
 
+    /// Builds a machine for the given [`ExecMode`].
+    ///
+    /// [`ExecMode::Serial`] is identical to [`Machine::new`].
+    /// [`ExecMode::Sharded`]`(n)` spawns the record/replay pipeline: the
+    /// calling thread records accesses while `n` host worker threads
+    /// replay private caches and reduce shared state; `plan` groups cores
+    /// into replay shards (regrouped if its shard count differs from the
+    /// pipeline's). Output after [`Machine::finish`] is byte-identical to
+    /// serial for any `n` and any plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, `Sharded(0)` is requested,
+    /// or the plan does not cover every core.
+    #[must_use]
+    pub fn with_exec(
+        cfg: SimConfig,
+        layout: AddressSpace,
+        exec: ExecMode,
+        plan: &ShardPlan,
+    ) -> Self {
+        match exec {
+            ExecMode::Serial => Self::new(cfg, layout),
+            ExecMode::Sharded(n) => {
+                assert!(n >= 1, "ExecMode::Sharded needs at least one worker thread");
+                assert!(
+                    layout.total_bytes() / 64 <= crate::exec::MAX_TOUCH_LINE,
+                    "address space too large for packed boundary touches"
+                );
+                let mut m = Self::new(cfg, layout);
+                let l1 = std::mem::take(&mut m.l1);
+                let l2 = std::mem::take(&mut m.l2);
+                let llc = std::mem::replace(&mut m.llc, SetAssocCache::new(1, 1, m.cfg.llc.policy));
+                let dram = std::mem::replace(&mut m.dram, DramModel::new(m.cfg.memory));
+                m.pipeline = Some(Pipeline::spawn(&m.cfg, plan, n, l1, l2, llc, dram));
+                m
+            }
+        }
+    }
+
     /// Enables access tracing with a bounded ring buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics in sharded execution (per-access service levels are decided
+    /// on worker threads there).
     pub fn enable_trace(&mut self, capacity: usize) {
+        assert!(self.pipeline.is_none(), "access tracing is unavailable under ExecMode::Sharded");
         self.trace = Some(AccessTrace::new(capacity));
     }
 
@@ -103,6 +164,11 @@ impl Machine {
     /// Issues a typed access: element `index` of `region`, by `actor` on
     /// `core`. Returns the latency charged to that actor's timeline.
     ///
+    /// Under [`ExecMode::Sharded`] the access is recorded for replay and
+    /// the return value is a nominal 0 (engines never branch on it; the
+    /// exact latency is charged on the worker threads and merged at
+    /// [`Machine::finish`]).
+    ///
     /// # Panics
     ///
     /// Panics if `core >= cores()`.
@@ -120,6 +186,10 @@ impl Machine {
         let word = ((addr >> 2) & 0xF) as u8;
         self.stats.accesses += 1;
         self.stats.count_region(region);
+        if self.pipeline.is_some() {
+            self.record_access(core, actor, region, line, word, write);
+            return 0;
+        }
 
         let mut level = ServiceLevel::L1;
         let mut latency = self.cfg.l1d.latency;
@@ -169,6 +239,43 @@ impl Machine {
             trace.record(TraceEntry { core, actor, region, index, write, level, latency: charged });
         }
         charged
+    }
+
+    /// Sharded-mode record path: maintain the directory (a pure function
+    /// of the access stream), queue invalidation candidates for victim
+    /// cores, and append the access event. The directory reset on a write
+    /// is skipped when there are no other sharers — in that case the slot
+    /// already holds at most this core's bit, so `|=` below yields the
+    /// identical serial state.
+    fn record_access(
+        &mut self,
+        core: usize,
+        actor: Actor,
+        region: Region,
+        line: u64,
+        word: u8,
+        write: bool,
+    ) {
+        let slot = line as usize % self.directory.len();
+        if write {
+            let sharers = self.directory[slot] & !(1u64 << core);
+            if sharers != 0 {
+                let Some(pipeline) = self.pipeline.as_mut() else { return };
+                let mut mask = sharers;
+                while mask != 0 {
+                    let other = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    if other >= self.cfg.cores {
+                        continue;
+                    }
+                    pipeline.push_inval(other, core, line);
+                }
+                self.directory[slot] = 1 << core;
+            }
+        }
+        self.directory[slot] |= 1 << core;
+        let Some(pipeline) = self.pipeline.as_mut() else { return };
+        pipeline.record(core, actor, region, line, word, write);
     }
 
     fn retire_llc_line(&mut self, ev: crate::cache::EvictedLine) {
@@ -244,7 +351,19 @@ impl Machine {
     /// accelerator timelines (they overlap); the phase length is the max
     /// over cores, then stretched by the DRAM bandwidth envelope. Returns
     /// the final phase length and accumulates it into the breakdown.
+    ///
+    /// Under [`ExecMode::Sharded`] the phase marker is shipped down the
+    /// pipeline and a nominal 0 is returned; use
+    /// [`Machine::end_phase_synced`] when the caller consumes the phase
+    /// length.
     pub fn end_phase(&mut self, kind: PhaseKind) -> u64 {
+        if let Some(pipeline) = self.pipeline.as_mut() {
+            let cores = self.core_phase.len();
+            let main_core = std::mem::replace(&mut self.core_phase, vec![0; cores]);
+            let main_accel = std::mem::replace(&mut self.accel_phase, vec![0; cores]);
+            pipeline.end_phase(kind, main_core, main_accel);
+            return 0;
+        }
         let compute = self
             .core_phase
             .iter()
@@ -259,9 +378,44 @@ impl Machine {
         cycles
     }
 
+    /// Like [`Machine::end_phase`], but under sharded execution blocks
+    /// until the phase is reduced and returns the exact serial phase
+    /// length. Identical to `end_phase` in serial mode.
+    pub fn end_phase_synced(&mut self, kind: PhaseKind) -> u64 {
+        if self.pipeline.is_some() {
+            self.end_phase(kind);
+            let Some(pipeline) = self.pipeline.as_mut() else { return 0 };
+            pipeline.drain_last_phase()
+        } else {
+            self.end_phase(kind)
+        }
+    }
+
     /// Flushes the LLC so resident state lines are counted in the
     /// utilization metric. Call once at the end of a run.
+    ///
+    /// Under [`ExecMode::Sharded`] this first drains and joins the
+    /// pipeline workers, merging replayed cache/NoC/DRAM state back into
+    /// the machine; only after `finish` do `stats`, `breakdown`,
+    /// `total_cycles`, and `dram` report complete (serial-identical)
+    /// values.
     pub fn finish(&mut self) {
+        if let Some(pipeline) = self.pipeline.take() {
+            let fin = pipeline.finalize();
+            self.llc = fin.llc;
+            self.dram = fin.dram;
+            self.breakdown = fin.breakdown;
+            self.stats.l1_hits += fin.l1_hits;
+            self.stats.l2_hits += fin.l2_hits;
+            self.stats.llc_hits += fin.llc_hits;
+            self.stats.llc_misses += fin.llc_misses;
+            self.stats.noc_hop_cycles += fin.noc_hop_cycles;
+            self.stats.invalidations += fin.invalidations;
+            self.stats.state_lines.lines += fin.state_lines.lines;
+            self.stats.state_lines.touched_words += fin.state_lines.touched_words;
+            self.shard_telemetry = Some(fin.shard_telemetry);
+            self.shard_snapshots = fin.shard_snapshots;
+        }
         for ev in self.llc.flush() {
             if ev.region.is_state_region() {
                 self.stats.state_lines.record(ev.touched_words);
@@ -294,6 +448,22 @@ impl Machine {
     #[must_use]
     pub fn dram(&self) -> &DramModel {
         &self.dram
+    }
+
+    /// Merged per-shard replay telemetry (`sim.shard.*` counters), present
+    /// after a sharded run's [`Machine::finish`]. Totals are independent
+    /// of the worker-thread count; the merge is key-ordered and
+    /// byte-stable, as the obs layer guarantees.
+    #[must_use]
+    pub fn shard_telemetry(&self) -> Option<&Snapshot> {
+        self.shard_telemetry.as_ref()
+    }
+
+    /// The per-shard snapshots behind [`Machine::shard_telemetry`], in
+    /// shard-key order. Empty for serial runs.
+    #[must_use]
+    pub fn shard_snapshots(&self) -> &[(u64, Snapshot)] {
+        &self.shard_snapshots
     }
 }
 

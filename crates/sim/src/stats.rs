@@ -191,20 +191,6 @@ impl MachineStats {
         self.op_counts.iter().sum()
     }
 
-    /// Count of operation `op`.
-    #[deprecated(since = "0.1.0", note = "use `per_op`")]
-    #[must_use]
-    pub fn op_count(&self, op: Op) -> u64 {
-        self.per_op(op)
-    }
-
-    /// Accesses recorded for `region`.
-    #[deprecated(since = "0.1.0", note = "use `per_region`")]
-    #[must_use]
-    pub fn region_access_count(&self, region: Region) -> u64 {
-        self.per_region(region)
-    }
-
     /// Exports every statistic into the observability layer under the
     /// `sim.*` key namespace. [`MachineStats::from_snapshot`] inverts this.
     pub fn export_into(&self, rec: &mut dyn Recorder) {
@@ -338,15 +324,10 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_accessors_still_answer() {
+    fn per_op_and_per_region_answer() {
         let mut s = MachineStats::default();
         s.op_counts[Op::HashProbe.index()] = 7;
         s.count_region(Region::Frontier);
-        #[allow(deprecated)]
-        {
-            assert_eq!(s.op_count(Op::HashProbe), 7);
-            assert_eq!(s.region_access_count(Region::Frontier), 1);
-        }
         assert_eq!(s.per_op(Op::HashProbe), 7);
         assert_eq!(s.per_region(Region::Frontier), 1);
         assert_eq!(s.total_ops(), 7);

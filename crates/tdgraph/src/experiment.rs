@@ -132,21 +132,6 @@ impl EngineKind {
         default_registry().try_build(self.key())
     }
 
-    /// Panicking shim kept for source compatibility; use
-    /// [`EngineKind::try_build`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the kind's key is not registered.
-    #[deprecated(since = "0.3.0", note = "use `try_build`, which reports a typed error")]
-    #[must_use]
-    pub fn build(self) -> Box<dyn Engine> {
-        match self.try_build() {
-            Ok(engine) => engine,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// The software systems of Fig 3.
     pub const SOFTWARE: [EngineKind; 4] =
         [EngineKind::GraphBolt, EngineKind::KickStarter, EngineKind::Dzig, EngineKind::LigraO];
@@ -159,7 +144,7 @@ impl EngineKind {
 /// Builds a fresh registry holding every engine the workspace provides —
 /// the software systems plus the accelerator models. This is the single
 /// registration point: a new engine shows up in sweeps, the experiments
-/// binary, and `EngineKind::build` by being registered here (or, for
+/// binary, and `EngineKind::try_build` by being registered here (or, for
 /// external engines, on a copy of this registry).
 #[must_use]
 pub fn registry_with_defaults() -> EngineRegistry {
@@ -341,12 +326,6 @@ mod tests {
         let custom = EngineKind::TdGraphCustom(TdGraphConfig::default());
         assert!(registry.contains(custom.key()));
         assert_eq!(custom.try_build().unwrap().name(), "TDGraph-H");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_build_shim_still_constructs() {
-        assert_eq!(EngineKind::LigraO.build().name(), "Ligra-o");
     }
 
     #[test]

@@ -43,8 +43,6 @@ pub mod sweep;
 pub use checkpoint::{CanonicalCell, CheckpointError, CheckpointLog};
 pub use error::TdgraphError;
 pub use experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
-#[allow(deprecated)]
-pub use sweep::ProgressEvent;
 pub use sweep::{
     AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,
     SweepReport, SweepRunner, SweepSpec,
@@ -56,6 +54,58 @@ pub use tdgraph_engines::registry::EngineRegistry;
 pub use tdgraph_graph::fault::FaultPlan;
 pub use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
 pub use tdgraph_obs::{JsonlSink, Snapshot, TraceEvent, TraceSink, VecSink};
+
+/// The supported surface of the reproduction — the stability boundary.
+///
+/// `use tdgraph::prelude::*;` brings in everything examples, integration
+/// tests, and downstream experiments should need: experiment and sweep
+/// construction, runners, reports, outcomes, typed errors, the
+/// observability handles, and the fault/oracle and execution-mode types.
+/// Items reached through sub-crate module paths (`tdgraph::sim::…`,
+/// `tdgraph::engines::…`, …) are implementation surface and may change
+/// between releases; the prelude is curated and kept stable.
+pub mod prelude {
+    pub use crate::checkpoint::{CanonicalCell, CheckpointError, CheckpointLog};
+    pub use crate::error::TdgraphError;
+    pub use crate::experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
+    pub use crate::report::{build_rows, render_csv, render_table, speedup_line, Row};
+    pub use crate::sweep::{
+        AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,
+        SweepReport, SweepRunner, SweepSpec,
+    };
+    pub use tdgraph_algos::incremental::{seed_after_batch, AlgoState};
+    pub use tdgraph_algos::scratch::{out_mass, solve};
+    pub use tdgraph_algos::tap::NullTap;
+    pub use tdgraph_algos::traits::{Algo, AlgorithmKind};
+    pub use tdgraph_algos::verify::{compare, VerifyOutcome};
+    pub use tdgraph_engines::error::EngineError;
+    pub use tdgraph_engines::harness::{
+        run_streaming, run_streaming_observed, run_streaming_workload,
+        run_streaming_workload_observed, OracleCheck, OracleMode, OracleSummary, RunOptions,
+        RunResult,
+    };
+    pub use tdgraph_engines::metrics::RunMetrics;
+    pub use tdgraph_engines::registry::EngineRegistry;
+    pub use tdgraph_engines::testutil::{FaultMode, FaultyEngine};
+    pub use tdgraph_graph::csr::Csr;
+    pub use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+    pub use tdgraph_graph::fault::FaultPlan;
+    pub use tdgraph_graph::generate::{ClusteredRmat, RmatConfig};
+    pub use tdgraph_graph::io::{
+        load_edge_list, parse_edge_list, parse_edge_list_lenient, save_edge_list,
+    };
+    pub use tdgraph_graph::partition::{partition_by_edges, Chunk, Schedule, ShardPlan};
+    pub use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
+    pub use tdgraph_graph::stats::degree_stats;
+    pub use tdgraph_graph::streaming::{ApplyError, StreamingGraph};
+    pub use tdgraph_graph::types::{Edge, VertexId, Weight};
+    pub use tdgraph_graph::update::{BatchComposer, BatchError, EdgeUpdate, UpdateBatch};
+    pub use tdgraph_obs::{
+        keys, JsonlSink, MemoryRecorder, NullRecorder, Recorder, RecorderHandle, Snapshot,
+        TraceEvent, TraceSink, VecSink,
+    };
+    pub use tdgraph_sim::{ExecMode, SimConfig};
+}
 
 /// Streaming-graph substrate (re-export of `tdgraph-graph`).
 pub mod graph {

@@ -79,6 +79,7 @@ use tdgraph_graph::quarantine::{IngestMode, QuarantineReport};
 use tdgraph_obs::{
     keys, JsonlSink, MemoryRecorder, Recorder, ShardedRecorder, Snapshot, TraceEvent, TraceSink,
 };
+use tdgraph_sim::ExecMode;
 
 use crate::checkpoint::{self, CanonicalCell, CheckpointError, CheckpointLog};
 use crate::error::TdgraphError;
@@ -171,6 +172,7 @@ pub struct SweepSpec {
     seeds: Vec<u64>,
     fault_plans: Vec<FaultPlan>,
     oracle_modes: Vec<OracleMode>,
+    exec_modes: Vec<ExecMode>,
     resume: Option<PathBuf>,
 }
 
@@ -200,6 +202,7 @@ impl SweepSpec {
             seeds: Vec::new(),
             fault_plans: Vec::new(),
             oracle_modes: Vec::new(),
+            exec_modes: Vec::new(),
             resume: None,
         }
     }
@@ -326,6 +329,17 @@ impl SweepSpec {
         self
     }
 
+    /// Crosses the sweep with host execution modes ([`ExecMode::Serial`] /
+    /// [`ExecMode::Sharded`]). Cells differ only in host-side parallelism:
+    /// canonical report lines, snapshots, and verified states are
+    /// identical across modes by construction, so this axis measures
+    /// wall-clock, never model output.
+    #[must_use]
+    pub fn exec_modes(mut self, modes: impl IntoIterator<Item = ExecMode>) -> Self {
+        self.exec_modes.extend(modes);
+        self
+    }
+
     /// Sets the ingest discipline for every cell (default
     /// [`IngestMode::Strict`]). Lenient ingest turns data-plane faults
     /// into [`CellOutcome::Degraded`] cells with quarantine evidence
@@ -363,12 +377,13 @@ impl SweepSpec {
             * or1(self.seeds.len())
             * or1(self.fault_plans.len())
             * or1(self.oracle_modes.len())
+            * or1(self.exec_modes.len())
     }
 
     /// Expands the grid into independent cells, in the documented stable
     /// order: algorithms → datasets → engines → batch sizes → α →
-    /// add-fractions → seeds → fault plans → oracle modes, each axis in
-    /// insertion order.
+    /// add-fractions → seeds → fault plans → oracle modes → exec modes,
+    /// each axis in insertion order.
     ///
     /// Every cell owns a fully-resolved copy of the run options (its own
     /// `SimConfig` and PRNG seed), so running a cell is deterministic no
@@ -389,6 +404,7 @@ impl SweepSpec {
         let seeds = axis(&self.seeds, self.base.seed);
         let fault_plans = axis(&self.fault_plans, self.base.fault_plan);
         let oracle_modes = axis(&self.oracle_modes, self.base.oracle);
+        let exec_modes = axis(&self.exec_modes, self.base.exec);
 
         let mut cells = Vec::with_capacity(self.cell_count());
         for algo in &algos {
@@ -400,21 +416,24 @@ impl SweepSpec {
                                 for &seed in &seeds {
                                     for &fault_plan in &fault_plans {
                                         for &oracle in &oracle_modes {
-                                            let mut options = self.base.clone();
-                                            options.batch_size = batch_size;
-                                            options.alpha = alpha;
-                                            options.add_fraction = add_fraction;
-                                            options.seed = seed;
-                                            options.fault_plan = fault_plan;
-                                            options.oracle = oracle;
-                                            cells.push(ExperimentCell {
-                                                index: cells.len(),
-                                                dataset,
-                                                sizing: self.sizing,
-                                                algo: *algo,
-                                                engine: engine.clone(),
-                                                options,
-                                            });
+                                            for &exec in &exec_modes {
+                                                let mut options = self.base.clone();
+                                                options.batch_size = batch_size;
+                                                options.alpha = alpha;
+                                                options.add_fraction = add_fraction;
+                                                options.seed = seed;
+                                                options.fault_plan = fault_plan;
+                                                options.oracle = oracle;
+                                                options.exec = exec;
+                                                cells.push(ExperimentCell {
+                                                    index: cells.len(),
+                                                    dataset,
+                                                    sizing: self.sizing,
+                                                    algo: *algo,
+                                                    engine: engine.clone(),
+                                                    options,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -952,11 +971,6 @@ impl SweepReport {
         out
     }
 }
-
-/// Progress events are ordinary [`TraceEvent`]s; the old name remains as
-/// an alias so `on_progress` callbacks written against it keep compiling.
-#[deprecated(since = "0.1.0", note = "progress events are `tdgraph_obs::TraceEvent`s")]
-pub type ProgressEvent = TraceEvent;
 
 /// Constructors for the runner's progress events. Field order within each
 /// event is part of the JSON-lines format and must stay stable; wall-clock

@@ -6,9 +6,7 @@
 //! cargo run --release --example accelerator_comparison
 //! ```
 
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::report::{build_rows, render_table};
-use tdgraph::{EngineKind, Experiment};
+use tdgraph::prelude::*;
 
 fn main() {
     let experiment = Experiment::new(Dataset::Dblp).sizing(Sizing::Small);

@@ -8,14 +8,7 @@
 //! cargo run --release --example custom_dataset
 //! ```
 
-use tdgraph::algos::traits::Algo;
-use tdgraph::engines::harness::{run_streaming_workload, RunOptions};
-use tdgraph::graph::datasets::StreamingWorkload;
-use tdgraph::graph::generate::{ClusteredRmat, RmatConfig};
-use tdgraph::graph::io::{load_edge_list, save_edge_list};
-use tdgraph::graph::stats::degree_stats;
-use tdgraph::EngineKind;
-use tdgraph_sim::SimConfig;
+use tdgraph::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Produce an edge list on disk (stand-in for your own dataset).

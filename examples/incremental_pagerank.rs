@@ -6,9 +6,7 @@
 //! cargo run --release --example incremental_pagerank
 //! ```
 
-use tdgraph::algos::traits::Algo;
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::{EngineKind, Experiment};
+use tdgraph::prelude::*;
 
 fn main() {
     // Deletion-heavy batches exercise the cancel-first rule.

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::report::{build_rows, render_table, speedup_line};
-use tdgraph::{EngineKind, Experiment};
+use tdgraph::prelude::*;
 
 fn main() {
     let experiment = Experiment::new(Dataset::Amazon).sizing(Sizing::Small);

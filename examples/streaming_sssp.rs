@@ -7,14 +7,7 @@
 //! cargo run --release --example streaming_sssp
 //! ```
 
-use tdgraph::algos::incremental::{seed_after_batch, AlgoState};
-use tdgraph::algos::scratch::solve;
-use tdgraph::algos::tap::NullTap;
-use tdgraph::algos::traits::Algo;
-use tdgraph::algos::verify::compare;
-use tdgraph::graph::datasets::{Dataset, Sizing, StreamingWorkload};
-use tdgraph::graph::types::VertexId;
-use tdgraph::graph::update::BatchComposer;
+use tdgraph::prelude::*;
 
 fn main() {
     let StreamingWorkload { mut graph, pending, .. } =

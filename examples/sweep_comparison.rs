@@ -6,9 +6,7 @@
 //! cargo run --release --example sweep_comparison
 //! ```
 
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::obs::{keys, JsonlSink};
-use tdgraph::{EngineKind, SweepRunner, SweepSpec};
+use tdgraph::prelude::*;
 
 fn main() {
     // Axes: 3 datasets × 1 algorithm (hub SSSP, the methodology default)

@@ -15,14 +15,7 @@
 
 use std::sync::Arc;
 
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::graph::io::{parse_edge_list, parse_edge_list_lenient};
-use tdgraph::sim::SimConfig;
-use tdgraph::{
-    EngineKind, EngineRegistry, FaultPlan, IngestMode, OracleMode, OutcomeKind, SweepRunner,
-    SweepSpec, VecSink,
-};
-use tdgraph_engines::testutil::{FaultMode, FaultyEngine};
+use tdgraph::prelude::*;
 
 fn chaos_spec() -> SweepSpec {
     SweepSpec::new()

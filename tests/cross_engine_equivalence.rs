@@ -3,10 +3,7 @@
 //! drive every algorithm to the same fixpoint the from-scratch oracle
 //! computes, on the same streaming workload.
 
-use tdgraph::algos::traits::Algo;
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::{EngineKind, Experiment, RunOptions};
-use tdgraph_sim::SimConfig;
+use tdgraph::prelude::*;
 
 const ALL_ENGINES: [EngineKind; 16] = [
     EngineKind::LigraO,

@@ -1,0 +1,177 @@
+//! Determinism acceptance suite for host-parallel sharded execution.
+//!
+//! The sharded execution core records boundary events on the driving
+//! thread and replays/merges them in a sequential reduction, so every
+//! observable surface must be byte-identical to the serial walk:
+//!
+//! * `SweepReport::canonical_lines` across `ExecMode::Serial`,
+//!   `Sharded(2)`, and `Sharded(4)`,
+//! * the merged observability snapshot's canonical rendering,
+//! * the verified fixpoints (oracle verdicts over final vertex states),
+//! * all of the above across `SweepRunner` host thread counts, and
+//! * all of the above under a hostile data-plane `FaultPlan`.
+//!
+//! The engine set deliberately spans the TDGraph accelerator and two
+//! software baselines so both the accelerator timeline (MLP-coalesced
+//! boundary charges) and the core timeline are exercised.
+
+use tdgraph::prelude::*;
+
+const EXEC_MODES: [ExecMode; 3] = [ExecMode::Serial, ExecMode::Sharded(2), ExecMode::Sharded(4)];
+
+fn base_spec() -> SweepSpec {
+    SweepSpec::new()
+        .datasets([Dataset::Amazon, Dataset::Dblp])
+        .sizing(Sizing::Tiny)
+        .engines([EngineKind::TdGraphH, EngineKind::LigraO, EngineKind::GraphBolt])
+        .oracle_modes([OracleMode::Final])
+        .tune(|o| {
+            o.sim = SimConfig::small_test();
+            o.batches = 2;
+        })
+}
+
+fn hostile_plan() -> FaultPlan {
+    FaultPlan::seeded(0x5AAD)
+        .with_absent_deletions(1.0)
+        .with_nan_weights(0.3)
+        .with_out_of_range_ids(0.2)
+        .with_duplicate_edges(0.2)
+}
+
+/// One observed sweep of `spec` pinned to `exec`, at `threads` host
+/// threads. Returns the three determinism surfaces: canonical report
+/// lines, the merged snapshot's canonical rendering, and the per-cell
+/// verified fixpoints (oracle verdict + full metrics).
+fn run_pinned(spec: &SweepSpec, exec: ExecMode, threads: usize) -> (String, String, Vec<String>) {
+    let spec = spec.clone().tune(move |o| o.exec = exec);
+    let report = SweepRunner::new().threads(threads).observe(true).run(&spec);
+    report.assert_all_ok();
+    let snapshot = report.obs.as_ref().expect("observe(true) fills the snapshot");
+    let fixpoints = report
+        .cells
+        .iter()
+        .map(|c| {
+            let r = c.run_result().expect("ok cells carry their result");
+            format!("{:?} {:?}", r.verify, r.metrics)
+        })
+        .collect();
+    (report.canonical_lines(), snapshot.canonical_json_line(), fixpoints)
+}
+
+/// The headline acceptance criterion: `Sharded(2)` and `Sharded(4)`
+/// produce byte-identical canonical lines, merged snapshots, and
+/// verified fixpoints to `Serial` — for the TDGraph accelerator and the
+/// software baselines alike.
+#[test]
+fn sharded_sweep_is_byte_identical_to_serial() {
+    let spec = base_spec();
+    let (lines, snapshot, fixpoints) = run_pinned(&spec, ExecMode::Serial, 2);
+    assert!(!lines.is_empty());
+    for exec in [ExecMode::Sharded(2), ExecMode::Sharded(4)] {
+        let (l, s, f) = run_pinned(&spec, exec, 2);
+        assert_eq!(lines, l, "{} canonical lines diverged from serial", exec.label());
+        assert_eq!(snapshot, s, "{} merged snapshot diverged from serial", exec.label());
+        assert_eq!(fixpoints, f, "{} fixpoints diverged from serial", exec.label());
+    }
+}
+
+/// Host thread count — of the sweep runner *and* of the replay shards —
+/// must not leak into any observable surface.
+#[test]
+fn sharded_sweep_is_deterministic_across_host_thread_counts() {
+    let spec = base_spec();
+    let baseline = run_pinned(&spec, ExecMode::Sharded(4), 1);
+    for threads in [2, 4] {
+        let run = run_pinned(&spec, ExecMode::Sharded(4), threads);
+        assert_eq!(baseline, run, "sweep diverged at {threads} host threads");
+    }
+}
+
+/// The determinism contract holds under data-plane chaos: a hostile
+/// `FaultPlan` with lenient ingest degrades cells identically — same
+/// canonical lines, same quarantine evidence — in every exec mode.
+#[test]
+fn chaos_fault_plan_cells_are_deterministic_under_sharding() {
+    let spec = base_spec().ingest(IngestMode::Lenient).fault_plans([hostile_plan()]);
+    let mut reports = EXEC_MODES.iter().map(|&exec| {
+        let spec = spec.clone().tune(move |o| o.exec = exec);
+        let report = SweepRunner::new().threads(2).run(&spec);
+        report.assert_all_ok();
+        assert!(report.outcome_counts().degraded > 0, "the hostile plan must bite");
+        report
+    });
+    let serial = reports.next().expect("serial report");
+    for sharded in reports {
+        assert_eq!(serial.canonical_lines(), sharded.canonical_lines());
+        assert_eq!(serial.degradation_digest(), sharded.degradation_digest());
+        for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+            let (ra, rb) = (a.run_result().unwrap(), b.run_result().unwrap());
+            assert_eq!(ra.quarantine, rb.quarantine, "cell {}", a.cell.index);
+        }
+    }
+}
+
+/// `exec_modes` as a sweep axis: one sweep holds serial and sharded
+/// cells side by side, and paired cells (same coordinates, different
+/// exec mode) carry identical canonical records modulo the cell index.
+#[test]
+fn exec_mode_axis_pairs_cells_with_identical_canonical_records() {
+    let spec = SweepSpec::new()
+        .dataset(Dataset::Amazon)
+        .sizing(Sizing::Tiny)
+        .engines([EngineKind::TdGraphH, EngineKind::LigraO])
+        .oracle_modes([OracleMode::Final])
+        .exec_modes(EXEC_MODES)
+        .tune(|o| {
+            o.sim = SimConfig::small_test();
+            o.batches = 2;
+        });
+    assert_eq!(spec.cell_count(), 2 * EXEC_MODES.len(), "exec axis multiplies the grid");
+    let report = SweepRunner::new().threads(2).run(&spec);
+    report.assert_all_verified();
+
+    // The exec axis is innermost: consecutive cells differ only in mode.
+    let records: Vec<CanonicalCell> = report
+        .cells
+        .iter()
+        .map(|c| {
+            let mut record = c.canonical().expect("verified cells have canonical records");
+            record.cell = 0;
+            record
+        })
+        .collect();
+    for pair in records.chunks(EXEC_MODES.len()) {
+        for other in &pair[1..] {
+            assert_eq!(
+                pair[0].to_json_line(),
+                other.to_json_line(),
+                "sharded cell diverged from its serial twin"
+            );
+        }
+    }
+}
+
+/// A direct harness-level check that final vertex states reach the same
+/// verified fixpoint: the oracle verdict and every metric of a single
+/// experiment agree across exec modes.
+#[test]
+fn experiment_fixpoints_agree_across_exec_modes() {
+    let run = |exec: ExecMode| {
+        Experiment::new(Dataset::Orkut)
+            .sizing(Sizing::Tiny)
+            .tune(move |o| {
+                o.sim = SimConfig::small_test();
+                o.batches = 2;
+                o.exec = exec;
+            })
+            .run(EngineKind::TdGraphH)
+    };
+    let serial = run(ExecMode::Serial);
+    assert!(serial.verify.is_match());
+    for exec in [ExecMode::Sharded(2), ExecMode::Sharded(4)] {
+        let sharded = run(exec);
+        assert_eq!(format!("{:?}", serial.verify), format!("{:?}", sharded.verify));
+        assert_eq!(format!("{:?}", serial.metrics), format!("{:?}", sharded.metrics));
+    }
+}

@@ -2,10 +2,7 @@
 //! streaming updates → incremental seeding → engine execution on the
 //! simulated machine → metrics → oracle verification.
 
-use tdgraph::algos::traits::Algo;
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::{EngineKind, Experiment, RunOptions};
-use tdgraph_sim::SimConfig;
+use tdgraph::prelude::*;
 
 fn tiny_options() -> RunOptions {
     RunOptions { sim: SimConfig::small_test(), batches: 2, ..RunOptions::default() }

@@ -1,10 +1,7 @@
 //! Sanity relations over the collected metrics — the quantities the
 //! figures plot must be internally consistent and directionally sound.
 
-use tdgraph::algos::traits::Algo;
-use tdgraph::graph::datasets::{Dataset, Sizing};
-use tdgraph::{EngineKind, Experiment, RunOptions};
-use tdgraph_sim::SimConfig;
+use tdgraph::prelude::*;
 
 fn experiment() -> Experiment {
     Experiment::new(Dataset::Dblp).sizing(Sizing::Tiny).options(RunOptions {

@@ -5,17 +5,7 @@
 
 use proptest::prelude::*;
 
-use tdgraph::algos::incremental::{seed_after_batch, AlgoState};
-use tdgraph::algos::scratch::solve;
-use tdgraph::algos::tap::NullTap;
-use tdgraph::algos::traits::{Algo, AlgorithmKind};
-use tdgraph::algos::verify::compare;
-use tdgraph::graph::csr::Csr;
-use tdgraph::graph::streaming::ApplyError;
-use tdgraph::graph::streaming::StreamingGraph;
-use tdgraph::graph::types::{Edge, VertexId};
-use tdgraph::graph::update::{EdgeUpdate, UpdateBatch};
-use tdgraph::QuarantineReport;
+use tdgraph::prelude::*;
 
 const N: u32 = 24;
 
@@ -30,7 +20,7 @@ fn arb_graph_edges() -> impl Strategy<Value = Vec<Edge>> {
 
 /// Reference propagation to the fixpoint from an affected set.
 fn propagate(algo: &Algo, graph: &Csr, state: &mut AlgoState, affected: &[VertexId]) {
-    let mass = tdgraph::algos::scratch::out_mass(algo, graph);
+    let mass = out_mass(algo, graph);
     let eps = algo.epsilon();
     let mut queue: Vec<VertexId> = affected.to_vec();
     while let Some(v) = queue.pop() {
@@ -104,7 +94,7 @@ proptest! {
     #[test]
     fn chunk_partitions_are_exact_covers(edges in arb_graph_edges(), chunks in 1usize..9) {
         let csr = Csr::from_edges(N as usize, &edges);
-        let parts = tdgraph::graph::partition::partition_by_edges(&csr, chunks);
+        let parts = partition_by_edges(&csr, chunks);
         let total: usize = parts.iter().map(|c| c.len()).sum();
         prop_assert_eq!(total, csr.vertex_count());
         let edge_total: usize = parts.iter().map(|c| c.edges).sum();
@@ -168,71 +158,9 @@ proptest! {
     }
 
     #[test]
-    fn prng_bounded_draws_respect_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut rng = tdgraph::graph::prng::Xoshiro256StarStar::new(seed);
-        for _ in 0..64 {
-            prop_assert!(rng.next_below(bound) < bound);
-        }
-    }
-
-    #[test]
-    fn mesh_hops_form_a_metric(dim in 1usize..12, a in 0usize..144, b in 0usize..144, c in 0usize..144) {
-        let mesh = tdgraph::sim::noc::Mesh::new(dim, 3);
-        let (a, b, c) = (a % mesh.tiles(), b % mesh.tiles(), c % mesh.tiles());
-        // Symmetry, identity, triangle inequality.
-        prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
-        prop_assert_eq!(mesh.hops(a, a), 0);
-        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
-    }
-
-    #[test]
-    fn address_space_regions_roundtrip(
-        vertices in 1usize..100_000,
-        edges in 1usize..500_000,
-        hot in 1usize..1024,
-        index in 0u64..64,
-    ) {
-        use tdgraph::sim::address::{AddressSpace, Region};
-        let a = AddressSpace::layout(vertices, edges, hot);
-        for r in Region::ALL {
-            let addr = a.addr(r, index);
-            prop_assert!(addr < a.total_bytes());
-            prop_assert_eq!(a.region_of(addr), Some(r));
-        }
-    }
-
-    #[test]
-    fn cache_contains_agrees_with_access_outcome(
-        lines in proptest::collection::vec(0u64..256, 1..200),
-        sets in 1usize..16,
-        ways in 1usize..8,
-    ) {
-        use tdgraph::sim::cache::SetAssocCache;
-        use tdgraph::sim::policy::PolicyKind;
-        use tdgraph::sim::address::Region;
-        let mut c = SetAssocCache::new(sets, ways, PolicyKind::Lru);
-        let mut resident = std::collections::HashSet::new();
-        for &l in &lines {
-            let out = c.access(l, 0, false, Region::VertexStates);
-            // A hit must have been predicted by our resident model; a line
-            // the model says is absent must miss.
-            prop_assert_eq!(out.hit, resident.contains(&l));
-            resident.insert(l);
-            if let Some(ev) = out.evicted {
-                prop_assert!(resident.remove(&ev.line), "evicted a non-resident line");
-            }
-            prop_assert!(c.contains(l));
-        }
-        // The model and the cache agree on every line's residency.
-        for l in 0u64..256 {
-            prop_assert_eq!(c.contains(l), resident.contains(&l));
-        }
-    }
-
-    #[test]
     fn degree_stats_are_internally_consistent(edges in arb_graph_edges()) {
         let g = Csr::from_edges(N as usize, &edges);
-        let s = tdgraph::graph::stats::degree_stats(&g);
+        let s = degree_stats(&g);
         prop_assert_eq!(s.edges, g.edge_count());
         prop_assert!((0.0..=1.0).contains(&s.top1pct_edge_share));
         prop_assert!(s.top_half_pct_edge_share <= s.top1pct_edge_share + 1e-12);
@@ -410,13 +338,11 @@ proptest! {
 /// whole property run stays fast.
 #[test]
 fn tdgraph_engine_random_workload_spotcheck() {
-    use tdgraph::graph::datasets::{Dataset, Sizing};
-    use tdgraph::{EngineKind, Experiment, RunOptions};
     for (fraction, batches) in [(1.0, 2), (0.5, 3), (0.1, 2)] {
         let res = Experiment::new(Dataset::Orkut)
             .sizing(Sizing::Tiny)
             .options(RunOptions {
-                sim: tdgraph_sim::SimConfig::small_test(),
+                sim: SimConfig::small_test(),
                 batches,
                 add_fraction: fraction,
                 ..RunOptions::default()
