@@ -19,16 +19,14 @@
 //! ```
 //! use tdgraph_accel::tdgraph::TdGraph;
 //! use tdgraph_algos::traits::Algo;
-//! use tdgraph_engines::harness::{run_streaming, RunOptions};
+//! use tdgraph_engines::config::RunConfig;
 //! use tdgraph_graph::datasets::{Dataset, Sizing};
 //!
 //! # fn main() -> Result<(), tdgraph_engines::error::EngineError> {
-//! let res = run_streaming(
+//! let res = RunConfig::small().run(
 //!     &mut TdGraph::hardware(),
 //!     Algo::sssp(0),
-//!     Dataset::Amazon,
-//!     Sizing::Tiny,
-//!     &RunOptions::small(),
+//!     (Dataset::Amazon, Sizing::Tiny),
 //! )?;
 //! assert!(res.verify.is_match());
 //! # Ok(())

@@ -8,6 +8,11 @@
 use crate::traits::{Algo, AlgorithmKind};
 
 /// Comparison outcome.
+///
+/// Marked `#[non_exhaustive]`: this enum crosses the service boundary,
+/// so downstream matches must keep a wildcard arm for outcomes added in
+/// later releases.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum VerifyOutcome {
     /// All states matched within tolerance.

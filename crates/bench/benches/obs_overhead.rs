@@ -23,14 +23,13 @@
 use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use tdgraph::engines::harness::{run_streaming, run_streaming_observed};
 use tdgraph::engines::metrics::UpdateCounters;
 use tdgraph::graph::datasets::{Dataset, Sizing};
 use tdgraph::obs::{keys, MemoryRecorder, RecorderHandle};
-use tdgraph::{EngineKind, RunOptions};
+use tdgraph::{EngineKind, RunConfig};
 
-fn tiny_options() -> RunOptions {
-    RunOptions { sim: tdgraph::sim::SimConfig::small_test(), batches: 1, ..RunOptions::default() }
+fn tiny_options() -> RunConfig {
+    RunConfig { sim: tdgraph::sim::SimConfig::small_test(), batches: 1, ..RunConfig::default() }
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -40,14 +39,13 @@ fn bench_end_to_end(c: &mut Criterion) {
         let opts = tiny_options();
         b.iter(|| {
             let mut engine = EngineKind::LigraO.try_build().unwrap();
-            let res = run_streaming(
-                engine.as_mut(),
-                tdgraph::algos::traits::Algo::pagerank(),
-                Dataset::Amazon,
-                Sizing::Tiny,
-                &opts,
-            )
-            .unwrap();
+            let res = opts
+                .run(
+                    engine.as_mut(),
+                    tdgraph::algos::traits::Algo::pagerank(),
+                    (Dataset::Amazon, Sizing::Tiny),
+                )
+                .unwrap();
             res.metrics.cycles
         });
     });
@@ -56,15 +54,14 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let mut engine = EngineKind::LigraO.try_build().unwrap();
             let mut recorder = MemoryRecorder::new();
-            let res = run_streaming_observed(
-                engine.as_mut(),
-                tdgraph::algos::traits::Algo::pagerank(),
-                Dataset::Amazon,
-                Sizing::Tiny,
-                &opts,
-                &mut recorder,
-            )
-            .unwrap();
+            let res = opts
+                .run_observed(
+                    engine.as_mut(),
+                    tdgraph::algos::traits::Algo::pagerank(),
+                    (Dataset::Amazon, Sizing::Tiny),
+                    &mut recorder,
+                )
+                .unwrap();
             (res.metrics.cycles, recorder.into_snapshot().counter(keys::EDGES_PROCESSED))
         });
     });

@@ -20,7 +20,7 @@ mod parallel;
 mod tables;
 
 use tdgraph::graph::datasets::Sizing;
-use tdgraph::RunOptions;
+use tdgraph::RunConfig;
 use tdgraph_sim::SimConfig;
 
 /// Identifier of a reproducible table or figure.
@@ -156,8 +156,8 @@ impl Scope {
 
     /// Default run options at this scope.
     #[must_use]
-    pub fn options(self) -> RunOptions {
-        RunOptions { sim: SimConfig::scaled_reference(), batches: 2, ..RunOptions::default() }
+    pub fn options(self) -> RunConfig {
+        RunConfig { sim: SimConfig::scaled_reference(), batches: 2, ..RunConfig::default() }
     }
 }
 

@@ -46,13 +46,14 @@ impl EngineRow {
 fn timed_run(
     kind: &EngineKind,
     workload: &StreamingWorkload,
-    opts: &RunOptions,
+    opts: &RunConfig,
     exec: ExecMode,
 ) -> (f64, String) {
     let mut engine = (*kind).try_build().expect("fig10 engines are registered");
-    let opts = RunOptions { exec, ..opts.clone() };
+    let opts = RunConfig { exec, ..opts.clone() };
     let start = Instant::now();
-    let res = run_streaming_workload(engine.as_mut(), Algo::pagerank(), workload.clone(), &opts)
+    let res = opts
+        .run(engine.as_mut(), Algo::pagerank(), workload.clone())
         .expect("reference cell runs clean");
     let wall = start.elapsed().as_secs_f64();
     assert!(res.verify.is_match(), "{} under {} failed the oracle", kind.key(), exec.label());
@@ -104,7 +105,7 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         .dataset(DATASET)
         .sizing(sizing)
         .engines(ENGINES)
-        .options(RunOptions { exec: ExecMode::Sharded(4), ..opts.clone() });
+        .options(RunConfig { exec: ExecMode::Sharded(4), ..opts.clone() });
     let cells = spec.cell_count();
     let start = Instant::now();
     let report = SweepRunner::new().threads(4).run(&spec);

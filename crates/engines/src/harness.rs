@@ -1,481 +1,111 @@
-//! The streaming-run harness.
+//! The streaming-run harness (compatibility surface).
 //!
-//! Reproduces the paper's methodology (§4.1): load 50 % of the edges,
-//! compute the initial fixed point, then stream batches of mixed updates.
-//! Per batch: apply updates, seed the incremental computation (charged as
-//! "other" time), hand the affected set to the engine (propagation time),
-//! and collect metrics. After the last batch the final states are verified
-//! against the from-scratch oracle.
+//! The §4.1 methodology — load 50 % of the edges, compute the initial
+//! fixed point, stream batches of mixed updates, verify against the
+//! from-scratch oracle — now lives in two places: the
+//! [`crate::config::RunConfig`] builder (options + entry points) and
+//! [`crate::session::StreamingSession`] (the per-batch core). This module
+//! re-exports both so existing `harness::` paths keep working, and keeps
+//! the four historical free functions as thin `#[deprecated]` shims over
+//! [`RunConfig::run`] / [`RunConfig::run_observed`] for one release.
 
-use tdgraph_algos::incremental::{seed_after_batch, AlgoState};
-use tdgraph_algos::scratch::{out_mass, solve};
 use tdgraph_algos::traits::Algo;
-use tdgraph_algos::verify::{compare, VerifyOutcome};
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
-use tdgraph_graph::fault::FaultPlan;
-use tdgraph_graph::partition::{partition_by_edges, ShardPlan};
-use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
-use tdgraph_graph::update::{BatchComposer, UpdateBatch};
-use tdgraph_obs::{keys, MemoryRecorder, NullRecorder, Recorder, RecorderHandle, TraceEvent};
-use tdgraph_sim::address::AddressSpace;
-use tdgraph_sim::config::SimConfig;
-use tdgraph_sim::energy::{EnergyBreakdown, EnergyConstants};
-use tdgraph_sim::exec::ExecMode;
-use tdgraph_sim::machine::Machine;
-use tdgraph_sim::stats::{Actor, Op, PhaseKind};
+use tdgraph_obs::Recorder;
 
-use crate::ctx::{BatchCtx, MachineTap};
 use crate::engine::Engine;
 use crate::error::EngineError;
-use crate::metrics::{RunMetrics, UpdateCounters};
 
-/// When the differential oracle (the from-scratch solver of
-/// `tdgraph_algos::scratch`) is compared against the engine's incremental
-/// states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OracleMode {
-    /// Never compare; the run's final `verify` is
-    /// [`VerifyOutcome::Skipped`].
-    Off,
-    /// Compare after every `n`-th batch (and at the end). Mid-run
-    /// mismatches are recorded in [`OracleSummary`] and emitted as
-    /// `oracle_mismatch` trace events instead of failing the run.
-    EveryNBatches(usize),
-    /// Compare once, after the last batch (today's behavior).
-    #[default]
-    Final,
-}
+pub use crate::config::{OracleMode, RunConfig, RunSource};
+pub use crate::session::{quarantine_key, OracleCheck, OracleSummary, RunResult, StreamingSession};
 
-/// One mid-run oracle comparison.
-#[derive(Debug, Clone, PartialEq)]
-pub struct OracleCheck {
-    /// 1-based batch count at which the comparison ran.
-    pub batch: u64,
-    /// What the comparison found.
-    pub outcome: VerifyOutcome,
-}
-
-/// Bounded cap on retained mid-run mismatch records.
-const ORACLE_RECORD_CAP: usize = 8;
-
-/// Accounting of every mid-run oracle comparison
-/// ([`OracleMode::EveryNBatches`]); empty under `Off` / `Final`.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct OracleSummary {
-    /// Comparisons performed mid-run.
-    pub checks: u64,
-    /// Comparisons that found a mismatch.
-    pub mismatches: u64,
-    /// First few mismatching comparisons (bounded).
-    pub records: Vec<OracleCheck>,
-}
-
-impl OracleSummary {
-    fn record(&mut self, batch: u64, outcome: &VerifyOutcome) {
-        self.checks += 1;
-        if !outcome.is_match() {
-            self.mismatches += 1;
-            if self.records.len() < ORACLE_RECORD_CAP {
-                self.records.push(OracleCheck { batch, outcome: outcome.clone() });
-            }
-        }
-    }
-}
-
-/// The observability counter key for one quarantine reason.
-#[must_use]
-pub fn quarantine_key(reason: QuarantineReason) -> &'static str {
-    match reason {
-        QuarantineReason::MalformedLine => keys::QUARANTINE_MALFORMED_LINE,
-        QuarantineReason::IdOverflow => keys::QUARANTINE_ID_OVERFLOW,
-        QuarantineReason::IoInterrupted => keys::QUARANTINE_IO_INTERRUPTED,
-        QuarantineReason::SelfLoop => keys::QUARANTINE_SELF_LOOP,
-        QuarantineReason::ConflictingUpdate => keys::QUARANTINE_CONFLICTING_UPDATE,
-        QuarantineReason::NonFiniteWeight => keys::QUARANTINE_NON_FINITE_WEIGHT,
-        QuarantineReason::VertexOutOfBounds => keys::QUARANTINE_VERTEX_OUT_OF_BOUNDS,
-        QuarantineReason::AbsentDeletion => keys::QUARANTINE_ABSENT_DELETION,
-    }
-}
-
-/// Options controlling a streaming run.
-#[derive(Debug, Clone)]
-pub struct RunOptions {
-    /// Machine configuration.
-    pub sim: SimConfig,
-    /// Number of update batches to stream.
-    pub batches: usize,
-    /// Updates per batch (`None` → the workload's scaled default).
-    pub batch_size: Option<usize>,
-    /// Fraction of additions per batch (Fig 24b sweeps this).
-    pub add_fraction: f64,
-    /// Hot-vertex fraction α (sizes `Coalesced_States`; §3.1 default 0.5 %).
-    pub alpha: f64,
-    /// Chunks per core for the ownership map.
-    pub chunks_per_core: usize,
-    /// Workload seed.
-    pub seed: u64,
-    /// Strict (error on first bad record) or lenient (quarantine) ingest.
-    pub ingest: IngestMode,
-    /// Deterministic input corruption ([`FaultPlan::none`] → untouched).
-    pub fault_plan: FaultPlan,
-    /// Differential-oracle cadence.
-    pub oracle: OracleMode,
-    /// Host execution mode. [`ExecMode::Sharded`]`(n)` runs the machine's
-    /// record/replay pipeline over `n` worker threads; every metric,
-    /// snapshot, and verified state stays byte-identical to
-    /// [`ExecMode::Serial`].
-    pub exec: ExecMode,
-}
-
-impl Default for RunOptions {
-    fn default() -> Self {
-        Self {
-            sim: SimConfig::table1(),
-            batches: 3,
-            batch_size: None,
-            add_fraction: 0.75,
-            alpha: 0.005,
-            chunks_per_core: 4,
-            seed: 0x7D6,
-            ingest: IngestMode::Strict,
-            fault_plan: FaultPlan::none(),
-            oracle: OracleMode::Final,
-            exec: ExecMode::Serial,
-        }
-    }
-}
-
-impl RunOptions {
-    /// Test-sized options: the 4-core machine and 2 batches.
-    #[must_use]
-    pub fn small() -> Self {
-        Self { sim: SimConfig::small_test(), batches: 2, ..Self::default() }
-    }
-}
-
-/// Result of a streaming run.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Collected metrics.
-    pub metrics: RunMetrics,
-    /// Oracle comparison of the final states ([`VerifyOutcome::Skipped`]
-    /// under [`OracleMode::Off`]).
-    pub verify: VerifyOutcome,
-    /// Everything lenient ingest quarantined (empty under strict ingest).
-    pub quarantine: QuarantineReport,
-    /// Mid-run differential-oracle accounting.
-    pub oracle: OracleSummary,
-}
+/// Former name of [`RunConfig`].
+#[deprecated(since = "0.6.0", note = "renamed to RunConfig")]
+pub type RunOptions = RunConfig;
 
 /// Runs `engine` with `algo` over the streaming workload of `dataset`.
 ///
 /// # Errors
 ///
-/// Same as [`run_streaming_workload`].
+/// Same as [`RunConfig::run_observed`].
+#[deprecated(since = "0.6.0", note = "use RunConfig::run with RunSource::Dataset")]
 pub fn run_streaming<E: Engine + ?Sized>(
     engine: &mut E,
     algo: Algo,
     dataset: Dataset,
     sizing: Sizing,
-    opts: &RunOptions,
+    opts: &RunConfig,
 ) -> Result<RunResult, EngineError> {
-    let workload = StreamingWorkload::try_prepare(dataset, sizing)?;
-    run_streaming_workload(engine, algo, workload, opts)
+    opts.run(engine, algo, RunSource::Dataset(dataset, sizing))
 }
 
 /// Like [`run_streaming`], but emits live instrumentation into `recorder`.
 ///
 /// # Errors
 ///
-/// Same as [`run_streaming_workload`].
+/// Same as [`RunConfig::run_observed`].
+#[deprecated(since = "0.6.0", note = "use RunConfig::run_observed with RunSource::Dataset")]
 pub fn run_streaming_observed<E: Engine + ?Sized>(
     engine: &mut E,
     algo: Algo,
     dataset: Dataset,
     sizing: Sizing,
-    opts: &RunOptions,
+    opts: &RunConfig,
     recorder: &mut dyn Recorder,
 ) -> Result<RunResult, EngineError> {
-    let workload = StreamingWorkload::try_prepare(dataset, sizing)?;
-    run_streaming_workload_observed(engine, algo, workload, opts, recorder)
-}
-
-/// Validates run options before any simulation work starts, so a bad
-/// configuration is a typed error rather than a mid-run panic.
-fn validate_options(opts: &RunOptions) -> Result<(), EngineError> {
-    if !(0.0..=1.0).contains(&opts.add_fraction) {
-        return Err(EngineError::InvalidOptions {
-            reason: format!("add_fraction must be in [0, 1], got {}", opts.add_fraction),
-        });
-    }
-    if !(opts.alpha.is_finite() && opts.alpha > 0.0) {
-        return Err(EngineError::InvalidOptions {
-            reason: format!("alpha must be positive and finite, got {}", opts.alpha),
-        });
-    }
-    if opts.chunks_per_core == 0 {
-        return Err(EngineError::InvalidOptions { reason: "chunks_per_core must be >= 1".into() });
-    }
-    if opts.oracle == OracleMode::EveryNBatches(0) {
-        return Err(EngineError::InvalidOptions {
-            reason: "oracle cadence EveryNBatches(0) is meaningless; use Off".into(),
-        });
-    }
-    if opts.exec == ExecMode::Sharded(0) {
-        return Err(EngineError::InvalidOptions {
-            reason: "ExecMode::Sharded(0) has no worker threads; use Serial".into(),
-        });
-    }
-    opts.sim.try_validate()?;
-    Ok(())
+    opts.run_observed(engine, algo, RunSource::Dataset(dataset, sizing), recorder)
 }
 
 /// Runs over an already-prepared workload (lets callers customize graphs).
 ///
 /// # Errors
 ///
-/// [`EngineError::InvalidOptions`] or [`EngineError::Sim`] if `opts` fail
-/// validation, [`EngineError::Graph`] if an update batch cannot be applied
-/// to the graph (e.g. an out-of-range vertex id in caller-provided data).
+/// Same as [`RunConfig::run_observed`].
+#[deprecated(since = "0.6.0", note = "use RunConfig::run with RunSource::Workload")]
 pub fn run_streaming_workload<E: Engine + ?Sized>(
     engine: &mut E,
     algo: Algo,
     workload: StreamingWorkload,
-    opts: &RunOptions,
+    opts: &RunConfig,
 ) -> Result<RunResult, EngineError> {
-    let mut null = NullRecorder;
-    run_streaming_workload_observed(engine, algo, workload, opts, &mut null)
+    opts.run(engine, algo, RunSource::Workload(workload))
 }
 
-/// Like [`run_streaming_workload`], but emits live instrumentation into
-/// `recorder`: `updates.*` counters as the engine performs them, a span per
-/// phase with cycle and wall-clock attribution, and the final `sim.*` /
-/// `energy.*` / `run.*` totals.
-///
-/// The returned [`RunMetrics`] are always derived from an (internal)
-/// observability snapshot — [`RunMetrics::from_snapshot`] — so traced and
-/// untraced runs report byte-identical numbers; passing
-/// [`NullRecorder`] reduces every live emission to one predictable branch.
+/// Like [`run_streaming_workload`], but observed.
 ///
 /// # Errors
 ///
-/// Same as [`run_streaming_workload`].
+/// Same as [`RunConfig::run_observed`].
+#[deprecated(since = "0.6.0", note = "use RunConfig::run_observed with RunSource::Workload")]
 pub fn run_streaming_workload_observed<E: Engine + ?Sized>(
     engine: &mut E,
     algo: Algo,
     workload: StreamingWorkload,
-    opts: &RunOptions,
+    opts: &RunConfig,
     recorder: &mut dyn Recorder,
 ) -> Result<RunResult, EngineError> {
-    validate_options(opts)?;
-    let StreamingWorkload { mut graph, pending, .. } = workload;
-    let n = graph.vertex_count();
-    let edge_capacity = graph.edge_count() + pending.len();
-    let coalesced = ((n as f64 * opts.alpha).ceil() as usize).max(16);
-    let layout = AddressSpace::layout(n, edge_capacity, coalesced);
-
-    // Initial fixed point (not charged: the paper measures per-batch
-    // incremental processing, not the cold start).
-    let snapshot = graph.snapshot();
-    let mut machine = match opts.exec {
-        ExecMode::Serial => Machine::new(opts.sim.clone(), layout),
-        exec @ ExecMode::Sharded(_) => {
-            // One static, edge-balanced shard plan from the initial
-            // snapshot: replay shards keep their private caches for the
-            // whole run, so the grouping must not change per batch.
-            let chunks = partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
-            let plan = ShardPlan::balanced(&chunks, opts.sim.cores, exec.replay_shards());
-            Machine::with_exec(opts.sim.clone(), layout, exec, &plan)
-        }
-    };
-    let mut state = AlgoState::from_solution(solve(&algo, &snapshot), n);
-
-    let default_batch = (graph.edge_count() / 16).max(64);
-    let batch_size = opts.batch_size.unwrap_or(default_batch);
-    let mut composer = BatchComposer::new(pending, opts.add_fraction, opts.seed);
-
-    let mut counters = UpdateCounters::new(n);
-    let mut useful_total = 0u64;
-    let mut batches_done = 0u64;
-    let mut states_before: Vec<f32> = Vec::new();
-    let mut final_snapshot = snapshot;
-    let mut quarantine = QuarantineReport::new();
-    let mut oracle_summary = OracleSummary::default();
-
-    for batch_index in 0..opts.batches {
-        let present = graph.edges_vec();
-        let Some(batch) = composer.next_batch(batch_size, &present) else {
-            break;
-        };
-        // Deterministic input corruption, below the composer: the same
-        // `(fault seed, batch index)` always produces the same damage.
-        let batch = if opts.fault_plan.is_noop() {
-            batch
-        } else {
-            let corrupted = opts.fault_plan.corrupt_updates(batch_index as u64, batch.updates(), n);
-            match opts.ingest {
-                IngestMode::Strict => UpdateBatch::from_updates(corrupted)?,
-                IngestMode::Lenient => {
-                    UpdateBatch::from_updates_lenient(corrupted, &mut quarantine)
-                }
-            }
-        };
-        let applied = match opts.ingest {
-            IngestMode::Strict => graph.apply_batch(&batch)?,
-            IngestMode::Lenient => graph.apply_batch_lenient(&batch, &mut quarantine),
-        };
-        let snapshot = graph.snapshot();
-        let transpose = snapshot.transpose();
-        let chunks = partition_by_edges(&snapshot, opts.sim.cores * opts.chunks_per_core);
-        let mass = out_mass(&algo, &snapshot);
-
-        states_before.clear();
-        states_before.extend_from_slice(&state.states);
-        counters.reset_marks();
-
-        // Batch application + seeding: "other" time.
-        recorder.span_enter(keys::PHASE_OTHER);
-        machine.compute(0, Actor::Core, Op::ScheduleOp, batch.len() as u64 * 2);
-        let affected = {
-            let mut tap = MachineTap::new(&mut machine, &chunks);
-            seed_after_batch(&algo, &snapshot, &transpose, &mut state, &applied, &mut tap)
-        };
-        let other_cycles = machine.end_phase_synced(PhaseKind::Other);
-        recorder.span_exit(keys::PHASE_OTHER, other_cycles);
-
-        // Engine propagation.
-        recorder.span_enter(keys::PHASE_PROPAGATION);
-        {
-            let mut ctx = BatchCtx {
-                machine: &mut machine,
-                graph: &snapshot,
-                transpose: &transpose,
-                algo,
-                state: &mut state,
-                chunks: &chunks,
-                counters: &mut counters,
-                out_mass: &mass,
-                obs: RecorderHandle::new(&mut *recorder),
-                exec: opts.exec,
-            };
-            engine.process_batch(&mut ctx, &affected);
-        }
-        let propagation_cycles = machine.end_phase_synced(PhaseKind::Propagation);
-        recorder.span_exit(keys::PHASE_PROPAGATION, propagation_cycles);
-
-        // Classify this batch's updates.
-        let changed: Vec<bool> = state
-            .states
-            .iter()
-            .zip(&states_before)
-            .map(|(&a, &b)| {
-                if a.is_infinite() && b.is_infinite() {
-                    false
-                } else {
-                    (a - b).abs() > f32::EPSILON * (1.0 + b.abs())
-                }
-            })
-            .collect();
-        let (useful, _useless) = counters.classify(&changed);
-        useful_total += useful;
-        batches_done += 1;
-
-        // Mid-run differential oracle: solve from scratch on the current
-        // snapshot and compare. A mismatch is evidence, not a failure —
-        // it is recorded and emitted, and the run continues.
-        if let OracleMode::EveryNBatches(every) = opts.oracle {
-            if batches_done.is_multiple_of(every as u64) {
-                let oracle_states = solve(&algo, &snapshot);
-                let outcome = compare(&algo, &state.states, &oracle_states.states);
-                oracle_summary.record(batches_done, &outcome);
-                if !outcome.is_match() {
-                    recorder.event(
-                        &TraceEvent::new("oracle_mismatch")
-                            .field("batch", batches_done)
-                            .field("algo", algo.name())
-                            .field("detail", format!("{outcome:?}")),
-                    );
-                }
-            }
-        }
-
-        final_snapshot = snapshot;
-    }
-
-    machine.finish();
-    let stats = machine.stats().clone();
-    let dram_lines = machine.dram().total_bytes() / 64;
-    let energy = EnergyBreakdown::from_stats(
-        &stats,
-        dram_lines,
-        machine.total_cycles(),
-        opts.sim.freq_ghz,
-        EnergyConstants::nominal(),
-    );
-
-    let verify = match opts.oracle {
-        OracleMode::Off => VerifyOutcome::Skipped,
-        OracleMode::EveryNBatches(_) | OracleMode::Final => {
-            let oracle = solve(&algo, &final_snapshot);
-            compare(&algo, &state.states, &oracle.states)
-        }
-    };
-
-    // End-of-run totals: `updates.*` already reached `recorder` live, so it
-    // only receives the remaining namespaces plus the end-computed useful
-    // count; the internal recorder gets everything and becomes the
-    // snapshot the metrics are read from.
-    let export_totals = |rec: &mut dyn Recorder| {
-        stats.export_into(rec);
-        energy.export_into(rec);
-        rec.counter(keys::USEFUL_UPDATES, useful_total);
-        rec.counter(keys::DRAM_BYTES, machine.dram().total_bytes());
-        rec.counter(keys::DRAM_READS, machine.dram().total_reads());
-        rec.counter(keys::RUN_CYCLES, machine.total_cycles());
-        rec.counter(keys::RUN_BATCHES, batches_done);
-        rec.label(keys::RUN_ENGINE, engine.name());
-        rec.label(keys::RUN_ALGO, algo.name());
-        // Degradation counters only exist when something degraded, so a
-        // clean run's snapshot stays byte-identical to the pre-chaos era.
-        if !quarantine.is_empty() {
-            rec.counter(keys::QUARANTINE_TOTAL, quarantine.total());
-            for (reason, count) in quarantine.counts() {
-                rec.counter(quarantine_key(reason), count);
-            }
-        }
-        if oracle_summary.checks > 0 {
-            rec.counter(keys::ORACLE_CHECKS, oracle_summary.checks);
-            rec.counter(keys::ORACLE_MISMATCHES, oracle_summary.mismatches);
-        }
-    };
-    export_totals(recorder);
-
-    let mut mem = MemoryRecorder::new();
-    export_totals(&mut mem);
-    counters.export_into(&mut mem);
-    mem.span_exit(keys::PHASE_PROPAGATION, machine.breakdown().propagation_cycles);
-    mem.span_exit(keys::PHASE_OTHER, machine.breakdown().other_cycles);
-
-    let metrics = RunMetrics::from_snapshot(&mem.into_snapshot());
-    Ok(RunResult { metrics, verify, quarantine, oracle: oracle_summary })
+    opts.run_observed(engine, algo, RunSource::Workload(workload), recorder)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ligra_o::LigraO;
+    use tdgraph_algos::verify::VerifyOutcome;
+    use tdgraph_graph::fault::FaultPlan;
+    use tdgraph_graph::quarantine::{IngestMode, QuarantineReason};
+    use tdgraph_obs::MemoryRecorder;
+    use tdgraph_sim::exec::ExecMode;
+
+    fn amazon_tiny(cfg: &RunConfig) -> Result<RunResult, EngineError> {
+        cfg.run(&mut LigraO, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
+    }
 
     #[test]
     fn ligra_o_runs_and_verifies_on_all_algorithms() {
         for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank(), Algo::adsorption()] {
-            let res = run_streaming(
-                &mut LigraO,
-                algo,
-                Dataset::Amazon,
-                Sizing::Tiny,
-                &RunOptions::small(),
-            )
-            .unwrap();
+            let res =
+                RunConfig::small().run(&mut LigraO, algo, (Dataset::Amazon, Sizing::Tiny)).unwrap();
             assert!(res.verify.is_match(), "{} failed verification: {:?}", algo.name(), res.verify);
             assert!(res.metrics.cycles > 0);
             assert_eq!(res.metrics.batches, 2);
@@ -483,15 +113,26 @@ mod tests {
     }
 
     #[test]
-    fn metrics_are_internally_consistent() {
-        let res = run_streaming(
+    fn deprecated_shims_match_the_new_entry_point() {
+        let new = amazon_tiny(&RunConfig::small()).unwrap();
+        #[allow(deprecated)]
+        let old = run_streaming(
             &mut LigraO,
             Algo::sssp(0),
-            Dataset::Dblp,
+            Dataset::Amazon,
             Sizing::Tiny,
-            &RunOptions::small(),
+            &RunConfig::small(),
         )
         .unwrap();
+        assert_eq!(format!("{:?}", old.metrics), format!("{:?}", new.metrics));
+        assert_eq!(old.verify, new.verify);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let res = RunConfig::small()
+            .run(&mut LigraO, Algo::sssp(0), (Dataset::Dblp, Sizing::Tiny))
+            .unwrap();
         let m = &res.metrics;
         assert_eq!(m.cycles, m.propagation_cycles + m.other_cycles);
         assert!(m.useful_updates <= m.state_updates);
@@ -501,11 +142,9 @@ mod tests {
 
     #[test]
     fn deletion_heavy_batches_verify() {
-        let mut opts = RunOptions::small();
-        opts.add_fraction = 0.2;
+        let cfg = RunConfig::small().with_add_fraction(0.2);
         for algo in [Algo::sssp(0), Algo::cc(), Algo::pagerank()] {
-            let res =
-                run_streaming(&mut LigraO, algo, Dataset::Amazon, Sizing::Tiny, &opts).unwrap();
+            let res = cfg.run(&mut LigraO, algo, (Dataset::Amazon, Sizing::Tiny)).unwrap();
             assert!(
                 res.verify.is_match(),
                 "{} deletion-heavy failed: {:?}",
@@ -517,38 +156,29 @@ mod tests {
 
     #[test]
     fn out_of_range_add_fraction_is_a_typed_error() {
-        let mut opts = RunOptions::small();
-        opts.add_fraction = 1.5;
-        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap_err();
+        let err = amazon_tiny(&RunConfig::small().with_add_fraction(1.5)).unwrap_err();
         assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
         assert!(err.to_string().contains("add_fraction"));
     }
 
     #[test]
     fn invalid_machine_config_is_a_typed_error() {
-        let mut opts = RunOptions::small();
-        opts.sim.mesh_dim = 1; // cannot host 4 cores
-        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap_err();
+        let mut cfg = RunConfig::small();
+        cfg.sim.mesh_dim = 1; // cannot host 4 cores
+        let err = amazon_tiny(&cfg).unwrap_err();
         assert!(matches!(err, EngineError::Sim(_)), "got {err}");
     }
 
     #[test]
     fn zero_oracle_cadence_is_a_typed_error() {
-        let mut opts = RunOptions::small();
-        opts.oracle = OracleMode::EveryNBatches(0);
-        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap_err();
+        let err =
+            amazon_tiny(&RunConfig::small().with_oracle(OracleMode::EveryNBatches(0))).unwrap_err();
         assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
     }
 
     #[test]
     fn oracle_off_skips_final_verification() {
-        let mut opts = RunOptions::small();
-        opts.oracle = OracleMode::Off;
-        let res = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap();
+        let res = amazon_tiny(&RunConfig::small().with_oracle(OracleMode::Off)).unwrap();
         assert_eq!(res.verify, VerifyOutcome::Skipped);
         assert_eq!(res.oracle.checks, 0);
         assert!(res.quarantine.is_empty());
@@ -556,10 +186,8 @@ mod tests {
 
     #[test]
     fn mid_run_oracle_checks_every_batch() {
-        let mut opts = RunOptions::small();
-        opts.oracle = OracleMode::EveryNBatches(1);
-        let res = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap();
+        let res =
+            amazon_tiny(&RunConfig::small().with_oracle(OracleMode::EveryNBatches(1))).unwrap();
         assert_eq!(res.oracle.checks, res.metrics.batches);
         assert_eq!(res.oracle.mismatches, 0);
         assert!(res.verify.is_match());
@@ -567,23 +195,21 @@ mod tests {
 
     #[test]
     fn strict_run_with_faults_is_a_typed_error() {
-        let mut opts = RunOptions::small();
-        opts.fault_plan = FaultPlan::seeded(3).with_absent_deletions(1.0);
-        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap_err();
+        let cfg =
+            RunConfig::small().with_fault_plan(FaultPlan::seeded(3).with_absent_deletions(1.0));
+        let err = amazon_tiny(&cfg).unwrap_err();
         assert!(matches!(err, EngineError::Graph(_)), "got {err}");
     }
 
     #[test]
     fn lenient_run_with_faults_degrades_with_evidence() {
-        let mut opts = RunOptions::small();
-        opts.ingest = IngestMode::Lenient;
-        opts.fault_plan = FaultPlan::seeded(3)
-            .with_absent_deletions(1.0)
-            .with_nan_weights(0.3)
-            .with_out_of_range_ids(0.2);
-        let res = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap();
+        let cfg = RunConfig::small().with_ingest(IngestMode::Lenient).with_fault_plan(
+            FaultPlan::seeded(3)
+                .with_absent_deletions(1.0)
+                .with_nan_weights(0.3)
+                .with_out_of_range_ids(0.2),
+        );
+        let res = amazon_tiny(&cfg).unwrap();
         assert!(!res.quarantine.is_empty(), "armed faults must quarantine something");
         assert!(res.quarantine.count(QuarantineReason::AbsentDeletion) > 0);
         assert!(
@@ -595,19 +221,13 @@ mod tests {
 
     #[test]
     fn noop_fault_plan_under_lenient_matches_strict_run_exactly() {
-        let strict = run_streaming(
-            &mut LigraO,
-            Algo::cc(),
-            Dataset::Amazon,
-            Sizing::Tiny,
-            &RunOptions::small(),
-        )
-        .unwrap();
-        let mut opts = RunOptions::small();
-        opts.ingest = IngestMode::Lenient;
-        opts.fault_plan = FaultPlan::none();
-        let lenient =
-            run_streaming(&mut LigraO, Algo::cc(), Dataset::Amazon, Sizing::Tiny, &opts).unwrap();
+        let run = |cfg: &RunConfig| {
+            cfg.run(&mut LigraO, Algo::cc(), (Dataset::Amazon, Sizing::Tiny)).unwrap()
+        };
+        let strict = run(&RunConfig::small());
+        let lenient = run(&RunConfig::small()
+            .with_ingest(IngestMode::Lenient)
+            .with_fault_plan(FaultPlan::none()));
         assert!(lenient.quarantine.is_empty());
         assert_eq!(format!("{:?}", lenient.metrics), format!("{:?}", strict.metrics));
         assert_eq!(lenient.verify, strict.verify);
@@ -615,29 +235,16 @@ mod tests {
 
     #[test]
     fn sharded_zero_is_a_typed_error() {
-        let mut opts = RunOptions::small();
-        opts.exec = ExecMode::Sharded(0);
-        let err = run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-            .unwrap_err();
+        let err = amazon_tiny(&RunConfig::small().with_exec(ExecMode::Sharded(0))).unwrap_err();
         assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
     }
 
     #[test]
     fn sharded_run_matches_serial_byte_for_byte() {
-        let serial = run_streaming(
-            &mut LigraO,
-            Algo::sssp(0),
-            Dataset::Amazon,
-            Sizing::Tiny,
-            &RunOptions::small(),
-        )
-        .unwrap();
+        let serial = amazon_tiny(&RunConfig::small()).unwrap();
         for workers in [1, 2, 4] {
-            let mut opts = RunOptions::small();
-            opts.exec = ExecMode::Sharded(workers);
             let sharded =
-                run_streaming(&mut LigraO, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-                    .unwrap();
+                amazon_tiny(&RunConfig::small().with_exec(ExecMode::Sharded(workers))).unwrap();
             assert_eq!(
                 format!("{:?}", sharded.metrics),
                 format!("{:?}", serial.metrics),
@@ -655,20 +262,14 @@ mod tests {
         let registry = crate::registry::EngineRegistry::with_software();
         for key in crate::registry::SOFTWARE_KEYS {
             let mut engine = registry.build(key).expect("software engine registered");
-            let serial = run_streaming(
-                &mut *engine,
-                Algo::sssp(0),
-                Dataset::Amazon,
-                Sizing::Tiny,
-                &RunOptions::small(),
-            )
-            .unwrap();
-            let mut opts = RunOptions::small();
-            opts.exec = ExecMode::Sharded(2);
+            let serial = RunConfig::small()
+                .run(&mut *engine, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
+                .unwrap();
             let mut engine = registry.build(key).expect("software engine registered");
-            let sharded =
-                run_streaming(&mut *engine, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
-                    .unwrap();
+            let sharded = RunConfig::small()
+                .with_exec(ExecMode::Sharded(2))
+                .run(&mut *engine, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
+                .unwrap();
             assert_eq!(
                 format!("{:?}", sharded.metrics),
                 format!("{:?}", serial.metrics),
@@ -681,18 +282,16 @@ mod tests {
     #[test]
     fn sharded_observed_run_snapshot_matches_serial() {
         let run = |exec: ExecMode| {
-            let mut opts = RunOptions::small();
-            opts.exec = exec;
             let mut rec = MemoryRecorder::new();
-            run_streaming_observed(
-                &mut LigraO,
-                Algo::pagerank(),
-                Dataset::Amazon,
-                Sizing::Tiny,
-                &opts,
-                &mut rec,
-            )
-            .unwrap();
+            RunConfig::small()
+                .with_exec(exec)
+                .run_observed(
+                    &mut LigraO,
+                    Algo::pagerank(),
+                    (Dataset::Amazon, Sizing::Tiny),
+                    &mut rec,
+                )
+                .unwrap();
             // Wall-clock excluded: it is host time, not model output.
             rec.into_snapshot().canonical_json_line()
         };
@@ -704,13 +303,51 @@ mod tests {
     #[test]
     fn wrong_states_engine_is_caught_by_the_mid_run_oracle() {
         use crate::testutil::{FaultMode, FaultyEngine};
-        let mut opts = RunOptions::small();
-        opts.oracle = OracleMode::EveryNBatches(1);
         let mut engine = FaultyEngine::new(FaultMode::WrongStatesOnBatch(0));
-        let res = run_streaming(&mut engine, Algo::sssp(0), Dataset::Amazon, Sizing::Tiny, &opts)
+        let res = RunConfig::small()
+            .with_oracle(OracleMode::EveryNBatches(1))
+            .run(&mut engine, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
             .unwrap();
         assert!(res.oracle.mismatches > 0, "corrupted states must be detected mid-run");
         assert!(!res.oracle.records.is_empty());
         assert!(!res.verify.is_match());
+    }
+
+    #[test]
+    fn recorded_replay_of_a_composed_run_matches_when_schedule_mirrors_batches() {
+        use tdgraph_graph::wire::{RecordedEntry, RecordedSchedule};
+        // Record the exact batches a composed run would form, then replay
+        // them through RunSource::Recorded and compare byte-for-byte.
+        let cfg = RunConfig::small();
+        let workload = StreamingWorkload::try_prepare(Dataset::Amazon, Sizing::Tiny).unwrap();
+        let mut schedule = RecordedSchedule::new();
+        {
+            let mut session =
+                StreamingSession::new(Algo::sssp(0), workload.clone(), cfg.clone()).unwrap();
+            let mut composer = tdgraph_graph::update::BatchComposer::new(
+                session.take_pending(),
+                cfg.add_fraction,
+                cfg.seed,
+            );
+            for _ in 0..cfg.batches {
+                let present = session.present_edges();
+                let Some(batch) = composer.next_batch(session.batch_size(), &present) else {
+                    break;
+                };
+                schedule.push_batch(
+                    batch.updates().iter().map(|u| RecordedEntry::Update(*u)).collect(),
+                );
+                // Advance the session so `present_edges` evolves as in a
+                // real run.
+                let mut null = tdgraph_obs::NullRecorder;
+                session.ingest_batch(&mut LigraO, batch.updates().to_vec(), &mut null).unwrap();
+            }
+        }
+        let composed = cfg.run(&mut LigraO, Algo::sssp(0), workload.clone()).unwrap();
+        let replayed = cfg
+            .run(&mut LigraO, Algo::sssp(0), RunSource::Recorded { workload, schedule })
+            .unwrap();
+        assert_eq!(format!("{:?}", replayed.metrics), format!("{:?}", composed.metrics));
+        assert_eq!(replayed.verify, composed.verify);
     }
 }

@@ -13,26 +13,26 @@
 //!   with dense pull re-aggregation,
 //! * [`dzig::Dzig`] — sparsity-aware synchronous refinement.
 //!
-//! [`harness::run_streaming`] reproduces the §4.1 methodology end to end
-//! and verifies every run against the from-scratch oracle. Fallible setup
-//! (bad options, invalid machine, unapplicable batches) surfaces as a
-//! typed [`error::EngineError`] instead of a panic.
+//! [`config::RunConfig`] reproduces the §4.1 methodology end to end
+//! and verifies every run against the from-scratch oracle; the per-batch
+//! core behind it is [`session::StreamingSession`], which the continuous
+//! ingest service drives directly. Fallible setup (bad options, invalid
+//! machine, unapplicable batches) surfaces as a typed
+//! [`error::EngineError`] instead of a panic.
 //!
 //! # Example
 //!
 //! ```
-//! use tdgraph_engines::harness::{run_streaming, RunOptions};
+//! use tdgraph_engines::config::RunConfig;
 //! use tdgraph_engines::ligra_o::LigraO;
 //! use tdgraph_algos::traits::Algo;
 //! use tdgraph_graph::datasets::{Dataset, Sizing};
 //!
 //! # fn main() -> Result<(), tdgraph_engines::error::EngineError> {
-//! let res = run_streaming(
+//! let res = RunConfig::small().run(
 //!     &mut LigraO,
 //!     Algo::sssp(0),
-//!     Dataset::Amazon,
-//!     Sizing::Tiny,
-//!     &RunOptions::small(),
+//!     (Dataset::Amazon, Sizing::Tiny),
 //! )?;
 //! assert!(res.verify.is_match());
 //! # Ok(())
@@ -44,6 +44,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod common;
+pub mod config;
 pub mod ctx;
 pub mod dzig;
 pub mod engine;
@@ -55,14 +56,13 @@ pub mod ligra_do;
 pub mod ligra_o;
 pub mod metrics;
 pub mod registry;
+pub mod session;
 pub mod testutil;
 
+pub use config::{OracleMode, RunConfig, RunSource};
 pub use ctx::BatchCtx;
 pub use engine::Engine;
 pub use error::EngineError;
-pub use harness::{
-    run_streaming, run_streaming_workload, OracleCheck, OracleMode, OracleSummary, RunOptions,
-    RunResult,
-};
 pub use metrics::{RunMetrics, UpdateCounters};
 pub use registry::{EngineFactory, EngineRegistry};
+pub use session::{OracleCheck, OracleSummary, RunResult, StreamingSession};

@@ -9,9 +9,9 @@ use tdgraph_algos::traits::Algo;
 use tdgraph_graph::datasets::{Dataset, Sizing};
 use tdgraph_graph::types::VertexId;
 
+use crate::config::RunConfig;
 use crate::ctx::BatchCtx;
 use crate::engine::Engine;
-use crate::harness::{run_streaming, RunOptions};
 use crate::ligra_o::LigraO;
 
 /// Runs `engine` end-to-end on a tiny streaming workload and asserts the
@@ -21,7 +21,8 @@ use crate::ligra_o::LigraO;
 ///
 /// Panics on verification failure.
 pub fn converges_to_oracle<E: Engine>(engine: &mut E, algo: Algo) {
-    let res = run_streaming(engine, algo, Dataset::Amazon, Sizing::Tiny, &RunOptions::small())
+    let res = RunConfig::small()
+        .run(engine, algo, (Dataset::Amazon, Sizing::Tiny))
         .expect("harness run failed");
     assert!(
         res.verify.is_match(),
@@ -39,9 +40,9 @@ pub fn converges_to_oracle<E: Engine>(engine: &mut E, algo: Algo) {
 ///
 /// Panics on verification failure.
 pub fn converges_with_deletions<E: Engine>(engine: &mut E, algo: Algo) {
-    let mut opts = RunOptions::small();
-    opts.add_fraction = 0.25;
-    let res = run_streaming(engine, algo, Dataset::Dblp, Sizing::Tiny, &opts)
+    let res = RunConfig::small()
+        .with_add_fraction(0.25)
+        .run(engine, algo, (Dataset::Dblp, Sizing::Tiny))
         .expect("harness run failed");
     assert!(
         res.verify.is_match(),
@@ -126,13 +127,7 @@ mod tests {
     fn faulty_engine_panics_on_requested_batch() {
         let res = std::panic::catch_unwind(|| {
             let mut e = FaultyEngine::new(FaultMode::PanicOnBatch(0));
-            run_streaming(
-                &mut e,
-                Algo::sssp(0),
-                Dataset::Amazon,
-                Sizing::Tiny,
-                &RunOptions::small(),
-            )
+            RunConfig::small().run(&mut e, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
         });
         assert!(res.is_err(), "expected the injected panic to surface");
     }
@@ -140,14 +135,8 @@ mod tests {
     #[test]
     fn faulty_engine_wrong_states_fail_verification() {
         let mut e = FaultyEngine::new(FaultMode::WrongStatesOnBatch(1));
-        let res = run_streaming(
-            &mut e,
-            Algo::sssp(0),
-            Dataset::Amazon,
-            Sizing::Tiny,
-            &RunOptions::small(),
-        )
-        .unwrap();
+        let res =
+            RunConfig::small().run(&mut e, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny)).unwrap();
         assert!(!res.verify.is_match(), "corrupted states must diverge from the oracle");
     }
 }

@@ -16,7 +16,9 @@
 //! * [`fault`] — seeded [`fault::FaultPlan`] input corruption for chaos
 //!   testing,
 //! * [`quarantine`] — lenient-ingest accounting
-//!   ([`quarantine::QuarantineReport`]).
+//!   ([`quarantine::QuarantineReport`]),
+//! * [`wire`] — JSON-line framing for streamed edge updates and the
+//!   record/replay schedule format ([`wire::RecordedSchedule`]).
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@ pub mod stats;
 pub mod streaming;
 pub mod types;
 pub mod update;
+pub mod wire;
 
 pub use csr::Csr;
 pub use fault::FaultPlan;

@@ -51,6 +51,10 @@ pub enum IngestMode {
 /// Why a record was quarantined. Each reason corresponds to exactly one
 /// strict-mode error on the same surface (edge-list parsing, batch
 /// construction, or batch application).
+/// Marked `#[non_exhaustive]`: this enum crosses the service boundary,
+/// so downstream matches must keep a wildcard arm for reasons added in
+/// later releases.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QuarantineReason {
     /// An edge-list line did not parse (`LoadError::Parse`).

@@ -86,6 +86,10 @@ pub const QUARANTINE_NON_FINITE_WEIGHT: &str = "quarantine.non_finite_weight";
 pub const QUARANTINE_VERTEX_OUT_OF_BOUNDS: &str = "quarantine.vertex_out_of_bounds";
 /// Quarantine per-reason counter: deletions of absent edges.
 pub const QUARANTINE_ABSENT_DELETION: &str = "quarantine.absent_deletion";
+/// Quarantine per-reason counter: reasons added after this release
+/// (`QuarantineReason` is `#[non_exhaustive]`; unknown variants roll up
+/// here so old consumers keep counting instead of panicking).
+pub const QUARANTINE_OTHER: &str = "quarantine.other";
 
 /// Differential-oracle comparisons performed mid-run. Emitted only when
 /// non-zero (i.e., `OracleMode::EveryNBatches` was active).
@@ -104,3 +108,22 @@ pub const SHARD_INVAL_PROBES: &str = "sim.shard.inval_probes";
 /// Per-shard replay telemetry: invalidations that actually dropped a
 /// private line.
 pub const SHARD_INVALIDATIONS: &str = "sim.shard.invalidations";
+
+/// Streaming service: batches the batch former closed on reaching the
+/// size threshold.
+pub const SERVE_BATCHES_SIZE_CLOSED: &str = "serve.batches_size_closed";
+/// Streaming service: batches the batch former closed on a latency
+/// deadline.
+pub const SERVE_BATCHES_DEADLINE_CLOSED: &str = "serve.batches_deadline_closed";
+/// Streaming service: batches flushed by client request or shutdown drain.
+pub const SERVE_BATCHES_FLUSHED: &str = "serve.batches_flushed";
+/// Streaming service: wire lines accepted onto a tenant queue.
+pub const SERVE_LINES_ACCEPTED: &str = "serve.lines_accepted";
+/// Streaming service: wire lines that failed to frame (quarantined as
+/// malformed once their batch is ingested).
+pub const SERVE_LINES_MALFORMED: &str = "serve.lines_malformed";
+/// Streaming service: peak depth any tenant ingest queue reached (gauge;
+/// must stay within the configured queue capacity).
+pub const SERVE_QUEUE_PEAK_DEPTH: &str = "serve.queue_peak_depth";
+/// Streaming service: tenant sessions finished and reported.
+pub const SERVE_TENANTS_FINISHED: &str = "serve.tenants_finished";

@@ -1,0 +1,199 @@
+//! Adaptive batch forming: close on size *or* latency deadline.
+//!
+//! The former is a small explicit state machine, deliberately free of any
+//! clock of its own — every transition takes the current [`Instant`] as a
+//! parameter. That keeps the policy deterministic and unit-testable (tests
+//! feed synthetic instants) and leaves the *scheduling* of deadline checks
+//! to the service worker loop, which is the only place real time exists.
+//!
+//! States:
+//!
+//! * **Empty** — no buffered entries, no deadline armed.
+//! * **Open** — ≥ 1 buffered entry; a deadline of `first_entry_at +
+//!   deadline` is armed. New entries never extend the deadline (the bound
+//!   is on the *oldest* buffered entry's latency).
+//!
+//! Transitions out of **Open** back to **Empty** emit a closed batch
+//! tagged with why it closed ([`BatchClose`]): the size threshold was
+//! reached, the deadline passed, or an explicit flush (client request or
+//! shutdown drain) forced it out.
+
+use std::time::{Duration, Instant};
+
+use tdgraph_graph::wire::RecordedEntry;
+
+/// Why a batch closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchClose {
+    /// The size threshold was reached.
+    Size,
+    /// The latency deadline for the oldest buffered entry passed.
+    Deadline,
+    /// An explicit flush (client request or shutdown drain).
+    Flush,
+}
+
+impl BatchClose {
+    /// Stable lowercase label, used in trace events and wire replies.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchClose::Size => "size",
+            BatchClose::Deadline => "deadline",
+            BatchClose::Flush => "flush",
+        }
+    }
+}
+
+/// The adaptive batch former for one tenant stream.
+#[derive(Debug)]
+pub struct BatchFormer {
+    max_entries: usize,
+    deadline: Duration,
+    buffered: Vec<RecordedEntry>,
+    opened_at: Option<Instant>,
+}
+
+impl BatchFormer {
+    /// A former that closes batches at `max_entries` entries or
+    /// `deadline` after the first buffered entry, whichever comes first.
+    #[must_use]
+    pub fn new(max_entries: usize, deadline: Duration) -> Self {
+        Self { max_entries: max_entries.max(1), deadline, buffered: Vec::new(), opened_at: None }
+    }
+
+    /// Number of currently buffered entries.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// The armed deadline, if a batch is open.
+    ///
+    /// The worker loop uses this to bound its queue wait: sleep until
+    /// `deadline_at`, then call [`close_if_due`](Self::close_if_due).
+    #[must_use]
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.opened_at.map(|t| t + self.deadline)
+    }
+
+    /// Buffers one entry at time `now`; returns the closed batch if this
+    /// entry reached the size threshold.
+    pub fn push(
+        &mut self,
+        entry: RecordedEntry,
+        now: Instant,
+    ) -> Option<(Vec<RecordedEntry>, BatchClose)> {
+        if self.buffered.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.buffered.push(entry);
+        if self.buffered.len() >= self.max_entries {
+            return Some((self.take(), BatchClose::Size));
+        }
+        None
+    }
+
+    /// Closes the open batch if its deadline has passed by `now`.
+    pub fn close_if_due(&mut self, now: Instant) -> Option<(Vec<RecordedEntry>, BatchClose)> {
+        match self.deadline_at() {
+            Some(due) if now >= due => Some((self.take(), BatchClose::Deadline)),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally closes the open batch (client flush or shutdown
+    /// drain). Returns `None` when nothing is buffered — flushing an
+    /// empty former is a no-op, never an empty batch.
+    pub fn flush(&mut self) -> Option<(Vec<RecordedEntry>, BatchClose)> {
+        if self.buffered.is_empty() {
+            return None;
+        }
+        Some((self.take(), BatchClose::Flush))
+    }
+
+    fn take(&mut self) -> Vec<RecordedEntry> {
+        self.opened_at = None;
+        std::mem::take(&mut self.buffered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdgraph_graph::update::EdgeUpdate;
+
+    fn add(src: u32, dst: u32) -> RecordedEntry {
+        RecordedEntry::Update(EdgeUpdate::addition(src, dst, 1.0))
+    }
+
+    #[test]
+    fn size_threshold_closes_the_batch() {
+        let t0 = Instant::now();
+        let mut f = BatchFormer::new(3, Duration::from_secs(60));
+        assert!(f.push(add(0, 1), t0).is_none());
+        assert!(f.push(add(1, 2), t0).is_none());
+        let (batch, why) = f.push(add(2, 3), t0).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(why, BatchClose::Size);
+        assert_eq!(f.buffered(), 0);
+        assert!(f.deadline_at().is_none());
+    }
+
+    #[test]
+    fn deadline_closes_an_undersized_batch() {
+        let t0 = Instant::now();
+        let mut f = BatchFormer::new(100, Duration::from_millis(10));
+        assert!(f.push(add(0, 1), t0).is_none());
+        // Not yet due just before the deadline.
+        assert!(f.close_if_due(t0 + Duration::from_millis(9)).is_none());
+        let (batch, why) = f.close_if_due(t0 + Duration::from_millis(10)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(why, BatchClose::Deadline);
+    }
+
+    #[test]
+    fn deadline_is_anchored_to_the_first_entry_not_the_latest() {
+        let t0 = Instant::now();
+        let mut f = BatchFormer::new(100, Duration::from_millis(10));
+        f.push(add(0, 1), t0);
+        // A later entry must not extend the armed deadline.
+        f.push(add(1, 2), t0 + Duration::from_millis(8));
+        assert_eq!(f.deadline_at().unwrap(), t0 + Duration::from_millis(10));
+        let (batch, _) = f.close_if_due(t0 + Duration::from_millis(10)).unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn flush_forces_out_a_partial_batch_and_is_a_noop_when_empty() {
+        let t0 = Instant::now();
+        let mut f = BatchFormer::new(100, Duration::from_secs(60));
+        assert!(f.flush().is_none());
+        f.push(add(0, 1), t0);
+        let (batch, why) = f.flush().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(why, BatchClose::Flush);
+        assert!(f.flush().is_none());
+    }
+
+    #[test]
+    fn malformed_entries_count_toward_the_size_threshold() {
+        let t0 = Instant::now();
+        let mut f = BatchFormer::new(2, Duration::from_secs(60));
+        assert!(f.push(RecordedEntry::Malformed("junk".to_string()), t0).is_none());
+        let (batch, why) = f.push(add(0, 1), t0).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(why, BatchClose::Size);
+    }
+
+    #[test]
+    fn reopening_after_a_close_rearms_the_deadline() {
+        let t0 = Instant::now();
+        let mut f = BatchFormer::new(2, Duration::from_millis(10));
+        f.push(add(0, 1), t0);
+        f.push(add(1, 2), t0).unwrap();
+        let t1 = t0 + Duration::from_secs(5);
+        f.push(add(1, 2), t1);
+        assert_eq!(f.deadline_at().unwrap(), t1 + Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal blocking client for the service wire protocol.
+//!
+//! Used by the integration tests and the daemon's smoke workloads; it is
+//! also the reference for speaking the protocol from other tooling: every
+//! method is a thin line-in/line-out wrapper with no hidden state beyond
+//! the buffered socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tdgraph_graph::update::EdgeUpdate;
+use tdgraph_graph::wire::{format_update_line, json_escape_wire};
+
+use crate::protocol::END_EVENT;
+
+/// Client-side protocol errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server replied `{"ev":"error",...}`.
+    Server(String),
+    /// The server replied something the client did not expect.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server(detail) => write!(f, "server error: {detail}"),
+            ClientError::Protocol(detail) => write!(f, "unexpected reply: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a [`crate::server::TdServer`].
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Binds this connection to `tenant` with the service's session
+    /// defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the service rejects the session.
+    pub fn hello(&mut self, tenant: &str) -> Result<(), ClientError> {
+        self.hello_with(tenant, &[])
+    }
+
+    /// Binds this connection to `tenant` with session overrides, e.g.
+    /// `[("engine", "dzig"), ("dataset", "dblp")]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the service rejects the session.
+    pub fn hello_with(
+        &mut self,
+        tenant: &str,
+        overrides: &[(&str, &str)],
+    ) -> Result<(), ClientError> {
+        let mut line = format!("{{\"req\":\"hello\",\"tenant\":\"{}\"", json_escape_wire(tenant));
+        for (key, value) in overrides {
+            line.push_str(&format!(
+                ",\"{}\":\"{}\"",
+                json_escape_wire(key),
+                json_escape_wire(value)
+            ));
+        }
+        line.push('}');
+        self.send_line(&line)?;
+        self.expect_ok()
+    }
+
+    /// Streams one edge update. Un-acked; backpressure arrives as a
+    /// blocking write when the tenant queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures only.
+    pub fn send_update(&mut self, update: &EdgeUpdate) -> Result<(), ClientError> {
+        self.send_line(&format_update_line(update))
+    }
+
+    /// Streams one raw line — the fault-injection path for tests that
+    /// feed the server corrupt traffic.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures only.
+    pub fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Forces the open batch out; returns how many entries it held.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] / [`ClientError::Protocol`] on bad replies.
+    pub fn flush(&mut self) -> Result<u64, ClientError> {
+        self.send_line("{\"req\":\"flush\"}")?;
+        let line = self.read_line()?;
+        if let Some(detail) = error_detail(&line) {
+            return Err(ClientError::Server(detail));
+        }
+        extract_u64(&line, "\"flushed\":").ok_or(ClientError::Protocol(line))
+    }
+
+    /// Reads the tenant's progress: the header line and the canonical
+    /// snapshot line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] / [`ClientError::Protocol`] on bad replies.
+    pub fn snapshot(&mut self) -> Result<SnapshotReply, ClientError> {
+        self.send_line("{\"req\":\"snapshot\"}")?;
+        let header = self.read_line()?;
+        if let Some(detail) = error_detail(&header) {
+            return Err(ClientError::Server(detail));
+        }
+        let snapshot = self.read_line()?;
+        let end = self.read_line()?;
+        if end != END_EVENT {
+            return Err(ClientError::Protocol(end));
+        }
+        Ok(SnapshotReply { header, snapshot })
+    }
+
+    /// Finishes the tenant and returns every reply line up to (excluding)
+    /// the end marker: the report event, the recorded schedule, and the
+    /// canonical snapshot — the byte-comparable determinism surface.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the service reports a failure.
+    pub fn finish(&mut self) -> Result<Vec<String>, ClientError> {
+        self.send_line("{\"req\":\"finish\"}")?;
+        let first = self.read_line()?;
+        if let Some(detail) = error_detail(&first) {
+            return Err(ClientError::Server(detail));
+        }
+        let mut lines = vec![first];
+        loop {
+            let line = self.read_line()?;
+            if line == END_EVENT {
+                return Ok(lines);
+            }
+            lines.push(line);
+        }
+    }
+
+    /// Asks the server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] / socket-level failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send_line("{\"req\":\"shutdown\"}")?;
+        self.expect_ok()
+    }
+
+    fn expect_ok(&mut self) -> Result<(), ClientError> {
+        let line = self.read_line()?;
+        if let Some(detail) = error_detail(&line) {
+            return Err(ClientError::Server(detail));
+        }
+        if line.starts_with("{\"ev\":\"ok\"") {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(line))
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed".to_string()));
+        }
+        Ok(line.trim_end_matches('\n').to_string())
+    }
+}
+
+/// A `snapshot` reply: the progress header plus the canonical snapshot
+/// line.
+#[derive(Debug, Clone)]
+pub struct SnapshotReply {
+    /// `{"ev":"snapshot","batches":...,"buffered":...,"quarantined":...}`.
+    pub header: String,
+    /// The tenant's canonical observability snapshot line.
+    pub snapshot: String,
+}
+
+fn error_detail(line: &str) -> Option<String> {
+    line.starts_with("{\"ev\":\"error\"").then(|| line.to_string())
+}
+
+fn extract_u64(line: &str, marker: &str) -> Option<u64> {
+    let rest = &line[line.find(marker)? + marker.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}

@@ -1,0 +1,256 @@
+//! Service and session configuration builders.
+//!
+//! The builder family deliberately mirrors `SweepSpec`: chainable
+//! `with_*` setters over plain public fields, validated once at open time
+//! into typed errors. [`ServiceConfig`] shapes the daemon (queue bound,
+//! tenancy limit, session defaults); [`SessionConfig`] shapes one
+//! tenant's ingest session (workload, algorithm, engine, batch-former
+//! thresholds, and the embedded [`RunConfig`] consumed by the shared
+//! harness core).
+
+use std::time::Duration;
+
+use tdgraph_algos::traits::Algo;
+use tdgraph_engines::config::RunConfig;
+use tdgraph_graph::datasets::{Dataset, Sizing};
+use tdgraph_graph::quarantine::IngestMode;
+
+/// The algorithm a tenant session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AlgoChoice {
+    /// SSSP rooted at the workload's highest-degree vertex (the
+    /// methodology default).
+    #[default]
+    HubSssp,
+    /// A fixed algorithm.
+    Fixed(Algo),
+}
+
+impl AlgoChoice {
+    /// Resolves against a prepared workload's hub vertex.
+    #[must_use]
+    pub fn resolve(&self, hub: u32) -> Algo {
+        match self {
+            AlgoChoice::HubSssp => Algo::sssp(hub),
+            AlgoChoice::Fixed(a) => *a,
+        }
+    }
+}
+
+impl From<Algo> for AlgoChoice {
+    fn from(a: Algo) -> Self {
+        AlgoChoice::Fixed(a)
+    }
+}
+
+/// Configuration of one tenant's ingest session.
+///
+/// Defaults are service-shaped: lenient ingest (the wire is the front
+/// door for hostile traffic, so bad records quarantine instead of
+/// erroring), the 4-core test machine, batches closed at 256 entries or
+/// a 50 ms latency deadline — whichever fires first.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The base workload: dataset profile streamed 50 %-preloaded.
+    pub dataset: Dataset,
+    /// Workload sizing.
+    pub sizing: Sizing,
+    /// Algorithm selection.
+    pub algo: AlgoChoice,
+    /// Engine registry key (e.g. `"ligra-o"`, `"tdgraph-h"`).
+    pub engine: String,
+    /// The embedded harness configuration. `batches`, `batch_size`,
+    /// `add_fraction`, `seed`, and `fault_plan` are ignored — the wire
+    /// stream drives the schedule — but everything else (machine, α,
+    /// oracle cadence, ingest mode, exec mode) applies as offline.
+    pub run: RunConfig,
+    /// Size threshold: the batch former closes a batch when it holds this
+    /// many entries (accepted updates *and* quarantined malformed lines —
+    /// counting both keeps buffered memory bounded under garbage floods).
+    pub batch_max_entries: usize,
+    /// Latency deadline: an open batch closes this long after its first
+    /// entry arrived, even if under the size threshold.
+    pub batch_deadline: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            dataset: Dataset::Amazon,
+            sizing: Sizing::Tiny,
+            algo: AlgoChoice::HubSssp,
+            engine: "ligra-o".to_string(),
+            run: RunConfig::small().with_ingest(IngestMode::Lenient),
+            batch_max_entries: 256,
+            batch_deadline: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A default session config.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the workload dataset.
+    #[must_use]
+    pub fn with_dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Sets the workload sizing.
+    #[must_use]
+    pub fn with_sizing(mut self, sizing: Sizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Sets the algorithm.
+    #[must_use]
+    pub fn with_algo(mut self, algo: impl Into<AlgoChoice>) -> Self {
+        self.algo = algo.into();
+        self
+    }
+
+    /// Sets the engine registry key.
+    #[must_use]
+    pub fn with_engine(mut self, key: impl Into<String>) -> Self {
+        self.engine = key.into();
+        self
+    }
+
+    /// Replaces the embedded harness configuration.
+    #[must_use]
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Mutates the embedded harness configuration in place.
+    #[must_use]
+    pub fn tune(mut self, f: impl FnOnce(&mut RunConfig)) -> Self {
+        f(&mut self.run);
+        self
+    }
+
+    /// Sets the batch-former size threshold.
+    #[must_use]
+    pub fn with_batch_max_entries(mut self, max_entries: usize) -> Self {
+        self.batch_max_entries = max_entries;
+        self
+    }
+
+    /// Sets the batch-former latency deadline.
+    #[must_use]
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = deadline;
+        self
+    }
+
+    /// Validates this session config (thresholds plus the embedded
+    /// [`RunConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_max_entries == 0 {
+            return Err("batch_max_entries must be >= 1".to_string());
+        }
+        if self.batch_deadline.is_zero() {
+            return Err("batch_deadline must be non-zero".to_string());
+        }
+        self.run.validate().map_err(|e| e.to_string())
+    }
+}
+
+/// Configuration of the service as a whole.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bounded per-tenant ingest-queue capacity (messages). A full queue
+    /// blocks the producer — backpressure, not memory growth.
+    pub queue_capacity: usize,
+    /// Maximum concurrently open tenants.
+    pub max_tenants: usize,
+    /// Session defaults for tenants opened without an explicit config.
+    pub session_defaults: SessionConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 1024, max_tenants: 16, session_defaults: SessionConfig::default() }
+    }
+}
+
+impl ServiceConfig {
+    /// A default service config.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bounded per-tenant queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the tenancy limit.
+    #[must_use]
+    pub fn with_max_tenants(mut self, max_tenants: usize) -> Self {
+        self.max_tenants = max_tenants;
+        self
+    }
+
+    /// Sets the session defaults.
+    #[must_use]
+    pub fn with_session_defaults(mut self, defaults: SessionConfig) -> Self {
+        self.session_defaults = defaults;
+        self
+    }
+
+    /// Validates the service config and its session defaults.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be >= 1".to_string());
+        }
+        if self.max_tenants == 0 {
+            return Err("max_tenants must be >= 1".to_string());
+        }
+        self.session_defaults.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ServiceConfig::default().validate().unwrap();
+        SessionConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_thresholds_are_rejected() {
+        assert!(SessionConfig::new().with_batch_max_entries(0).validate().is_err());
+        assert!(SessionConfig::new().with_batch_deadline(Duration::ZERO).validate().is_err());
+        assert!(ServiceConfig::new().with_queue_capacity(0).validate().is_err());
+        assert!(ServiceConfig::new().with_max_tenants(0).validate().is_err());
+    }
+
+    #[test]
+    fn embedded_run_config_is_validated() {
+        let bad = SessionConfig::new().tune(|r| r.alpha = -1.0);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("alpha"));
+    }
+}

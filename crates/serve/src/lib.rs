@@ -1,0 +1,42 @@
+//! # tdgraph-serve — the continuous-ingest streaming service.
+//!
+//! Everything below the facade runs *sessions*: a fixed schedule of
+//! update batches pushed through an engine, verified, and reported. This
+//! crate turns that into a long-running daemon whose batches are shaped
+//! by the *wire* instead of a composer:
+//!
+//! * [`config`] — the [`ServiceConfig`] / [`SessionConfig`] builder
+//!   family, mirroring `SweepSpec`.
+//! * [`batcher`] — the adaptive [`BatchFormer`]: close on size *or*
+//!   latency deadline, explicit-clock and unit-testable.
+//! * [`service`] — the multi-tenant core: a worker thread per tenant
+//!   over a bounded queue (backpressure blocks producers), recording
+//!   every closed batch into a replayable
+//!   [`tdgraph_graph::wire::RecordedSchedule`].
+//! * [`protocol`] / [`server`] / [`client`] — JSON-lines-over-TCP front
+//!   end and its reference client.
+//!
+//! The determinism contract: a tenant's final report, schedule, and
+//! observability snapshot rendered by [`protocol::render_report`] are
+//! byte-identical to an offline
+//! [`tdgraph_engines::config::RunSource::Recorded`] replay of the same
+//! schedule. Arrival timing decides only *where batch boundaries fall*
+//! (recorded in the schedule), never what any batch computes.
+
+// Robustness gate, matching the engines/obs/facade crates: a daemon must
+// route failures through typed errors, never unwrap/expect (CI clippy).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use batcher::{BatchClose, BatchFormer};
+pub use client::{ClientError, ServeClient, SnapshotReply};
+pub use config::{AlgoChoice, ServiceConfig, SessionConfig};
+pub use protocol::{render_report, ClientLine, HelloRequest};
+pub use server::TdServer;
+pub use service::{ServeError, Service, SnapshotView, TenantReport};

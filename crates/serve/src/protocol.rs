@@ -1,0 +1,193 @@
+//! The service wire protocol: JSON lines over a byte stream.
+//!
+//! Framing reuses the flat-object codec of `tdgraph_graph::wire`. A
+//! connection speaks newline-delimited JSON in both directions:
+//!
+//! * **Requests** are objects with a `"req"` key: `hello`, `flush`,
+//!   `snapshot`, `finish`, `shutdown`.
+//! * **Data lines** are everything else, forwarded verbatim to the
+//!   tenant's ingest queue. Well-formed lines are edge updates in the
+//!   `tdgraph_graph::wire` format; anything else rides along and is
+//!   quarantined at ingest time — garbage on the wire is *data* (a
+//!   `MalformedLine` quarantine record), never a protocol error.
+//! * **Events** (server → client) are objects with an `"ev"` key: `ok`,
+//!   `error`, `report`, `snapshot`, plus raw schedule/snapshot lines
+//!   bracketed by the event that announces them and a final
+//!   `{"ev":"end"}`.
+//!
+//! Data lines are deliberately un-acked (streaming throughput; flow
+//!  control is TCP + the bounded queue). Requests are synchronous: the
+//! reply orders after every data line sent before it on the same
+//! connection.
+
+use tdgraph_graph::wire::{json_escape_wire, lookup_str, parse_flat_object, sanitize_detail};
+
+use crate::service::TenantReport;
+
+/// A parsed client line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientLine {
+    /// `{"req":"hello","tenant":...}` with optional session overrides.
+    Hello(HelloRequest),
+    /// `{"req":"flush"}` — force the open batch out.
+    Flush,
+    /// `{"req":"snapshot"}` — read-only progress view.
+    Snapshot,
+    /// `{"req":"finish"}` — drain, verify, report, close the tenant.
+    Finish,
+    /// `{"req":"shutdown"}` — stop accepting connections.
+    Shutdown,
+    /// Anything without a `"req"` key: forwarded to the ingest queue.
+    Data(String),
+}
+
+/// Session overrides carried by a `hello` request. Absent fields fall
+/// back to the service's session defaults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HelloRequest {
+    /// Tenant name (required).
+    pub tenant: String,
+    /// Engine registry key.
+    pub engine: Option<String>,
+    /// Dataset name (`amazon`, `dblp`, `gplus`, `livejournal`, `orkut`,
+    /// `friendster`, or the Table 2 abbreviation).
+    pub dataset: Option<String>,
+    /// Sizing (`tiny`, `small`, `reference`).
+    pub sizing: Option<String>,
+    /// Algorithm (`sssp` for hub-rooted SSSP, `pagerank`, `cc`,
+    /// `adsorption`).
+    pub algo: Option<String>,
+}
+
+/// Classifies one client line.
+///
+/// # Errors
+///
+/// A bounded human-readable reason when the line *is* a request but is
+/// malformed (unknown `req` value, missing `tenant` on hello). Non-request
+/// lines never error — they classify as [`ClientLine::Data`].
+pub fn parse_client_line(line: &str) -> Result<ClientLine, String> {
+    let Ok(fields) = parse_flat_object(line) else {
+        return Ok(ClientLine::Data(line.to_string()));
+    };
+    let Ok(req) = lookup_str(&fields, "req") else {
+        return Ok(ClientLine::Data(line.to_string()));
+    };
+    match req.as_str() {
+        "hello" => {
+            let tenant = lookup_str(&fields, "tenant")
+                .map_err(|_| "hello requires a \"tenant\" field".to_string())?;
+            let opt = |key: &str| lookup_str(&fields, key).ok();
+            Ok(ClientLine::Hello(HelloRequest {
+                tenant,
+                engine: opt("engine"),
+                dataset: opt("dataset"),
+                sizing: opt("sizing"),
+                algo: opt("algo"),
+            }))
+        }
+        "flush" => Ok(ClientLine::Flush),
+        "snapshot" => Ok(ClientLine::Snapshot),
+        "finish" => Ok(ClientLine::Finish),
+        "shutdown" => Ok(ClientLine::Shutdown),
+        other => Err(format!("unknown request {:?}", sanitize_detail(other))),
+    }
+}
+
+/// `{"ev":"ok","req":...}` acknowledgement.
+#[must_use]
+pub fn render_ok(req: &str) -> String {
+    format!("{{\"ev\":\"ok\",\"req\":\"{}\"}}", json_escape_wire(req))
+}
+
+/// `{"ev":"error","detail":...}` with a sanitized, bounded detail.
+#[must_use]
+pub fn render_error(detail: &str) -> String {
+    format!("{{\"ev\":\"error\",\"detail\":\"{}\"}}", json_escape_wire(&sanitize_detail(detail)))
+}
+
+/// The terminal `{"ev":"end"}` marker closing a multi-line reply.
+pub const END_EVENT: &str = "{\"ev\":\"end\"}";
+
+/// Renders a finished tenant's report as deterministic wire lines:
+///
+/// 1. a `report` event (tenant, engine, algo, status, verification and
+///    quarantine summary),
+/// 2. the recorded schedule as `tdgraph_graph::wire` JSONL,
+/// 3. the tenant's canonical observability snapshot line,
+/// 4. [`END_EVENT`].
+///
+/// Every line is free of wall-clock and queue-timing data, so the same
+/// function applied to a live report and to its offline replay must
+/// produce byte-identical output — the service's determinism contract is
+/// checked against exactly this rendering. (`queue_peak` is deliberately
+/// excluded; it lives in the service stats surface.)
+#[must_use]
+pub fn render_report(report: &TenantReport) -> Vec<String> {
+    let mut head = format!(
+        "{{\"ev\":\"report\",\"tenant\":\"{}\",\"engine\":\"{}\",\"algo\":\"{}\"",
+        json_escape_wire(&report.tenant),
+        json_escape_wire(&report.engine),
+        json_escape_wire(&report.algo),
+    );
+    match &report.result {
+        Ok(result) => {
+            let verify = if result.verify.is_match() { "match" } else { "mismatch" };
+            head.push_str(&format!(
+                ",\"status\":\"ok\",\"verify\":\"{}\",\"quarantined\":{},\"oracle_checks\":{},\"oracle_mismatches\":{}}}",
+                verify,
+                result.quarantine.total(),
+                result.oracle.checks,
+                result.oracle.mismatches,
+            ));
+        }
+        Err(detail) => {
+            head.push_str(&format!(
+                ",\"status\":\"error\",\"detail\":\"{}\"}}",
+                json_escape_wire(&sanitize_detail(detail)),
+            ));
+        }
+    }
+    let mut lines = vec![head];
+    lines.extend(report.schedule.to_jsonl().lines().map(String::from));
+    lines.push(report.snapshot.canonical_json_line());
+    lines.push(END_EVENT.to_string());
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_classify() {
+        let hello =
+            parse_client_line("{\"req\":\"hello\",\"tenant\":\"a\",\"engine\":\"dzig\"}").unwrap();
+        match hello {
+            ClientLine::Hello(h) => {
+                assert_eq!(h.tenant, "a");
+                assert_eq!(h.engine.as_deref(), Some("dzig"));
+                assert!(h.dataset.is_none());
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+        assert_eq!(parse_client_line("{\"req\":\"flush\"}").unwrap(), ClientLine::Flush);
+        assert_eq!(parse_client_line("{\"req\":\"finish\"}").unwrap(), ClientLine::Finish);
+    }
+
+    #[test]
+    fn non_request_lines_are_data_even_when_garbage() {
+        let update = "{\"op\":\"add\",\"src\":1,\"dst\":2,\"weight\":1}";
+        assert_eq!(parse_client_line(update).unwrap(), ClientLine::Data(update.to_string()));
+        assert_eq!(
+            parse_client_line("!!not json!!").unwrap(),
+            ClientLine::Data("!!not json!!".to_string())
+        );
+    }
+
+    #[test]
+    fn hello_without_tenant_is_a_protocol_error() {
+        assert!(parse_client_line("{\"req\":\"hello\"}").is_err());
+        assert!(parse_client_line("{\"req\":\"warp\"}").is_err());
+    }
+}

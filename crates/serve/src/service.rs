@@ -1,0 +1,542 @@
+//! The multi-tenant ingest service.
+//!
+//! One worker thread per tenant owns that tenant's whole pipeline —
+//! engine (built in-thread; engines are not `Send`), streaming session,
+//! batch former, recorded schedule, and observability recorder — and
+//! drains a **bounded** `sync_channel`. The bound is the backpressure
+//! contract: when a tenant's queue is full, `ingest_line` blocks the
+//! producer instead of buffering, so a slow consumer can never grow
+//! service memory. Control messages (flush / snapshot / finish) travel on
+//! the same channel as data lines, which makes them natural barriers:
+//! by the time a reply arrives, every line sent before the request has
+//! been formed, ingested, or buffered.
+//!
+//! Determinism: the tenant recorder sees *only* what the offline harness
+//! would emit for the same schedule — every timing-dependent quantity
+//! (close reasons, queue depths, line rates) goes to a separate
+//! service-level stats recorder. That split is what makes a live report
+//! byte-identical to an offline replay of its recorded schedule.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tdgraph_engines::engine::Engine;
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_engines::session::{RunResult, StreamingSession};
+use tdgraph_graph::datasets::StreamingWorkload;
+use tdgraph_graph::wire::{parse_update_line, sanitize_detail, RecordedEntry, RecordedSchedule};
+use tdgraph_obs::{keys, MemoryRecorder, Recorder, Snapshot};
+
+use crate::batcher::{BatchClose, BatchFormer};
+use crate::config::{ServiceConfig, SessionConfig};
+
+/// Errors from the service control surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A config failed validation.
+    InvalidConfig(String),
+    /// The tenancy limit is reached.
+    TenantLimit(usize),
+    /// The tenant name is already open.
+    DuplicateTenant(String),
+    /// No open tenant of that name.
+    UnknownTenant(String),
+    /// The session references an unregistered engine key.
+    UnknownEngine(String),
+    /// The workload could not be prepared.
+    Workload(String),
+    /// The tenant worker is gone (it should never exit on its own).
+    WorkerGone(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(reason) => write!(f, "invalid config: {reason}"),
+            ServeError::TenantLimit(max) => write!(f, "tenant limit ({max}) reached"),
+            ServeError::DuplicateTenant(name) => write!(f, "tenant {name:?} is already open"),
+            ServeError::UnknownTenant(name) => write!(f, "no open tenant {name:?}"),
+            ServeError::UnknownEngine(key) => write!(f, "unknown engine key {key:?}"),
+            ServeError::Workload(reason) => write!(f, "workload preparation failed: {reason}"),
+            ServeError::WorkerGone(name) => write!(f, "worker for tenant {name:?} is gone"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A read-only view of a tenant's progress, served mid-stream.
+#[derive(Debug, Clone)]
+pub struct SnapshotView {
+    /// Clone of the tenant session recorder (deterministic surface).
+    pub snapshot: Snapshot,
+    /// Batches ingested so far.
+    pub batches_done: u64,
+    /// Entries currently buffered in the open batch.
+    pub buffered: usize,
+    /// Records quarantined so far.
+    pub quarantined: u64,
+}
+
+/// Everything a finished tenant leaves behind.
+#[derive(Debug)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Engine registry key the session ran.
+    pub engine: String,
+    /// Algorithm display name.
+    pub algo: String,
+    /// The run result, or the fatal error that stopped ingestion.
+    pub result: Result<RunResult, String>,
+    /// The recorded wire schedule — replaying it offline through
+    /// [`tdgraph_engines::config::RunSource::Recorded`] reproduces
+    /// `result` and `snapshot` byte-identically.
+    pub schedule: RecordedSchedule,
+    /// Final tenant observability snapshot.
+    pub snapshot: Snapshot,
+    /// Highest observed ingest-queue depth (filled by the service; may
+    /// overshoot the configured bound by at most one in-flight message).
+    pub queue_peak: usize,
+}
+
+enum TenantMsg {
+    Line(String),
+    Flush(Sender<usize>),
+    Snapshot(Sender<Box<SnapshotView>>),
+    Finish(Sender<Box<TenantReport>>),
+}
+
+struct TenantHandle {
+    tx: SyncSender<TenantMsg>,
+    depth: Arc<AtomicI64>,
+    peak: Arc<AtomicI64>,
+    join: JoinHandle<()>,
+}
+
+/// The pieces of a [`TenantHandle`] a sender needs outside the tenant
+/// lock: the queue sender plus the shared depth/peak gauges.
+type HandleParts = (SyncSender<TenantMsg>, Arc<AtomicI64>, Arc<AtomicI64>);
+
+/// The ingest daemon core: tenant lifecycle, bounded queues, service
+/// stats. Wire protocol and TCP live in [`crate::server`]; this type is
+/// fully usable in-process (the unit tests drive it directly).
+pub struct Service {
+    cfg: ServiceConfig,
+    registry: Arc<EngineRegistry>,
+    tenants: Mutex<HashMap<String, TenantHandle>>,
+    stats: Arc<Mutex<MemoryRecorder>>,
+}
+
+impl Service {
+    /// A service over `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] if `cfg` fails validation.
+    pub fn new(cfg: ServiceConfig, registry: EngineRegistry) -> Result<Self, ServeError> {
+        cfg.validate().map_err(ServeError::InvalidConfig)?;
+        Ok(Self {
+            cfg,
+            registry: Arc::new(registry),
+            tenants: Mutex::new(HashMap::new()),
+            stats: Arc::new(Mutex::new(MemoryRecorder::default())),
+        })
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The session defaults tenants open with when no explicit config is
+    /// given.
+    #[must_use]
+    pub fn session_defaults(&self) -> SessionConfig {
+        self.cfg.session_defaults.clone()
+    }
+
+    /// Opens `tenant` with the service's session defaults.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::open_tenant_with`].
+    pub fn open_tenant(&self, tenant: &str) -> Result<(), ServeError> {
+        self.open_tenant_with(tenant, self.cfg.session_defaults.clone())
+    }
+
+    /// Opens `tenant` with an explicit session config: prepares the
+    /// workload, spawns the worker thread, and registers the bounded
+    /// ingest queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`], [`ServeError::UnknownEngine`],
+    /// [`ServeError::Workload`], [`ServeError::DuplicateTenant`], or
+    /// [`ServeError::TenantLimit`].
+    pub fn open_tenant_with(&self, tenant: &str, sc: SessionConfig) -> Result<(), ServeError> {
+        sc.validate().map_err(ServeError::InvalidConfig)?;
+        if !self.registry.contains(&sc.engine) {
+            return Err(ServeError::UnknownEngine(sc.engine.clone()));
+        }
+        let workload = StreamingWorkload::try_prepare(sc.dataset, sc.sizing)
+            .map_err(|e| ServeError::Workload(e.to_string()))?;
+
+        let mut tenants = lock_tenants(&self.tenants);
+        if tenants.contains_key(tenant) {
+            return Err(ServeError::DuplicateTenant(tenant.to_string()));
+        }
+        if tenants.len() >= self.cfg.max_tenants {
+            return Err(ServeError::TenantLimit(self.cfg.max_tenants));
+        }
+
+        let (tx, rx) = sync_channel(self.cfg.queue_capacity);
+        let depth = Arc::new(AtomicI64::new(0));
+        let peak = Arc::new(AtomicI64::new(0));
+        let worker_depth = Arc::clone(&depth);
+        let registry = Arc::clone(&self.registry);
+        let stats = Arc::clone(&self.stats);
+        let name = tenant.to_string();
+        let join = std::thread::spawn(move || {
+            let worker = Worker::build(name, sc, workload, registry.as_ref(), stats);
+            worker_loop(worker, rx, &worker_depth);
+        });
+        tenants.insert(tenant.to_string(), TenantHandle { tx, depth, peak, join });
+        Ok(())
+    }
+
+    /// Names of the currently open tenants, sorted.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<String> {
+        let tenants = lock_tenants(&self.tenants);
+        let mut names: Vec<String> = tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Whether `tenant` is open.
+    #[must_use]
+    pub fn is_open(&self, tenant: &str) -> bool {
+        lock_tenants(&self.tenants).contains_key(tenant)
+    }
+
+    /// Streams one raw wire line into `tenant`'s queue. Blocks while the
+    /// queue is at capacity — this is the backpressure edge.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] or [`ServeError::WorkerGone`].
+    pub fn ingest_line(&self, tenant: &str, line: impl Into<String>) -> Result<(), ServeError> {
+        let (tx, depth, peak) = self.handle_parts(tenant)?;
+        tx.send(TenantMsg::Line(line.into()))
+            .map_err(|_| ServeError::WorkerGone(tenant.to_string()))?;
+        // Count after the (possibly blocking) send: the counted depth
+        // tracks messages actually enqueued, so the observed peak can
+        // exceed the structural bound by at most the one message the
+        // worker has received but not yet counted off.
+        let d = depth.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(d, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Forces `tenant`'s open batch out (even undersized, even before its
+    /// deadline) and returns how many entries it held.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] or [`ServeError::WorkerGone`].
+    pub fn flush(&self, tenant: &str) -> Result<usize, ServeError> {
+        let (reply_tx, reply_rx) = channel();
+        self.request(tenant, TenantMsg::Flush(reply_tx))?;
+        reply_rx.recv().map_err(|_| ServeError::WorkerGone(tenant.to_string()))
+    }
+
+    /// A read-only progress view of `tenant`. Does not flush: the view
+    /// reflects completed batches only.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] or [`ServeError::WorkerGone`].
+    pub fn snapshot(&self, tenant: &str) -> Result<SnapshotView, ServeError> {
+        let (reply_tx, reply_rx) = channel();
+        self.request(tenant, TenantMsg::Snapshot(reply_tx))?;
+        reply_rx.recv().map(|b| *b).map_err(|_| ServeError::WorkerGone(tenant.to_string()))
+    }
+
+    /// Finishes `tenant`: drains its queue, flushes the final partial
+    /// batch, runs final verification, and returns the full report. The
+    /// tenant is closed afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] or [`ServeError::WorkerGone`].
+    pub fn finish(&self, tenant: &str) -> Result<TenantReport, ServeError> {
+        let handle = lock_tenants(&self.tenants)
+            .remove(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))?;
+        let (reply_tx, reply_rx) = channel();
+        handle
+            .tx
+            .send(TenantMsg::Finish(reply_tx))
+            .map_err(|_| ServeError::WorkerGone(tenant.to_string()))?;
+        let mut report =
+            reply_rx.recv().map(|b| *b).map_err(|_| ServeError::WorkerGone(tenant.to_string()))?;
+        drop(handle.tx);
+        let _ = handle.join.join();
+        let peak = handle.peak.load(Ordering::SeqCst).max(0) as usize;
+        report.queue_peak = peak;
+        let mut stats = lock_stats(&self.stats);
+        stats.counter(keys::SERVE_TENANTS_FINISHED, 1);
+        stats.histogram(keys::SERVE_QUEUE_PEAK_DEPTH, peak as u64);
+        Ok(report)
+    }
+
+    /// Gracefully drains the whole service: finishes every open tenant in
+    /// name order and returns their reports.
+    pub fn shutdown(&self) -> Vec<TenantReport> {
+        let mut reports = Vec::new();
+        for name in self.tenant_names() {
+            if let Ok(report) = self.finish(&name) {
+                reports.push(report);
+            }
+        }
+        reports
+    }
+
+    /// The service-level stats snapshot: `serve.*` counters (batch close
+    /// reasons, line rates, queue peaks). Timing-dependent by design —
+    /// kept out of tenant snapshots so those stay replay-deterministic.
+    #[must_use]
+    pub fn stats(&self) -> Snapshot {
+        lock_stats(&self.stats).snapshot().clone()
+    }
+
+    fn handle_parts(&self, tenant: &str) -> Result<HandleParts, ServeError> {
+        let tenants = lock_tenants(&self.tenants);
+        let handle =
+            tenants.get(tenant).ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))?;
+        Ok((handle.tx.clone(), Arc::clone(&handle.depth), Arc::clone(&handle.peak)))
+    }
+
+    fn request(&self, tenant: &str, msg: TenantMsg) -> Result<(), ServeError> {
+        let (tx, depth, peak) = self.handle_parts(tenant)?;
+        tx.send(msg).map_err(|_| ServeError::WorkerGone(tenant.to_string()))?;
+        let d = depth.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(d, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("tenants", &self.tenant_names())
+            .field("queue_capacity", &self.cfg.queue_capacity)
+            .finish()
+    }
+}
+
+// Mutex poisoning cannot corrupt these structures (all updates are
+// single-call atomic inserts), so recover the inner value instead of
+// propagating a panic from an unrelated thread.
+fn lock_tenants(
+    m: &Mutex<HashMap<String, TenantHandle>>,
+) -> std::sync::MutexGuard<'_, HashMap<String, TenantHandle>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_stats(m: &Mutex<MemoryRecorder>) -> std::sync::MutexGuard<'_, MemoryRecorder> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One tenant's worker state: the full pipeline, owned by one thread.
+struct Worker {
+    tenant: String,
+    engine_key: String,
+    algo_label: &'static str,
+    session: Option<StreamingSession>,
+    engine: Option<Box<dyn Engine>>,
+    recorder: MemoryRecorder,
+    former: BatchFormer,
+    schedule: RecordedSchedule,
+    stats: Arc<Mutex<MemoryRecorder>>,
+    fatal: Option<String>,
+}
+
+impl Worker {
+    /// Builds the pipeline *inside* the worker thread — engines are not
+    /// `Send`, so the boxed engine must be constructed where it lives.
+    fn build(
+        tenant: String,
+        sc: SessionConfig,
+        workload: StreamingWorkload,
+        registry: &EngineRegistry,
+        stats: Arc<Mutex<MemoryRecorder>>,
+    ) -> Self {
+        let algo = sc.algo.resolve(workload.hub_vertex());
+        let former = BatchFormer::new(sc.batch_max_entries, sc.batch_deadline);
+        let mut fatal = None;
+        let engine = match registry.try_build(&sc.engine) {
+            Ok(e) => Some(e),
+            Err(e) => {
+                fatal = Some(e.to_string());
+                None
+            }
+        };
+        let session = match StreamingSession::new(algo, workload, sc.run.clone()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                fatal.get_or_insert(e.to_string());
+                None
+            }
+        };
+        Self {
+            tenant,
+            engine_key: sc.engine,
+            algo_label: algo.name(),
+            session,
+            engine,
+            recorder: MemoryRecorder::default(),
+            former,
+            schedule: RecordedSchedule::new(),
+            stats,
+            fatal,
+        }
+    }
+
+    fn accept_line(&mut self, raw: String, now: Instant) {
+        let entry = match parse_update_line(&raw) {
+            Ok(update) => RecordedEntry::Update(update),
+            Err(_) => RecordedEntry::Malformed(sanitize_detail(&raw)),
+        };
+        if let Some((batch, why)) = self.former.push(entry, now) {
+            self.ingest(batch, why);
+        }
+    }
+
+    fn close_due(&mut self, now: Instant) {
+        if let Some((batch, why)) = self.former.close_if_due(now) {
+            self.ingest(batch, why);
+        }
+    }
+
+    fn flush(&mut self) -> usize {
+        match self.former.flush() {
+            Some((batch, why)) => {
+                let n = batch.len();
+                self.ingest(batch, why);
+                n
+            }
+            None => 0,
+        }
+    }
+
+    fn ingest(&mut self, entries: Vec<RecordedEntry>, why: BatchClose) {
+        {
+            // Timing-dependent accounting goes to the service stats
+            // recorder only; the tenant recorder must stay identical to an
+            // offline replay of the schedule.
+            let malformed =
+                entries.iter().filter(|e| matches!(e, RecordedEntry::Malformed(_))).count() as u64;
+            let mut stats = lock_stats(&self.stats);
+            stats.counter(
+                match why {
+                    BatchClose::Size => keys::SERVE_BATCHES_SIZE_CLOSED,
+                    BatchClose::Deadline => keys::SERVE_BATCHES_DEADLINE_CLOSED,
+                    BatchClose::Flush => keys::SERVE_BATCHES_FLUSHED,
+                },
+                1,
+            );
+            stats.counter(keys::SERVE_LINES_MALFORMED, malformed);
+            stats.counter(keys::SERVE_LINES_ACCEPTED, entries.len() as u64 - malformed);
+        }
+        self.schedule.push_batch(entries.clone());
+        if self.fatal.is_some() {
+            return;
+        }
+        if let (Some(session), Some(engine)) = (self.session.as_mut(), self.engine.as_mut()) {
+            if let Err(e) = session.ingest_entries(engine.as_mut(), &entries, &mut self.recorder) {
+                self.fatal = Some(e.to_string());
+            }
+        }
+    }
+
+    fn view(&self) -> SnapshotView {
+        SnapshotView {
+            snapshot: self.recorder.snapshot().clone(),
+            batches_done: self.session.as_ref().map_or(0, StreamingSession::batches_done),
+            buffered: self.former.buffered(),
+            quarantined: self.session.as_ref().map_or(0, |s| s.quarantine().total()),
+        }
+    }
+
+    fn into_report(mut self) -> TenantReport {
+        self.flush();
+        let result = match (self.fatal.take(), self.session.take(), self.engine.take()) {
+            (None, Some(session), Some(engine)) => {
+                Ok(session.finish(engine.as_ref(), &mut self.recorder))
+            }
+            (Some(fatal), _, _) => Err(fatal),
+            _ => Err("session initialization failed".to_string()),
+        };
+        TenantReport {
+            tenant: self.tenant,
+            engine: self.engine_key,
+            algo: self.algo_label.to_string(),
+            result,
+            schedule: self.schedule,
+            snapshot: self.recorder.into_snapshot(),
+            queue_peak: 0, // filled by Service::finish
+        }
+    }
+}
+
+/// The per-tenant event loop: wait on the queue bounded by the former's
+/// armed deadline, so deadline closes fire even when the stream goes
+/// quiet.
+fn worker_loop(mut worker: Worker, rx: Receiver<TenantMsg>, depth: &AtomicI64) {
+    loop {
+        let msg = if let Some(due) = worker.former.deadline_at() {
+            let now = Instant::now();
+            if now >= due {
+                worker.close_due(now);
+                continue;
+            }
+            match rx.recv_timeout(due - now) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    worker.close_due(Instant::now());
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                // Every sender dropped without Finish: tenant abandoned.
+                Err(_) => return,
+            }
+        };
+        depth.fetch_sub(1, Ordering::SeqCst);
+        match msg {
+            TenantMsg::Line(raw) => worker.accept_line(raw, Instant::now()),
+            TenantMsg::Flush(reply) => {
+                let n = worker.flush();
+                let _ = reply.send(n);
+            }
+            TenantMsg::Snapshot(reply) => {
+                let _ = reply.send(Box::new(worker.view()));
+            }
+            TenantMsg::Finish(reply) => {
+                let _ = reply.send(Box::new(worker.into_report()));
+                return;
+            }
+        }
+    }
+}

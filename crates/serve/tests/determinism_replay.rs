@@ -1,0 +1,182 @@
+//! The service determinism contract, end to end over TCP.
+//!
+//! Two tenants stream corrupted edge traffic (deterministically damaged
+//! updates plus raw garbage lines) through the daemon. Each tenant's
+//! finish reply — report event, recorded schedule, canonical snapshot —
+//! must be byte-identical to rendering an *offline* replay of that
+//! schedule through `RunSource::Recorded`. Arrival timing may move batch
+//! boundaries, but the boundaries are recorded, so the replay reproduces
+//! the run exactly.
+
+use std::thread;
+
+use tdgraph_engines::config::{RunConfig, RunSource};
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::fault::FaultPlan;
+use tdgraph_graph::quarantine::IngestMode;
+use tdgraph_graph::update::EdgeUpdate;
+use tdgraph_graph::wire::{format_update_line, RecordedSchedule};
+use tdgraph_obs::MemoryRecorder;
+use tdgraph_serve::{
+    render_report, ServeClient, Service, ServiceConfig, SessionConfig, TdServer, TenantReport,
+};
+
+/// Deterministically corrupted wire lines for one tenant: the pending
+/// edges of its workload, damaged by a seeded fault plan, with raw
+/// garbage spliced in at fixed positions.
+fn corrupted_lines(dataset: Dataset, seed: u64, take: usize) -> Vec<String> {
+    let workload = StreamingWorkload::try_prepare(dataset, Sizing::Tiny).unwrap();
+    let n = workload.graph.vertex_count();
+    let updates: Vec<EdgeUpdate> = workload
+        .pending
+        .iter()
+        .take(take)
+        .map(|e| EdgeUpdate::addition(e.src, e.dst, e.weight))
+        .collect();
+    let plan = FaultPlan::seeded(seed)
+        .with_nan_weights(0.02)
+        .with_out_of_range_ids(0.02)
+        .with_absent_deletions(0.5);
+    let corrupted = plan.corrupt_updates(0, &updates, n);
+    let mut lines = Vec::with_capacity(corrupted.len() + corrupted.len() / 23 + 1);
+    for (i, u) in corrupted.iter().enumerate() {
+        if i % 23 == 7 {
+            lines.push(format!("%%garbage line {i}%%"));
+        }
+        lines.push(format_update_line(u));
+    }
+    lines
+}
+
+fn stream_tenant(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    overrides: &[(&str, &str)],
+    lines: &[String],
+) -> Vec<String> {
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.hello_with(tenant, overrides).unwrap();
+    for line in lines {
+        client.send_line(line).unwrap();
+    }
+    client.finish().unwrap()
+}
+
+/// Replays the schedule embedded in a finish reply offline and renders it
+/// through the same `render_report`; returns the rendered lines minus the
+/// trailing end marker (which `ServeClient::finish` strips).
+fn offline_render(
+    finish_lines: &[String],
+    tenant: &str,
+    engine_key: &str,
+    dataset: Dataset,
+) -> Vec<String> {
+    assert!(finish_lines.len() >= 2, "finish reply too short: {finish_lines:?}");
+    let schedule_jsonl = finish_lines[1..finish_lines.len() - 1].join("\n");
+    let schedule = RecordedSchedule::from_jsonl(&schedule_jsonl).unwrap();
+
+    let workload = StreamingWorkload::try_prepare(dataset, Sizing::Tiny).unwrap();
+    let algo = tdgraph_algos::traits::Algo::sssp(workload.hub_vertex());
+    let cfg = RunConfig::small().with_ingest(IngestMode::Lenient);
+    let mut engine = EngineRegistry::with_software().try_build(engine_key).unwrap();
+    let mut recorder = MemoryRecorder::default();
+    let result = cfg
+        .run_observed(
+            engine.as_mut(),
+            algo,
+            RunSource::Recorded { workload, schedule: schedule.clone() },
+            &mut recorder,
+        )
+        .unwrap();
+
+    let report = TenantReport {
+        tenant: tenant.to_string(),
+        engine: engine_key.to_string(),
+        algo: algo.name().to_string(),
+        result: Ok(result),
+        schedule,
+        snapshot: recorder.into_snapshot(),
+        queue_peak: 0,
+    };
+    let mut lines = render_report(&report);
+    lines.pop(); // end marker
+    lines
+}
+
+#[test]
+fn two_tenant_corrupted_workload_replays_byte_identically() {
+    let defaults = SessionConfig::default()
+        .with_batch_max_entries(96)
+        .with_batch_deadline(std::time::Duration::from_secs(30));
+    let cfg = ServiceConfig::new().with_queue_capacity(64).with_session_defaults(defaults);
+    let service = Service::new(cfg, EngineRegistry::with_software()).unwrap();
+    let server = TdServer::bind(service, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let alpha_lines = corrupted_lines(Dataset::Amazon, 11, 500);
+    let beta_lines = corrupted_lines(Dataset::Dblp, 23, 400);
+
+    let alpha = thread::spawn({
+        let lines = alpha_lines.clone();
+        move || {
+            stream_tenant(addr, "alpha", &[("engine", "ligra-o"), ("dataset", "amazon")], &lines)
+        }
+    });
+    let beta = thread::spawn({
+        let lines = beta_lines.clone();
+        move || stream_tenant(addr, "beta", &[("engine", "dzig"), ("dataset", "dblp")], &lines)
+    });
+    let alpha_reply = alpha.join().unwrap();
+    let beta_reply = beta.join().unwrap();
+
+    // Live report == offline replay, byte for byte, for both tenants.
+    let alpha_offline = offline_render(&alpha_reply, "alpha", "ligra-o", Dataset::Amazon);
+    assert_eq!(alpha_reply, alpha_offline);
+    let beta_offline = offline_render(&beta_reply, "beta", "dzig", Dataset::Dblp);
+    assert_eq!(beta_reply, beta_offline);
+
+    // The corruption left quarantine evidence in both reports.
+    for reply in [&alpha_reply, &beta_reply] {
+        let report_line = &reply[0];
+        assert!(report_line.contains("\"status\":\"ok\""), "{report_line}");
+        assert!(report_line.contains("\"verify\":\"match\""), "{report_line}");
+        let quarantined: u64 = report_line
+            .split("\"quarantined\":")
+            .nth(1)
+            .and_then(|s| {
+                s.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok()
+            })
+            .unwrap();
+        assert!(quarantined > 0, "expected quarantine evidence in {report_line}");
+    }
+
+    // Both tenants finished over the wire; shutdown drains nothing more.
+    let leftovers = server.shutdown();
+    assert!(leftovers.is_empty());
+}
+
+#[test]
+fn replaying_the_same_schedule_twice_is_stable() {
+    // The offline half alone must also be self-deterministic: same
+    // schedule, same bytes — this pins the replay side of the contract
+    // without any live timing in the loop.
+    let lines = corrupted_lines(Dataset::Amazon, 7, 200);
+    let service = Service::new(
+        ServiceConfig::new()
+            .with_session_defaults(SessionConfig::default().with_batch_max_entries(64)),
+        EngineRegistry::with_software(),
+    )
+    .unwrap();
+    service.open_tenant("solo").unwrap();
+    for line in &lines {
+        service.ingest_line("solo", line.as_str()).unwrap();
+    }
+    let report = service.finish("solo").unwrap();
+    let rendered = render_report(&report);
+
+    let a = offline_render(&rendered[..rendered.len() - 1], "solo", "ligra-o", Dataset::Amazon);
+    let b = offline_render(&rendered[..rendered.len() - 1], "solo", "ligra-o", Dataset::Amazon);
+    assert_eq!(a, b);
+    assert_eq!(&rendered[..rendered.len() - 1], a.as_slice());
+}

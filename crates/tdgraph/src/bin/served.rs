@@ -1,0 +1,53 @@
+//! `tdgraph-served` — the continuous-ingest daemon.
+//!
+//! Binds the streaming service over the full engine registry (software
+//! systems plus every accelerator model) and serves the JSON-lines wire
+//! protocol until a client sends `{"req":"shutdown"}`.
+//!
+//! ```text
+//! tdgraph-served [ADDR]          # default 127.0.0.1:7436
+//! ```
+//!
+//! Quick session (one tenant, defaults: lenient ingest, hub-rooted SSSP
+//! on the tiny Amazon workload, ligra-o):
+//!
+//! ```text
+//! {"req":"hello","tenant":"demo","engine":"tdgraph-h"}
+//! {"op":"add","src":3,"dst":9,"weight":1}
+//! {"req":"flush"}
+//! {"req":"finish"}
+//! {"req":"shutdown"}
+//! ```
+
+use std::process::ExitCode;
+
+use tdgraph::registry_with_defaults;
+use tdgraph::serve::{Service, ServiceConfig, TdServer};
+
+fn main() -> ExitCode {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7436".to_string());
+    let cfg = ServiceConfig::default();
+    let service = match Service::new(cfg, registry_with_defaults()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tdgraph-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match TdServer::bind(service, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tdgraph-served: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("tdgraph-served: listening on {}", server.addr());
+    let reports = server.run_until_shutdown();
+    for report in &reports {
+        eprintln!(
+            "tdgraph-served: drained tenant {} ({}, {})",
+            report.tenant, report.engine, report.algo
+        );
+    }
+    ExitCode::SUCCESS
+}

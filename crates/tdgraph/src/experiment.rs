@@ -19,10 +19,11 @@ use tdgraph_accel::jetstream::{GraphPulse, JetStream};
 use tdgraph_accel::tdgraph::{TdGraph, TdGraphConfig};
 use tdgraph_accel::{DepGraph, Hats, Minnow, Phi};
 use tdgraph_algos::traits::Algo;
+use tdgraph_engines::config::RunConfig;
 use tdgraph_engines::engine::Engine;
 use tdgraph_engines::error::EngineError;
-use tdgraph_engines::harness::{RunOptions, RunResult};
 use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_engines::session::RunResult;
 use tdgraph_graph::datasets::{Dataset, Sizing};
 
 use crate::error::TdgraphError;
@@ -182,7 +183,7 @@ pub struct Experiment {
     dataset: Dataset,
     sizing: Sizing,
     algo: Option<Algo>,
-    options: RunOptions,
+    options: RunConfig,
 }
 
 impl Experiment {
@@ -193,9 +194,9 @@ impl Experiment {
             dataset,
             sizing: Sizing::Small,
             algo: None,
-            options: RunOptions {
+            options: RunConfig {
                 sim: tdgraph_sim::SimConfig::scaled_reference(),
-                ..RunOptions::default()
+                ..RunConfig::default()
             },
         }
     }
@@ -217,14 +218,14 @@ impl Experiment {
 
     /// Overrides the run options (machine config, batches, composition).
     #[must_use]
-    pub fn options(mut self, options: RunOptions) -> Self {
+    pub fn options(mut self, options: RunConfig) -> Self {
         self.options = options;
         self
     }
 
     /// Mutates the run options in place.
     #[must_use]
-    pub fn tune(mut self, f: impl FnOnce(&mut RunOptions)) -> Self {
+    pub fn tune(mut self, f: impl FnOnce(&mut RunConfig)) -> Self {
         f(&mut self.options);
         self
     }

@@ -47,13 +47,17 @@ pub use sweep::{
     AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,
     SweepReport, SweepRunner, SweepSpec,
 };
+pub use tdgraph_engines::config::{OracleMode, RunConfig, RunSource};
 pub use tdgraph_engines::error::EngineError;
-pub use tdgraph_engines::harness::{OracleMode, OracleSummary, RunOptions, RunResult};
+#[allow(deprecated)]
+pub use tdgraph_engines::harness::RunOptions;
 pub use tdgraph_engines::metrics::RunMetrics;
 pub use tdgraph_engines::registry::EngineRegistry;
+pub use tdgraph_engines::session::{OracleSummary, RunResult, StreamingSession};
 pub use tdgraph_graph::fault::FaultPlan;
 pub use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
 pub use tdgraph_obs::{JsonlSink, Snapshot, TraceEvent, TraceSink, VecSink};
+pub use tdgraph_serve::{Service, ServiceConfig, SessionConfig, TdServer, TenantReport};
 
 /// The supported surface of the reproduction — the stability boundary.
 ///
@@ -78,14 +82,16 @@ pub mod prelude {
     pub use tdgraph_algos::tap::NullTap;
     pub use tdgraph_algos::traits::{Algo, AlgorithmKind};
     pub use tdgraph_algos::verify::{compare, VerifyOutcome};
+    pub use tdgraph_engines::config::{OracleMode, RunConfig, RunSource};
     pub use tdgraph_engines::error::EngineError;
+    #[allow(deprecated)]
     pub use tdgraph_engines::harness::{
         run_streaming, run_streaming_observed, run_streaming_workload,
-        run_streaming_workload_observed, OracleCheck, OracleMode, OracleSummary, RunOptions,
-        RunResult,
+        run_streaming_workload_observed, RunOptions,
     };
     pub use tdgraph_engines::metrics::RunMetrics;
     pub use tdgraph_engines::registry::EngineRegistry;
+    pub use tdgraph_engines::session::{OracleCheck, OracleSummary, RunResult, StreamingSession};
     pub use tdgraph_engines::testutil::{FaultMode, FaultyEngine};
     pub use tdgraph_graph::csr::Csr;
     pub use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
@@ -103,6 +109,10 @@ pub mod prelude {
     pub use tdgraph_obs::{
         keys, JsonlSink, MemoryRecorder, NullRecorder, Recorder, RecorderHandle, Snapshot,
         TraceEvent, TraceSink, VecSink,
+    };
+    pub use tdgraph_serve::{
+        AlgoChoice, BatchClose, BatchFormer, ServeClient, ServeError, Service, ServiceConfig,
+        SessionConfig, SnapshotView, TdServer, TenantReport,
     };
     pub use tdgraph_sim::{ExecMode, SimConfig};
 }
@@ -136,4 +146,10 @@ pub mod accel {
 /// `tdgraph-obs`).
 pub mod obs {
     pub use tdgraph_obs::*;
+}
+
+/// Continuous-ingest streaming service: per-tenant wire streams, adaptive
+/// batch forming, bounded backpressure (re-export of `tdgraph-serve`).
+pub mod serve {
+    pub use tdgraph_serve::*;
 }

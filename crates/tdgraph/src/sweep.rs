@@ -6,7 +6,7 @@
 //!
 //! * [`SweepSpec`] — a builder describing the axes of a sweep. Expanding a
 //!   spec yields independent [`ExperimentCell`]s, each carrying its own
-//!   fully-resolved [`RunOptions`] (machine config, seed, overrides), so a
+//!   fully-resolved [`RunConfig`] (machine config, seed, overrides), so a
 //!   cell's result depends only on the cell, never on the schedule.
 //! * [`SweepRunner`] — executes cells across scoped worker threads,
 //!   resolves engines through an [`EngineRegistry`], emits JSON-lines
@@ -46,7 +46,7 @@
 //!
 //! ```
 //! use tdgraph::graph::datasets::{Dataset, Sizing};
-//! use tdgraph::{EngineKind, RunOptions, SweepRunner, SweepSpec};
+//! use tdgraph::{EngineKind, RunConfig, SweepRunner, SweepSpec};
 //!
 //! let spec = SweepSpec::new()
 //!     .datasets([Dataset::Amazon, Dataset::Dblp])
@@ -70,9 +70,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use tdgraph_algos::traits::Algo;
-use tdgraph_engines::harness::{run_streaming_workload, OracleMode, RunOptions, RunResult};
+use tdgraph_engines::config::{OracleMode, RunConfig, RunSource};
 use tdgraph_engines::metrics::RunMetrics;
 use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_engines::session::RunResult;
 use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
 use tdgraph_graph::fault::FaultPlan;
 use tdgraph_graph::quarantine::{IngestMode, QuarantineReport};
@@ -156,7 +157,7 @@ impl From<Algo> for AlgoSel {
 /// A declarative sweep: datasets × algorithms × engines, optionally
 /// crossed with batch-size / α / add-fraction / seed override axes.
 ///
-/// Unset override axes inherit the base [`RunOptions`] value, so the
+/// Unset override axes inherit the base [`RunConfig`] value, so the
 /// minimal spec — datasets and engines — reproduces the serial
 /// [`Experiment`](crate::Experiment) loops cell for cell.
 #[derive(Debug, Clone)]
@@ -165,7 +166,7 @@ pub struct SweepSpec {
     sizing: Sizing,
     algos: Vec<AlgoSel>,
     engines: Vec<EngineSel>,
-    base: RunOptions,
+    base: RunConfig,
     batch_sizes: Vec<Option<usize>>,
     alphas: Vec<f64>,
     add_fractions: Vec<f64>,
@@ -192,9 +193,9 @@ impl SweepSpec {
             sizing: Sizing::Small,
             algos: Vec::new(),
             engines: Vec::new(),
-            base: RunOptions {
+            base: RunConfig {
                 sim: tdgraph_sim::SimConfig::scaled_reference(),
-                ..RunOptions::default()
+                ..RunConfig::default()
             },
             batch_sizes: Vec::new(),
             alphas: Vec::new(),
@@ -235,10 +236,15 @@ impl SweepSpec {
         self
     }
 
-    /// Appends several fixed algorithms.
+    /// Appends several algorithm selections — concrete [`Algo`]s or
+    /// anything else convertible to [`AlgoSel`], mixed freely.
     #[must_use]
-    pub fn algos(mut self, algos: impl IntoIterator<Item = Algo>) -> Self {
-        self.algos.extend(algos.into_iter().map(AlgoSel::Fixed));
+    pub fn algos<I>(mut self, algos: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<AlgoSel>,
+    {
+        self.algos.extend(algos.into_iter().map(Into::into));
         self
     }
 
@@ -257,10 +263,15 @@ impl SweepSpec {
         self
     }
 
-    /// Appends several built-in engines.
+    /// Appends several engine selections — built-in [`EngineKind`]s or
+    /// registry keys (`&str`), mixed freely via [`EngineSel`] conversion.
     #[must_use]
-    pub fn engines(mut self, engines: impl IntoIterator<Item = EngineKind>) -> Self {
-        self.engines.extend(engines.into_iter().map(EngineSel::Kind));
+    pub fn engines<I>(mut self, engines: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<EngineSel>,
+    {
+        self.engines.extend(engines.into_iter().map(Into::into));
         self
     }
 
@@ -272,16 +283,16 @@ impl SweepSpec {
         self
     }
 
-    /// Replaces the base run options.
+    /// Replaces the base run configuration.
     #[must_use]
-    pub fn options(mut self, options: RunOptions) -> Self {
+    pub fn options(mut self, options: RunConfig) -> Self {
         self.base = options;
         self
     }
 
-    /// Mutates the base run options in place.
+    /// Mutates the base run configuration in place.
     #[must_use]
-    pub fn tune(mut self, f: impl FnOnce(&mut RunOptions)) -> Self {
+    pub fn tune(mut self, f: impl FnOnce(&mut RunConfig)) -> Self {
         f(&mut self.base);
         self
     }
@@ -461,8 +472,8 @@ pub struct ExperimentCell {
     pub algo: AlgoSel,
     /// Engine selection.
     pub engine: EngineSel,
-    /// Fully-resolved run options (own machine config and seed).
-    pub options: RunOptions,
+    /// Fully-resolved run configuration (own machine config and seed).
+    pub options: RunConfig,
 }
 
 impl ExperimentCell {
@@ -485,7 +496,7 @@ impl ExperimentCell {
             EngineSel::Kind(kind @ EngineKind::TdGraphCustom(_)) => kind.try_build()?,
             sel => registry.try_build(sel.key())?,
         };
-        Ok(run_streaming_workload(engine.as_mut(), algo, workload, &self.options)?)
+        Ok(self.options.run(engine.as_mut(), algo, RunSource::Workload(workload))?)
     }
 
     /// Runs this cell, panicking on any typed failure. Prefer
@@ -549,6 +560,11 @@ impl OutcomeKind {
 }
 
 /// How one cell of a sweep ended.
+///
+/// Marked `#[non_exhaustive]`: this enum crosses the service boundary,
+/// so downstream matches must keep a wildcard arm for outcomes added in
+/// later releases.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum CellOutcome {
     /// The cell ran to completion (metrics and oracle verdict inside,
@@ -1624,8 +1640,8 @@ mod tests {
         let cells = tiny_spec().expand();
         assert_eq!(cells.len(), 4);
         for c in &cells {
-            assert_eq!(c.options.seed, RunOptions::default().seed);
-            assert_eq!(c.options.alpha, RunOptions::default().alpha);
+            assert_eq!(c.options.seed, RunConfig::default().seed);
+            assert_eq!(c.options.alpha, RunConfig::default().alpha);
             assert_eq!(c.algo, AlgoSel::HubSssp);
         }
     }

@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run both engines over the same stream and compare.
     let algo = Algo::sssp(workload.hub_vertex());
-    let opts =
-        RunOptions { sim: SimConfig::scaled_reference(), batches: 3, ..RunOptions::default() };
+    let opts = RunConfig { sim: SimConfig::scaled_reference(), batches: 3, ..RunConfig::default() };
     let rebuild = || {
         StreamingWorkload::from_edges(
             load_edge_list(&path).expect("file still present").edges,
@@ -50,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut baseline = EngineKind::LigraO.try_build()?;
-    let base = run_streaming_workload(baseline.as_mut(), algo, rebuild(), &opts)?;
+    let base = opts.run(baseline.as_mut(), algo, rebuild())?;
     let mut accel = EngineKind::TdGraphH.try_build()?;
-    let tdg = run_streaming_workload(accel.as_mut(), algo, rebuild(), &opts)?;
+    let tdg = opts.run(accel.as_mut(), algo, rebuild())?;
     assert!(base.verify.is_match() && tdg.verify.is_match());
 
     println!(

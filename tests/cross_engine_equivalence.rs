@@ -25,10 +25,10 @@ const ALL_ENGINES: [EngineKind; 16] = [
 ];
 
 fn experiment(algo: Option<Algo>) -> Experiment {
-    let mut e = Experiment::new(Dataset::Amazon).sizing(Sizing::Tiny).options(RunOptions {
+    let mut e = Experiment::new(Dataset::Amazon).sizing(Sizing::Tiny).options(RunConfig {
         sim: SimConfig::small_test(),
         batches: 2,
-        ..RunOptions::default()
+        ..RunConfig::default()
     });
     if let Some(a) = algo {
         e = e.algorithm(a);

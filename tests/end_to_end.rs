@@ -4,8 +4,8 @@
 
 use tdgraph::prelude::*;
 
-fn tiny_options() -> RunOptions {
-    RunOptions { sim: SimConfig::small_test(), batches: 2, ..RunOptions::default() }
+fn tiny_options() -> RunConfig {
+    RunConfig { sim: SimConfig::small_test(), batches: 2, ..RunConfig::default() }
 }
 
 #[test]
@@ -50,11 +50,7 @@ fn every_dataset_profile_runs_end_to_end() {
     for ds in Dataset::ALL {
         let res = Experiment::new(ds)
             .sizing(Sizing::Tiny)
-            .options(RunOptions {
-                sim: SimConfig::small_test(),
-                batches: 1,
-                ..RunOptions::default()
-            })
+            .options(RunConfig { sim: SimConfig::small_test(), batches: 1, ..RunConfig::default() })
             .run(EngineKind::LigraO);
         assert!(res.verify.is_match(), "{ds:?} diverged: {:?}", res.verify);
     }
@@ -66,7 +62,7 @@ fn table1_machine_configuration_also_runs() {
     // the scaled configs.
     let res = Experiment::new(Dataset::Amazon)
         .sizing(Sizing::Tiny)
-        .options(RunOptions { sim: SimConfig::table1(), batches: 1, ..RunOptions::default() })
+        .options(RunConfig { sim: SimConfig::table1(), batches: 1, ..RunConfig::default() })
         .run(EngineKind::TdGraphH);
     assert!(res.verify.is_match());
 }

@@ -4,10 +4,10 @@
 use tdgraph::prelude::*;
 
 fn experiment() -> Experiment {
-    Experiment::new(Dataset::Dblp).sizing(Sizing::Tiny).options(RunOptions {
+    Experiment::new(Dataset::Dblp).sizing(Sizing::Tiny).options(RunConfig {
         sim: SimConfig::small_test(),
         batches: 2,
-        ..RunOptions::default()
+        ..RunConfig::default()
     })
 }
 

@@ -341,11 +341,11 @@ fn tdgraph_engine_random_workload_spotcheck() {
     for (fraction, batches) in [(1.0, 2), (0.5, 3), (0.1, 2)] {
         let res = Experiment::new(Dataset::Orkut)
             .sizing(Sizing::Tiny)
-            .options(RunOptions {
+            .options(RunConfig {
                 sim: SimConfig::small_test(),
                 batches,
                 add_fraction: fraction,
-                ..RunOptions::default()
+                ..RunConfig::default()
             })
             .run(EngineKind::TdGraphH);
         assert!(res.verify.is_match(), "fraction {fraction} diverged: {:?}", res.verify);
