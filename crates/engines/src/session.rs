@@ -85,6 +85,7 @@ pub fn quarantine_key(reason: QuarantineReason) -> &'static str {
         QuarantineReason::NonFiniteWeight => keys::QUARANTINE_NON_FINITE_WEIGHT,
         QuarantineReason::VertexOutOfBounds => keys::QUARANTINE_VERTEX_OUT_OF_BOUNDS,
         QuarantineReason::AbsentDeletion => keys::QUARANTINE_ABSENT_DELETION,
+        QuarantineReason::TruncatedLine => keys::QUARANTINE_TRUNCATED_LINE,
         // `QuarantineReason` is non_exhaustive; reasons added later roll
         // up under one key instead of breaking this consumer.
         _ => keys::QUARANTINE_OTHER,
@@ -232,6 +233,12 @@ impl StreamingSession {
         self.quarantine.record(QuarantineReason::MalformedLine, None, detail);
     }
 
+    /// Quarantines one truncated wire fragment (a line cut by connection
+    /// loss or a torn write at a crash) without running the engine.
+    pub fn quarantine_truncated(&mut self, detail: &str) {
+        self.quarantine.record(QuarantineReason::TruncatedLine, None, detail);
+    }
+
     /// Ingests one recorded wire batch: malformed lines are quarantined in
     /// arrival order, then the surviving updates run as one batch. Both
     /// the live service and offline replay call exactly this, which is the
@@ -250,6 +257,7 @@ impl StreamingSession {
         for entry in entries {
             match entry {
                 RecordedEntry::Malformed(detail) => self.quarantine_malformed(detail),
+                RecordedEntry::Truncated(detail) => self.quarantine_truncated(detail),
                 RecordedEntry::Update(u) => updates.push(*u),
             }
         }

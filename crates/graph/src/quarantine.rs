@@ -79,11 +79,17 @@ pub enum QuarantineReason {
     /// A deletion of an edge that is not present
     /// (`ApplyError::MissingEdge`).
     AbsentDeletion,
+    /// A wire line cut short by connection loss — EOF arrived mid-line or
+    /// a torn write landed at a crash. Only the streaming-service surface
+    /// produces this reason (file ingest never truncates mid-line without
+    /// erroring); its strict counterpart is the connection-level framing
+    /// error a strict wire endpoint would raise at EOF.
+    TruncatedLine,
 }
 
 impl QuarantineReason {
     /// Every reason, in the stable order reports iterate.
-    pub const ALL: [QuarantineReason; 8] = [
+    pub const ALL: [QuarantineReason; 9] = [
         QuarantineReason::MalformedLine,
         QuarantineReason::IdOverflow,
         QuarantineReason::IoInterrupted,
@@ -92,6 +98,7 @@ impl QuarantineReason {
         QuarantineReason::NonFiniteWeight,
         QuarantineReason::VertexOutOfBounds,
         QuarantineReason::AbsentDeletion,
+        QuarantineReason::TruncatedLine,
     ];
 
     /// Stable lower-snake label (also the observability key suffix:
@@ -107,6 +114,7 @@ impl QuarantineReason {
             QuarantineReason::NonFiniteWeight => "non_finite_weight",
             QuarantineReason::VertexOutOfBounds => "vertex_out_of_bounds",
             QuarantineReason::AbsentDeletion => "absent_deletion",
+            QuarantineReason::TruncatedLine => "truncated_line",
         }
     }
 

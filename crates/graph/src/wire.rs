@@ -246,6 +246,13 @@ pub enum RecordedEntry {
     /// A wire line that did not parse; lenient ingest quarantined it.
     /// Carries the sanitized, bounded detail that was quarantined.
     Malformed(String),
+    /// A wire line cut short by connection loss (EOF arrived mid-line, or
+    /// a torn write at a crash). Lenient ingest quarantines the fragment
+    /// as [`crate::quarantine::QuarantineReason::TruncatedLine`]. Kept
+    /// distinct from [`RecordedEntry::Malformed`] so resume offsets can
+    /// exclude fragments: a reconnecting client re-sends the whole line,
+    /// and the fragment stays behind as evidence.
+    Truncated(String),
 }
 
 /// The replayable transcript of one tenant's ingest session: formed
@@ -307,6 +314,15 @@ impl RecordedSchedule {
             .sum()
     }
 
+    /// Total truncated-line fragments across batches.
+    #[must_use]
+    pub fn truncated_count(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| b.iter().filter(|e| matches!(e, RecordedEntry::Truncated(_))).count())
+            .sum()
+    }
+
     /// Serializes the schedule as JSON lines: each entry becomes one line
     /// tagged with its 0-based batch index —
     /// `{"batch":0,"op":"add","src":1,"dst":2,"weight":1}` or
@@ -332,6 +348,12 @@ impl RecordedSchedule {
                     RecordedEntry::Malformed(detail) => {
                         out.push_str(&format!(
                             "{{\"batch\":{i},\"malformed\":\"{}\"}}\n",
+                            json_escape_wire(detail)
+                        ));
+                    }
+                    RecordedEntry::Truncated(detail) => {
+                        out.push_str(&format!(
+                            "{{\"batch\":{i},\"truncated\":\"{}\"}}\n",
                             json_escape_wire(detail)
                         ));
                     }
@@ -371,6 +393,8 @@ impl RecordedSchedule {
             }
             let entry = if let Ok(detail) = lookup_str(&fields, "malformed") {
                 RecordedEntry::Malformed(detail)
+            } else if let Ok(detail) = lookup_str(&fields, "truncated") {
+                RecordedEntry::Truncated(detail)
             } else {
                 RecordedEntry::Update(parse_update_line(line).map_err(|e| e.detail)?)
             };

@@ -1,0 +1,215 @@
+//! Seeded network-fault injection for the wire protocol.
+//!
+//! PR 4 gave the data plane a deterministic [`tdgraph_graph::fault`]
+//! plan; this module extends the same philosophy to the *wire*: a
+//! [`WireFaultPlan`] seeded from a `u64` decides, per send step, whether
+//! the client connection dies cleanly mid-stream ([`WireFault::Disconnect`])
+//! or mid-frame ([`WireFault::TornDisconnect`] — a prefix of the line
+//! with no newline, exactly what a crash during `write(2)` leaves
+//! behind). [`stream_with_chaos`] is the reference driver: it streams a
+//! line list through a [`ServeClient`], consults the plan at every step,
+//! and on a fault severs, reconnects with bounded backoff, and resumes
+//! at the server's `acked` offset.
+//!
+//! Faults are keyed by *send step*, not line index: a re-sent line
+//! advances the step counter, and every fault is followed by a forced
+//! clean window (`min_gap`), so the same line can never be torn forever —
+//! the stream always makes progress. Same seed ⇒ same fault schedule ⇒
+//! byte-identical finish reply, which is exactly what the network-chaos
+//! tests assert.
+
+use tdgraph_graph::prng::Xoshiro256StarStar;
+
+use crate::client::{ClientError, RetryPolicy, ServeClient};
+use crate::clock::Clock;
+
+/// One injected wire fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Sever the connection between frames (clean line boundary).
+    Disconnect,
+    /// Write only the first `keep_bytes` bytes of the current line — no
+    /// newline — then sever: a torn frame the server must quarantine.
+    TornDisconnect {
+        /// Bytes of the line that make it onto the wire.
+        keep_bytes: usize,
+    },
+}
+
+/// A seeded, deterministic schedule of wire faults.
+///
+/// Consult [`WireFaultPlan::fault_for`] once per send step, in order.
+/// The plan is self-contained state: same seed and same consultation
+/// sequence reproduce the same faults.
+#[derive(Debug, Clone)]
+pub struct WireFaultPlan {
+    rng: Xoshiro256StarStar,
+    fault_rate: f64,
+    min_gap: u32,
+    cooldown: u32,
+    steps: u64,
+    faults: u64,
+}
+
+impl WireFaultPlan {
+    /// A plan that faults each eligible step with probability
+    /// `fault_rate`, then forces at least `min_gap` clean steps so the
+    /// stream always progresses.
+    #[must_use]
+    pub fn new(seed: u64, fault_rate: f64, min_gap: u32) -> Self {
+        Self {
+            rng: Xoshiro256StarStar::new(seed),
+            fault_rate: fault_rate.clamp(0.0, 1.0),
+            min_gap: min_gap.max(1),
+            cooldown: 0,
+            steps: 0,
+            faults: 0,
+        }
+    }
+
+    /// Decides the fault (if any) for the next send step of a line of
+    /// `line_len` bytes. Torn writes keep at least one byte and never the
+    /// whole line; lines shorter than 2 bytes fall back to a clean
+    /// disconnect.
+    pub fn fault_for(&mut self, line_len: usize) -> Option<WireFault> {
+        self.steps += 1;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        if !self.rng.next_bool(self.fault_rate) {
+            return None;
+        }
+        self.cooldown = self.min_gap;
+        self.faults += 1;
+        if self.rng.next_bool(0.5) && line_len >= 2 {
+            let keep_bytes = 1 + self.rng.next_index(line_len - 1);
+            Some(WireFault::TornDisconnect { keep_bytes })
+        } else {
+            Some(WireFault::Disconnect)
+        }
+    }
+
+    /// Send steps consulted so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+/// What a chaos-driven stream did on its way to the finish reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// Send steps consumed (sends plus faulted attempts).
+    pub steps: u64,
+    /// Successful reconnect-and-resume cycles.
+    pub reconnects: u32,
+    /// Torn (mid-frame) writes injected.
+    pub torn_writes: u32,
+    /// The finish reply lines — the byte-comparable determinism surface.
+    pub finish: Vec<String>,
+}
+
+/// Streams `lines` through `client` (already bound via hello), injecting
+/// faults from `plan`; severed connections are re-established with
+/// `policy`-bounded backoff and the stream resumes at the server's
+/// `acked` offset. Ends with a finish request and returns the reply.
+///
+/// # Errors
+///
+/// Client/socket failures that outlast the retry budget.
+pub fn stream_with_chaos(
+    client: &mut ServeClient,
+    lines: &[String],
+    plan: &mut WireFaultPlan,
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+) -> Result<ChaosOutcome, ClientError> {
+    let mut next = usize::try_from(client.acked()).unwrap_or(usize::MAX).min(lines.len());
+    let mut reconnects = 0u32;
+    let mut torn_writes = 0u32;
+    while next < lines.len() {
+        let line = &lines[next];
+        match plan.fault_for(line.len()) {
+            None => {
+                client.send_line(line)?;
+                next += 1;
+            }
+            Some(WireFault::Disconnect) => {
+                let _ = client.sever();
+                let acked = client.reconnect(policy, clock)?;
+                reconnects += 1;
+                next = usize::try_from(acked).unwrap_or(usize::MAX).min(lines.len());
+            }
+            Some(WireFault::TornDisconnect { keep_bytes }) => {
+                // Best-effort: the socket may already be half-dead.
+                let _ = client.send_torn(line, keep_bytes);
+                torn_writes += 1;
+                let acked = client.reconnect(policy, clock)?;
+                reconnects += 1;
+                next = usize::try_from(acked).unwrap_or(usize::MAX).min(lines.len());
+            }
+        }
+    }
+    let finish = client.finish()?;
+    Ok(ChaosOutcome { steps: plan.steps(), reconnects, torn_writes, finish })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let mut a = WireFaultPlan::new(7, 0.3, 2);
+        let mut b = WireFaultPlan::new(7, 0.3, 2);
+        let sched_a: Vec<_> = (0..200).map(|_| a.fault_for(40)).collect();
+        let sched_b: Vec<_> = (0..200).map(|_| b.fault_for(40)).collect();
+        assert_eq!(sched_a, sched_b);
+        assert!(a.faults() > 0, "a 30% rate over 200 steps must fault");
+    }
+
+    #[test]
+    fn faults_respect_the_clean_gap() {
+        let mut plan = WireFaultPlan::new(3, 1.0, 3);
+        let mut last_fault: Option<usize> = None;
+        for step in 0..100 {
+            if plan.fault_for(40).is_some() {
+                if let Some(prev) = last_fault {
+                    assert!(step - prev > 3, "fault at {step} too close to {prev}");
+                }
+                last_fault = Some(step);
+            }
+        }
+        assert!(last_fault.is_some());
+    }
+
+    #[test]
+    fn torn_writes_keep_a_strict_prefix() {
+        let mut plan = WireFaultPlan::new(11, 1.0, 1);
+        let mut saw_torn = false;
+        for _ in 0..200 {
+            if let Some(WireFault::TornDisconnect { keep_bytes }) = plan.fault_for(40) {
+                assert!((1..40).contains(&keep_bytes));
+                saw_torn = true;
+            }
+        }
+        assert!(saw_torn);
+    }
+
+    #[test]
+    fn short_lines_fall_back_to_clean_disconnects() {
+        let mut plan = WireFaultPlan::new(5, 1.0, 1);
+        for _ in 0..100 {
+            if let Some(fault) = plan.fault_for(1) {
+                assert_eq!(fault, WireFault::Disconnect);
+            }
+        }
+    }
+}

@@ -2,16 +2,88 @@
 //!
 //! Used by the integration tests and the daemon's smoke workloads; it is
 //! also the reference for speaking the protocol from other tooling: every
-//! method is a thin line-in/line-out wrapper with no hidden state beyond
-//! the buffered socket.
+//! method is a thin line-in/line-out wrapper. Beyond the buffered socket
+//! the client tracks just enough state to recover: the peer address,
+//! tenant binding, a per-connection data-line counter mirroring the
+//! server's shed indices, and the shed events collected off the wire.
+//!
+//! Recovery is deterministic and bounded: [`ServeClient::connect_with_retry`]
+//! and [`ServeClient::reconnect`] back off exponentially under a
+//! [`RetryPolicy`] through an injectable [`Clock`] (tests assert the
+//! exact schedule without sleeping), and
+//! [`ServeClient::send_lines_with_shed_retry`] honours the server's
+//! `retry_after` hints, re-sending exactly the refused lines.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use tdgraph_graph::update::EdgeUpdate;
-use tdgraph_graph::wire::{format_update_line, json_escape_wire};
+use tdgraph_graph::wire::{
+    format_update_line, json_escape_wire, lookup, lookup_str, parse_flat_object,
+};
 
+use crate::clock::Clock;
 use crate::protocol::END_EVENT;
+
+/// Bounded deterministic retry: attempt `k` (0-based) waits
+/// `min(base_backoff * 2^k, max_backoff)` before trying again, up to
+/// `max_attempts` total attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff after failed attempt `attempt` (0-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff)
+    }
+}
+
+/// A parsed `{"ev":"shed",...}` overload refusal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedEvent {
+    /// 0-based per-connection index of the refused data line.
+    pub line: u64,
+    /// The shed reason label (`entry_budget`, `queue_full`).
+    pub reason: String,
+    /// The server's retry hint.
+    pub retry_after: Duration,
+}
+
+/// Parses a shed event line; `None` when `line` is any other reply.
+#[must_use]
+pub fn parse_shed_event(line: &str) -> Option<ShedEvent> {
+    if !line.starts_with("{\"ev\":\"shed\"") {
+        return None;
+    }
+    let fields = parse_flat_object(line).ok()?;
+    Some(ShedEvent {
+        line: lookup(&fields, "line").ok()?.parse().ok()?,
+        reason: lookup_str(&fields, "reason").ok()?,
+        retry_after: Duration::from_millis(lookup(&fields, "retry_after_ms").ok()?.parse().ok()?),
+    })
+}
 
 /// Client-side protocol errors.
 #[derive(Debug)]
@@ -47,6 +119,16 @@ impl From<std::io::Error> for ClientError {
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: Option<SocketAddr>,
+    tenant: Option<String>,
+    overrides: Vec<(String, String)>,
+    /// Data lines sent on the *current* connection — mirrors the server's
+    /// per-connection shed indices.
+    data_sent: u64,
+    /// The `acked` offset from the latest hello reply.
+    acked: u64,
+    /// Shed events collected while reading other replies.
+    sheds: Vec<ShedEvent>,
 }
 
 impl ServeClient {
@@ -57,22 +139,61 @@ impl ServeClient {
     /// Propagates the connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr().ok();
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { reader, writer: stream })
+        Ok(Self {
+            reader,
+            writer: stream,
+            peer,
+            tenant: None,
+            overrides: Vec::new(),
+            data_sent: 0,
+            acked: 0,
+            sheds: Vec::new(),
+        })
+    }
+
+    /// Connects with bounded deterministic retry: up to
+    /// `policy.max_attempts` tries, exponential backoff through `clock`.
+    ///
+    /// # Errors
+    ///
+    /// The final connect failure after the budget is spent.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<Self, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if attempt + 1 >= policy.max_attempts.max(1) {
+                        return Err(ClientError::Io(e));
+                    }
+                    clock.sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Binds this connection to `tenant` with the service's session
-    /// defaults.
+    /// defaults. Returns the server's `acked` resume offset: the count of
+    /// clean lines this tenant has already durably accepted (0 for a new
+    /// tenant; survives reconnects and — with a WAL — daemon restarts).
     ///
     /// # Errors
     ///
     /// [`ClientError::Server`] if the service rejects the session.
-    pub fn hello(&mut self, tenant: &str) -> Result<(), ClientError> {
+    pub fn hello(&mut self, tenant: &str) -> Result<u64, ClientError> {
         self.hello_with(tenant, &[])
     }
 
     /// Binds this connection to `tenant` with session overrides, e.g.
-    /// `[("engine", "dzig"), ("dataset", "dblp")]`.
+    /// `[("engine", "dzig"), ("dataset", "dblp")]`. Returns the `acked`
+    /// resume offset (see [`ServeClient::hello`]).
     ///
     /// # Errors
     ///
@@ -81,7 +202,7 @@ impl ServeClient {
         &mut self,
         tenant: &str,
         overrides: &[(&str, &str)],
-    ) -> Result<(), ClientError> {
+    ) -> Result<u64, ClientError> {
         let mut line = format!("{{\"req\":\"hello\",\"tenant\":\"{}\"", json_escape_wire(tenant));
         for (key, value) in overrides {
             line.push_str(&format!(
@@ -92,7 +213,90 @@ impl ServeClient {
         }
         line.push('}');
         self.send_line(&line)?;
-        self.expect_ok()
+        let reply = self.expect_ok_line()?;
+        self.tenant = Some(tenant.to_string());
+        self.overrides =
+            overrides.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect();
+        self.acked = extract_u64(&reply, "\"acked\":").unwrap_or(0);
+        Ok(self.acked)
+    }
+
+    /// The `acked` offset from the latest hello reply.
+    #[must_use]
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Data lines sent on the current connection.
+    #[must_use]
+    pub fn data_lines_sent(&self) -> u64 {
+        self.data_sent
+    }
+
+    /// Tears the current socket down and reconnects to the same peer with
+    /// bounded backoff, re-issuing the stored hello. Returns the fresh
+    /// `acked` resume offset — the caller continues sending at that
+    /// data-line index.
+    ///
+    /// # Errors
+    ///
+    /// The final connect failure, or the hello rejection.
+    pub fn reconnect(
+        &mut self,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<u64, ClientError> {
+        let peer = self.peer.ok_or_else(|| ClientError::Protocol("no peer address".to_string()))?;
+        let tenant = self
+            .tenant
+            .clone()
+            .ok_or_else(|| ClientError::Protocol("no tenant bound".to_string()))?;
+        let overrides = self.overrides.clone();
+        let mut attempt = 0u32;
+        let stream = loop {
+            match TcpStream::connect(peer) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if attempt + 1 >= policy.max_attempts.max(1) {
+                        return Err(ClientError::Io(e));
+                    }
+                    clock.sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        };
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        self.data_sent = 0;
+        self.sheds.clear();
+        let refs: Vec<(&str, &str)> =
+            overrides.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        self.hello_with(&tenant, &refs)
+    }
+
+    /// Severs the connection abruptly (both directions, no protocol
+    /// goodbye) — the fault-injection path for disconnect tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket shutdown failure.
+    pub fn sever(&mut self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Both)
+    }
+
+    /// Sends only the first `keep_bytes` bytes of `line` — **without** a
+    /// newline — then severs the connection: a torn write, exactly what a
+    /// crash mid-`write` leaves on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures.
+    pub fn send_torn(&mut self, line: &str, keep_bytes: usize) -> Result<(), ClientError> {
+        let cut = keep_bytes.min(line.len());
+        self.writer.write_all(&line.as_bytes()[..cut])?;
+        self.writer.flush()?;
+        self.sever()?;
+        Ok(())
     }
 
     /// Streams one edge update. Un-acked; backpressure arrives as a
@@ -114,7 +318,71 @@ impl ServeClient {
     pub fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
+        if !line.starts_with("{\"req\":") {
+            self.data_sent += 1;
+        }
         Ok(())
+    }
+
+    /// Drains the shed events collected so far (in arrival order).
+    pub fn take_shed_events(&mut self) -> Vec<ShedEvent> {
+        std::mem::take(&mut self.sheds)
+    }
+
+    /// Sends `lines` as data, then re-sends any the server sheds, waiting
+    /// out the server's `retry_after` hint (or the policy backoff,
+    /// whichever is longer) between rounds through `clock`. A `flush`
+    /// round-trip after each round acts as the barrier that surfaces the
+    /// round's shed replies. Returns the number of re-sent lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] after `policy.max_attempts` rounds still
+    /// leave lines shed, or socket/protocol failures.
+    pub fn send_lines_with_shed_retry(
+        &mut self,
+        lines: &[String],
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<u64, ClientError> {
+        // Conn-index → line, so a shed reply can name what to re-send.
+        let mut in_flight: HashMap<u64, String> = HashMap::new();
+        for line in lines {
+            in_flight.insert(self.data_sent, line.clone());
+            self.send_line(line)?;
+        }
+        let mut resent = 0u64;
+        let mut round = 0u32;
+        loop {
+            // The flush reply orders after every shed event for lines sent
+            // before it on this connection.
+            self.flush()?;
+            let sheds = self.take_shed_events();
+            if sheds.is_empty() {
+                return Ok(resent);
+            }
+            if round + 1 >= policy.max_attempts.max(1) {
+                return Err(ClientError::Server(format!(
+                    "{} line(s) still shed after {} round(s)",
+                    sheds.len(),
+                    round + 1
+                )));
+            }
+            let hint = sheds.iter().map(|s| s.retry_after).max().unwrap_or(Duration::ZERO);
+            clock.sleep(hint.max(policy.backoff(round)));
+            for shed in &sheds {
+                let Some(line) = in_flight.remove(&shed.line) else {
+                    return Err(ClientError::Protocol(format!(
+                        "shed reply for unknown line index {}",
+                        shed.line
+                    )));
+                };
+                in_flight.insert(self.data_sent, line.clone());
+                self.send_line(&line)?;
+                resent += 1;
+            }
+            round += 1;
+        }
     }
 
     /// Forces the open batch out; returns how many entries it held.
@@ -185,24 +453,38 @@ impl ServeClient {
     }
 
     fn expect_ok(&mut self) -> Result<(), ClientError> {
+        self.expect_ok_line().map(|_| ())
+    }
+
+    fn expect_ok_line(&mut self) -> Result<String, ClientError> {
         let line = self.read_line()?;
         if let Some(detail) = error_detail(&line) {
             return Err(ClientError::Server(detail));
         }
         if line.starts_with("{\"ev\":\"ok\"") {
-            Ok(())
+            Ok(line)
         } else {
             Err(ClientError::Protocol(line))
         }
     }
 
+    /// Reads the next non-shed reply line; shed events are collected into
+    /// the [`ServeClient::take_shed_events`] buffer so they never disturb
+    /// the framing of flush/snapshot/finish replies.
     fn read_line(&mut self) -> Result<String, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("connection closed".to_string()));
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("connection closed".to_string()));
+            }
+            let line = line.trim_end_matches('\n').to_string();
+            if let Some(shed) = parse_shed_event(&line) {
+                self.sheds.push(shed);
+                continue;
+            }
+            return Ok(line);
         }
-        Ok(line.trim_end_matches('\n').to_string())
     }
 }
 
@@ -224,4 +506,69 @@ fn extract_u64(line: &str, marker: &str) -> Option<u64> {
     let rest = &line[line.find(marker)? + marker.len()..];
     let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff(3), Duration::from_millis(50));
+        assert_eq!(policy.backoff(40), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn shed_events_parse_and_other_lines_do_not() {
+        let shed = parse_shed_event(
+            "{\"ev\":\"shed\",\"line\":7,\"reason\":\"entry_budget\",\"retry_after_ms\":25}",
+        )
+        .unwrap();
+        assert_eq!(shed.line, 7);
+        assert_eq!(shed.reason, "entry_budget");
+        assert_eq!(shed.retry_after, Duration::from_millis(25));
+        assert!(parse_shed_event("{\"ev\":\"ok\",\"req\":\"hello\",\"acked\":3}").is_none());
+        assert!(parse_shed_event("not json").is_none());
+    }
+
+    #[test]
+    fn connect_retry_follows_the_backoff_schedule_without_sleeping() {
+        // Nothing listens on a reserved-then-released port, so every
+        // attempt fails fast; the TestClock records the exact schedule.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let clock = TestClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_secs(1),
+        };
+        let err = ServeClient::connect_with_retry(addr, &policy, &clock).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        assert_eq!(
+            clock.slept(),
+            vec![Duration::from_millis(5), Duration::from_millis(10), Duration::from_millis(20),],
+            "3 backoffs between 4 attempts"
+        );
+    }
+
+    #[test]
+    fn hello_parses_the_acked_offset() {
+        assert_eq!(
+            extract_u64("{\"ev\":\"ok\",\"req\":\"hello\",\"acked\":42}", "\"acked\":"),
+            Some(42)
+        );
+        assert_eq!(extract_u64("{\"ev\":\"ok\",\"req\":\"hello\"}", "\"acked\":"), None);
+    }
 }

@@ -8,12 +8,15 @@
 //! thresholds, and the embedded [`RunConfig`] consumed by the shared
 //! harness core).
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use tdgraph_algos::traits::Algo;
 use tdgraph_engines::config::RunConfig;
 use tdgraph_graph::datasets::{Dataset, Sizing};
 use tdgraph_graph::quarantine::IngestMode;
+
+use crate::wal::WalHead;
 
 /// The algorithm a tenant session runs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -165,6 +168,181 @@ impl SessionConfig {
         }
         self.run.validate().map_err(|e| e.to_string())
     }
+
+    /// The durable-log head record for a tenant opened with this config:
+    /// the session fields in `hello` vocabulary, so recovery resolves
+    /// them through the same parser the wire uses.
+    #[must_use]
+    pub fn wal_head(&self, tenant: &str) -> WalHead {
+        let algo = match &self.algo {
+            AlgoChoice::HubSssp => "sssp".to_string(),
+            AlgoChoice::Fixed(a) => a.name().to_ascii_lowercase(),
+        };
+        WalHead {
+            tenant: tenant.to_string(),
+            engine: self.engine.clone(),
+            dataset: self.dataset.abbrev().to_string(),
+            sizing: match self.sizing {
+                Sizing::Reference => "reference",
+                Sizing::Small => "small",
+                Sizing::Tiny => "tiny",
+            }
+            .to_string(),
+            algo,
+            batch_max_entries: self.batch_max_entries,
+            batch_deadline_ms: u64::try_from(self.batch_deadline.as_millis()).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+/// Supervision policy for tenant engine generations: how long one batch
+/// may take before the watchdog detaches the generation, how many
+/// deterministic restart-with-replay attempts a tenant gets, and the base
+/// of the exponential restart backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Restart budget per tenant. A generation that panics or hangs is
+    /// restarted and the recorded schedule replayed from the top; after
+    /// this many restarts the tenant is abandoned with evidence.
+    pub max_restarts: u32,
+    /// Wall-clock bound on a single batch ingest (and on finish). A
+    /// generation exceeding it is treated as hung: detached, never joined.
+    pub batch_watchdog: Duration,
+    /// Base restart delay; attempt `k` (1-based) waits
+    /// `restart_backoff * 2^(k-1)` — deterministic, bounded by the
+    /// restart budget.
+    pub restart_backoff: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts: 2,
+            batch_watchdog: Duration::from_secs(30),
+            restart_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// A default supervision policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-tenant restart budget.
+    #[must_use]
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Sets the per-batch wall-clock watchdog.
+    #[must_use]
+    pub fn with_batch_watchdog(mut self, watchdog: Duration) -> Self {
+        self.batch_watchdog = watchdog;
+        self
+    }
+
+    /// Sets the base restart backoff.
+    #[must_use]
+    pub fn with_restart_backoff(mut self, backoff: Duration) -> Self {
+        self.restart_backoff = backoff;
+        self
+    }
+
+    /// The deterministic backoff before restart attempt `attempt`
+    /// (1-based): `restart_backoff * 2^(attempt-1)`, saturating.
+    #[must_use]
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        self.restart_backoff
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+    }
+}
+
+/// Overload-shedding policy. When absent (the default) the service keeps
+/// its original behaviour: a full tenant queue blocks the producer
+/// (backpressure). When present, admission is checked *before* the line
+/// is logged or queued, and refusals are explicit `shed` replies carrying
+/// a `retry_after` hint — the accept loop never blocks on a slow tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// Global budget of admitted-but-unprocessed entries across all
+    /// tenants. Admission is refused while the outstanding count is at or
+    /// over this bound, so one hung tenant saturates the budget instead
+    /// of growing memory.
+    pub entry_budget: usize,
+    /// The retry hint attached to shed replies.
+    pub retry_after: Duration,
+    /// Whether a full per-tenant queue sheds instead of blocking the
+    /// producer.
+    pub shed_on_queue_full: bool,
+    /// Socket write deadline for replies; a slow-reading client errors
+    /// out instead of wedging its connection handler.
+    pub write_deadline: Option<Duration>,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            entry_budget: 4096,
+            retry_after: Duration::from_millis(50),
+            shed_on_queue_full: true,
+            write_deadline: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// A default overload policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the global unprocessed-entry budget.
+    #[must_use]
+    pub fn with_entry_budget(mut self, budget: usize) -> Self {
+        self.entry_budget = budget;
+        self
+    }
+
+    /// Sets the retry hint attached to shed replies.
+    #[must_use]
+    pub fn with_retry_after(mut self, retry_after: Duration) -> Self {
+        self.retry_after = retry_after;
+        self
+    }
+
+    /// Sets whether a full tenant queue sheds instead of blocking.
+    #[must_use]
+    pub fn with_shed_on_queue_full(mut self, shed: bool) -> Self {
+        self.shed_on_queue_full = shed;
+        self
+    }
+
+    /// Sets the reply write deadline.
+    #[must_use]
+    pub fn with_write_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.write_deadline = deadline;
+        self
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entry_budget == 0 {
+            return Err("overload entry_budget must be >= 1".to_string());
+        }
+        if self.retry_after.is_zero() {
+            return Err("overload retry_after must be non-zero".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// Configuration of the service as a whole.
@@ -177,11 +355,28 @@ pub struct ServiceConfig {
     pub max_tenants: usize,
     /// Session defaults for tenants opened without an explicit config.
     pub session_defaults: SessionConfig,
+    /// Durable ingest-log directory. `None` disables the WAL (the PR 6
+    /// in-memory behaviour); `Some` makes every accepted line durable
+    /// before it enters the queue and enables crash recovery.
+    pub wal_dir: Option<PathBuf>,
+    /// Per-tenant supervision policy (always on; panics are never allowed
+    /// to escape a tenant worker).
+    pub supervision: SupervisionConfig,
+    /// Overload-shedding policy. `None` (default) keeps blocking
+    /// backpressure; `Some` sheds with explicit `retry_after` replies.
+    pub overload: Option<OverloadPolicy>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { queue_capacity: 1024, max_tenants: 16, session_defaults: SessionConfig::default() }
+        Self {
+            queue_capacity: 1024,
+            max_tenants: 16,
+            session_defaults: SessionConfig::default(),
+            wal_dir: None,
+            supervision: SupervisionConfig::default(),
+            overload: None,
+        }
     }
 }
 
@@ -213,6 +408,27 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables the durable ingest WAL under `dir`.
+    #[must_use]
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the supervision policy.
+    #[must_use]
+    pub fn with_supervision(mut self, supervision: SupervisionConfig) -> Self {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Enables overload shedding under `policy`.
+    #[must_use]
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = Some(policy);
+        self
+    }
+
     /// Validates the service config and its session defaults.
     ///
     /// # Errors
@@ -224,6 +440,9 @@ impl ServiceConfig {
         }
         if self.max_tenants == 0 {
             return Err("max_tenants must be >= 1".to_string());
+        }
+        if let Some(overload) = &self.overload {
+            overload.validate()?;
         }
         self.session_defaults.validate()
     }
@@ -252,5 +471,42 @@ mod tests {
         let bad = SessionConfig::new().tune(|r| r.alpha = -1.0);
         let err = bad.validate().unwrap_err();
         assert!(err.contains("alpha"));
+    }
+
+    #[test]
+    fn overload_policy_is_validated() {
+        let bad = ServiceConfig::new().with_overload(OverloadPolicy::new().with_entry_budget(0));
+        assert!(bad.validate().unwrap_err().contains("entry_budget"));
+        let bad = ServiceConfig::new()
+            .with_overload(OverloadPolicy::new().with_retry_after(Duration::ZERO));
+        assert!(bad.validate().unwrap_err().contains("retry_after"));
+        ServiceConfig::new().with_overload(OverloadPolicy::new()).validate().unwrap();
+    }
+
+    #[test]
+    fn restart_backoff_is_deterministic_and_exponential() {
+        let sup = SupervisionConfig::new().with_restart_backoff(Duration::from_millis(10));
+        assert_eq!(sup.backoff_before(1), Duration::from_millis(10));
+        assert_eq!(sup.backoff_before(2), Duration::from_millis(20));
+        assert_eq!(sup.backoff_before(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn wal_head_round_trips_session_labels() {
+        let sc = SessionConfig::new()
+            .with_dataset(Dataset::Dblp)
+            .with_sizing(Sizing::Small)
+            .with_algo(Algo::pagerank())
+            .with_engine("graphbolt")
+            .with_batch_max_entries(8)
+            .with_batch_deadline(Duration::from_secs(600));
+        let head = sc.wal_head("alpha");
+        assert_eq!(head.tenant, "alpha");
+        assert_eq!(head.engine, "graphbolt");
+        assert_eq!(head.dataset, Dataset::Dblp.abbrev());
+        assert_eq!(head.sizing, "small");
+        assert_eq!(head.algo, "pagerank");
+        assert_eq!(head.batch_max_entries, 8);
+        assert_eq!(head.batch_deadline(), Duration::from_secs(600));
     }
 }

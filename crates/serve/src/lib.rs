@@ -6,37 +6,58 @@
 //! by the *wire* instead of a composer:
 //!
 //! * [`config`] — the [`ServiceConfig`] / [`SessionConfig`] builder
-//!   family, mirroring `SweepSpec`.
+//!   family, mirroring `SweepSpec`, plus the [`SupervisionConfig`] and
+//!   [`OverloadPolicy`] robustness knobs.
 //! * [`batcher`] — the adaptive [`BatchFormer`]: close on size *or*
 //!   latency deadline, explicit-clock and unit-testable.
-//! * [`service`] — the multi-tenant core: a worker thread per tenant
-//!   over a bounded queue (backpressure blocks producers), recording
+//! * [`wal`] — the per-tenant durable ingest write-ahead log: accepted
+//!   lines are appended before they enter the queue, batch closes are
+//!   synced markers, and recovery tolerates torn tails.
+//! * [`service`] — the multi-tenant core: a supervisor thread per tenant
+//!   over a bounded queue (backpressure blocks producers; an optional
+//!   [`OverloadPolicy`] sheds instead), driving disposable engine
+//!   generations (panic/hang isolation with bounded restart), recording
 //!   every closed batch into a replayable
 //!   [`tdgraph_graph::wire::RecordedSchedule`].
 //! * [`protocol`] / [`server`] / [`client`] — JSON-lines-over-TCP front
-//!   end and its reference client.
+//!   end and its reference client with deterministic bounded retry.
+//! * [`clock`] — the injectable [`Clock`] that keeps retry tests free of
+//!   real sleeps.
+//! * [`chaos`] — the seeded network-fault harness (mid-frame
+//!   disconnects, torn writes, reconnect-and-resume).
 //!
 //! The determinism contract: a tenant's final report, schedule, and
 //! observability snapshot rendered by [`protocol::render_report`] are
 //! byte-identical to an offline
 //! [`tdgraph_engines::config::RunSource::Recorded`] replay of the same
 //! schedule. Arrival timing decides only *where batch boundaries fall*
-//! (recorded in the schedule), never what any batch computes.
+//! (recorded in the schedule), never what any batch computes. Crash
+//! recovery extends the same contract across a daemon kill: a WAL-replayed
+//! tenant's finish reply is byte-identical to an uncrashed run.
 
 // Robustness gate, matching the engines/obs/facade crates: a daemon must
 // route failures through typed errors, never unwrap/expect (CI clippy).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
+pub mod clock;
 pub mod config;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod wal;
 
 pub use batcher::{BatchClose, BatchFormer};
-pub use client::{ClientError, ServeClient, SnapshotReply};
-pub use config::{AlgoChoice, ServiceConfig, SessionConfig};
+pub use chaos::{stream_with_chaos, ChaosOutcome, WireFault, WireFaultPlan};
+pub use client::{ClientError, RetryPolicy, ServeClient, ShedEvent, SnapshotReply};
+pub use clock::{Clock, SystemClock, TestClock};
+pub use config::{AlgoChoice, OverloadPolicy, ServiceConfig, SessionConfig, SupervisionConfig};
 pub use protocol::{render_report, ClientLine, HelloRequest};
 pub use server::TdServer;
-pub use service::{ServeError, Service, SnapshotView, TenantReport};
+pub use service::{
+    Admission, ServeError, Service, ShedReason, ShedReply, SnapshotView, TenantOutcome,
+    TenantReport,
+};
+pub use wal::{LoadedWal, TenantWal, WalEntry, WalHead};

@@ -22,7 +22,7 @@
 
 use tdgraph_graph::wire::{json_escape_wire, lookup_str, parse_flat_object, sanitize_detail};
 
-use crate::service::TenantReport;
+use crate::service::{ShedReply, TenantReport};
 
 /// A parsed client line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +104,29 @@ pub fn render_ok(req: &str) -> String {
 #[must_use]
 pub fn render_error(detail: &str) -> String {
     format!("{{\"ev\":\"error\",\"detail\":\"{}\"}}", json_escape_wire(&sanitize_detail(detail)))
+}
+
+/// The `hello` acknowledgement, carrying the tenant's durable resume
+/// offset: the count of clean lines already accepted (from this or any
+/// prior connection, surviving daemon restarts via the WAL). A
+/// reconnecting client resumes sending at data-line index `acked`.
+#[must_use]
+pub fn render_hello_ok(acked: u64) -> String {
+    format!("{{\"ev\":\"ok\",\"req\":\"hello\",\"acked\":{acked}}}")
+}
+
+/// An explicit overload refusal for the data line at 0-based
+/// per-connection index `line`: `{"ev":"shed",...}` with the shed reason
+/// and a `retry_after_ms` hint. Unlike accepted data lines (un-acked),
+/// shed lines are answered — the client must know exactly which lines
+/// never entered the log.
+#[must_use]
+pub fn render_shed(line: u64, reply: &ShedReply) -> String {
+    format!(
+        "{{\"ev\":\"shed\",\"line\":{line},\"reason\":\"{}\",\"retry_after_ms\":{}}}",
+        reply.reason.label(),
+        reply.retry_after.as_millis(),
+    )
 }
 
 /// The terminal `{"ev":"end"}` marker closing a multi-line reply.
@@ -189,5 +212,23 @@ mod tests {
     fn hello_without_tenant_is_a_protocol_error() {
         assert!(parse_client_line("{\"req\":\"hello\"}").is_err());
         assert!(parse_client_line("{\"req\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn hello_ack_and_shed_render_stably() {
+        use crate::service::ShedReason;
+        use std::time::Duration;
+
+        let ack = render_hello_ok(42);
+        assert_eq!(ack, "{\"ev\":\"ok\",\"req\":\"hello\",\"acked\":42}");
+        assert!(ack.starts_with("{\"ev\":\"ok\""), "must satisfy the generic ok check");
+        let shed = render_shed(
+            7,
+            &ShedReply { reason: ShedReason::EntryBudget, retry_after: Duration::from_millis(25) },
+        );
+        assert_eq!(
+            shed,
+            "{\"ev\":\"shed\",\"line\":7,\"reason\":\"entry_budget\",\"retry_after_ms\":25}"
+        );
     }
 }

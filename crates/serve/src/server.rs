@@ -12,19 +12,75 @@
 //! [`crate::config::ServiceConfig::max_tenants`], so a thread per
 //! connection is the right size and keeps the daemon dependency-free.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use tdgraph_graph::datasets::{Dataset, Sizing};
 
 use crate::config::{AlgoChoice, SessionConfig};
 use crate::protocol::{
-    parse_client_line, render_error, render_ok, render_report, ClientLine, HelloRequest, END_EVENT,
+    parse_client_line, render_error, render_hello_ok, render_ok, render_report, render_shed,
+    ClientLine, HelloRequest, END_EVENT,
 };
-use crate::service::{Service, TenantReport};
+use crate::service::{Admission, Service, TenantReport};
+
+/// Serializes the wire producers of one tenant: a connection must hold
+/// the tenant's gate from `hello` until it disconnects, so a
+/// reconnecting client's `hello` blocks until the previous connection's
+/// handler has drained every byte it received. That ordering is what
+/// makes the `acked` resume offset in the hello reply exact — without
+/// it, a racing attach could read the offset before the dead
+/// connection's tail (including its truncated fragment) was logged.
+#[derive(Default)]
+struct WriterGate {
+    busy: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WriterGate {
+    /// Waits for the gate, polling the stop flag so shutdown can never
+    /// deadlock behind a lingering holder. Returns `false` on stop.
+    fn acquire(&self, stop: &AtomicBool) -> bool {
+        let mut busy = self.busy.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *busy {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(busy, std::time::Duration::from_millis(200))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            busy = guard;
+        }
+        *busy = true;
+        true
+    }
+
+    fn release(&self) {
+        *self.busy.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = false;
+        self.cv.notify_one();
+    }
+}
+
+/// Releases the held gate when the connection handler exits by any path.
+struct GateGuard(Arc<WriterGate>);
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+type GateMap = Arc<Mutex<HashMap<String, Arc<WriterGate>>>>;
+
+fn gate_for(gates: &GateMap, tenant: &str) -> Arc<WriterGate> {
+    let mut map = gates.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(map.entry(tenant.to_string()).or_default())
+}
 
 /// A running TCP server over a [`Service`].
 pub struct TdServer {
@@ -49,6 +105,7 @@ impl TdServer {
         let stop = Arc::new(AtomicBool::new(false));
         let conn_joins = Arc::new(Mutex::new(Vec::new()));
 
+        let gates: GateMap = Arc::new(Mutex::new(HashMap::new()));
         let accept_service = Arc::clone(&service);
         let accept_stop = Arc::clone(&stop);
         let accept_conns = Arc::clone(&conn_joins);
@@ -58,10 +115,14 @@ impl TdServer {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // The accept loop only spawns — admission decisions,
+                // blocking sends, and slow clients all live in handler
+                // threads, so accepting never stalls behind one tenant.
                 let service = Arc::clone(&accept_service);
                 let conn_stop = Arc::clone(&accept_stop);
+                let conn_gates = Arc::clone(&gates);
                 let handle = std::thread::spawn(move || {
-                    let _ = handle_connection(&service, stream, &conn_stop);
+                    let _ = handle_connection(&service, stream, &conn_stop, &conn_gates);
                 });
                 if let Ok(mut joins) = accept_conns.lock() {
                     joins.push(handle);
@@ -180,15 +241,25 @@ fn handle_connection(
     service: &Service,
     stream: TcpStream,
     stop: &AtomicBool,
+    gates: &GateMap,
 ) -> std::io::Result<()> {
     // Bounded reads: a handler must notice the stop flag even while its
     // client sits idle, or a lingering connection would block shutdown's
     // join forever. The timeout only paces the stop-flag poll — a slow
     // sender is retried, never dropped.
     stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    if let Some(policy) = &service.config().overload {
+        // A slow-reading client errors its own connection out instead of
+        // wedging this handler on a blocking reply write.
+        stream.set_write_timeout(policy.write_deadline)?;
+    }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut tenant: Option<String> = None;
+    let mut gate: Option<GateGuard> = None;
+    // 0-based per-connection data-line counter; shed replies name the
+    // exact index so the client knows which lines to re-send.
+    let mut data_lines: u64 = 0;
     let mut pending = String::new();
 
     loop {
@@ -196,6 +267,9 @@ fn handle_connection(
         // prefix so the retry completes it instead of corrupting framing.
         match reader.read_line(&mut pending) {
             Ok(0) => break,
+            // `read_line` returns without a trailing terminator only at
+            // EOF: the connection died mid-line (torn write / cut cable).
+            Ok(_) if !pending.ends_with('\n') => break,
             Ok(_) => {}
             Err(e)
                 if matches!(
@@ -208,7 +282,10 @@ fn handle_connection(
                 }
                 continue;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                flush_truncated(service, &tenant, &pending);
+                return Err(e);
+            }
         }
         let line = std::mem::take(&mut pending);
         let line = line.trim_end_matches('\n');
@@ -226,18 +303,38 @@ fn handle_connection(
             ClientLine::Hello(hello) => {
                 match open_or_attach(service, &hello) {
                     Ok(()) => {
-                        tenant = Some(hello.tenant.clone());
-                        reply(&mut writer, &[render_ok("hello")])?;
+                        if tenant.as_deref() != Some(hello.tenant.as_str()) {
+                            gate = None; // release any previous binding
+                            let tenant_gate = gate_for(gates, &hello.tenant);
+                            if !tenant_gate.acquire(stop) {
+                                reply(&mut writer, &[render_error("server stopping")])?;
+                                break;
+                            }
+                            gate = Some(GateGuard(tenant_gate));
+                            tenant = Some(hello.tenant.clone());
+                        }
+                        // Read *after* the gate is held: the previous
+                        // connection has fully drained, so the offset is
+                        // exact.
+                        let acked = service.acked(&hello.tenant).unwrap_or(0);
+                        reply(&mut writer, &[render_hello_ok(acked)])?;
                     }
                     Err(detail) => reply(&mut writer, &[render_error(&detail)])?,
                 }
             }
             ClientLine::Data(raw) => match &tenant {
-                // Un-acked: data lines stream; a full queue blocks here
-                // and TCP pushes the stall back to the client.
+                // Un-acked when admitted: data lines stream; a full queue
+                // blocks here (backpressure) unless an overload policy
+                // sheds, in which case the refusal is an explicit reply.
                 Some(name) => {
-                    if let Err(e) = service.ingest_line(name, raw) {
-                        reply(&mut writer, &[render_error(&e.to_string())])?;
+                    let index = data_lines;
+                    data_lines += 1;
+                    match service.admit_line(name, raw) {
+                        Ok(Admission::Accepted) => {}
+                        Ok(Admission::Shed(shed)) => {
+                            reply(&mut writer, &[render_shed(index, &shed)])?;
+                        }
+                        Err(e) => reply(&mut writer, &[render_error(&e.to_string())])?,
                     }
                 }
                 None => reply(&mut writer, &[render_error("no tenant bound; send hello first")])?,
@@ -283,7 +380,25 @@ fn handle_connection(
             }
         }
     }
+    // The connection is over; anything still pending is a line the wire
+    // cut short. Flush it as a quarantined truncated fragment *before*
+    // releasing the gate, so the next attach's resume offset orders
+    // after it.
+    flush_truncated(service, &tenant, &pending);
+    drop(gate);
     Ok(())
+}
+
+/// Quarantines a partial final line instead of dropping it: the fragment
+/// is WAL-logged and rides the batch path into the tenant's quarantine
+/// ledger (excluded from the resume offset — the client re-sends the
+/// whole line).
+fn flush_truncated(service: &Service, tenant: &Option<String>, pending: &str) {
+    if let Some(name) = tenant {
+        if !pending.trim().is_empty() {
+            let _ = service.ingest_truncated(name, pending);
+        }
+    }
 }
 
 fn open_or_attach(service: &Service, hello: &HelloRequest) -> Result<(), String> {

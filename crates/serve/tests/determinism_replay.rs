@@ -98,6 +98,7 @@ fn offline_render(
         schedule,
         snapshot: recorder.into_snapshot(),
         queue_peak: 0,
+        outcome: tdgraph_serve::TenantOutcome::Completed,
     };
     let mut lines = render_report(&report);
     lines.pop(); // end marker

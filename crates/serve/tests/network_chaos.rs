@@ -1,0 +1,141 @@
+//! Network chaos at the wire: torn frames are quarantined as truncated
+//! lines (the zero-byte-read regression), clean disconnects resume at
+//! the acked offset with a byte-identical finish, and a seeded
+//! [`WireFaultPlan`] drives a reproducible storm of mid-frame faults.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::update::EdgeUpdate;
+use tdgraph_graph::wire::format_update_line;
+use tdgraph_serve::{
+    stream_with_chaos, RetryPolicy, ServeClient, Service, ServiceConfig, SessionConfig, TdServer,
+    TestClock, WireFaultPlan,
+};
+
+fn clean_lines(take: usize) -> Vec<String> {
+    let workload = StreamingWorkload::try_prepare(Dataset::Amazon, Sizing::Tiny).unwrap();
+    workload
+        .pending
+        .iter()
+        .take(take)
+        .map(|e| format_update_line(&EdgeUpdate::addition(e.src, e.dst, e.weight)))
+        .collect()
+}
+
+fn server() -> TdServer {
+    let defaults = SessionConfig::default()
+        .with_batch_max_entries(8)
+        .with_batch_deadline(Duration::from_secs(600));
+    let cfg = ServiceConfig::new().with_session_defaults(defaults);
+    let service = Service::new(cfg, EngineRegistry::with_software()).unwrap();
+    TdServer::bind(service, "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn partial_final_line_is_flushed_as_truncated_not_dropped() {
+    // Satellite regression: a connection that dies mid-frame (zero-byte
+    // read with a pending partial line) must surface the fragment as a
+    // quarantined truncated line, not silently drop it.
+    let server = server();
+
+    // Raw socket: hello, one clean line, then a newline-less fragment
+    // and an orderly FIN (write half-close; a full close would RST and
+    // discard the server's unread buffer).
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"{\"req\":\"hello\",\"tenant\":\"t\"}\n").unwrap();
+    let lines = clean_lines(2);
+    raw.write_all(lines[0].as_bytes()).unwrap();
+    raw.write_all(b"\n").unwrap();
+    raw.write_all(&lines[1].as_bytes()[..10]).unwrap();
+    raw.flush().unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    // Drain until the server closes: its handler has then flushed the
+    // fragment and released the tenant's writer gate.
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut raw, &mut sink);
+    drop(raw);
+
+    // A reconnecting client sees exactly one clean line acked — the
+    // fragment is excluded, so the whole line gets re-sent.
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let acked = client.hello("t").unwrap();
+    assert_eq!(acked, 1, "fragment must not count as accepted");
+    client.send_line(&lines[1]).unwrap();
+    let report_lines = client.finish().unwrap();
+
+    assert!(report_lines[0].contains("\"quarantined\":1"), "{}", report_lines[0]);
+    let truncated = report_lines.iter().filter(|l| l.contains("\"truncated\":\"")).count();
+    assert_eq!(truncated, 1, "fragment missing from {report_lines:?}");
+    assert!(server.shutdown().is_empty());
+}
+
+#[test]
+fn disconnect_and_resume_matches_an_uninterrupted_run() {
+    let lines = clean_lines(24);
+    let policy = RetryPolicy::default();
+    let clock = TestClock::new();
+
+    let interrupted = {
+        let server = server();
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        assert_eq!(client.hello("t").unwrap(), 0);
+        for line in &lines[..10] {
+            client.send_line(line).unwrap();
+        }
+        client.sever().unwrap();
+        let acked = client.reconnect(&policy, &clock).unwrap();
+        assert_eq!(acked, 10, "all complete lines written before the FIN are durable");
+        for line in &lines[acked as usize..] {
+            client.send_line(line).unwrap();
+        }
+        let finish = client.finish().unwrap();
+        assert!(server.shutdown().is_empty());
+        finish
+    };
+
+    let uninterrupted = {
+        let server = server();
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        client.hello("t").unwrap();
+        for line in &lines {
+            client.send_line(line).unwrap();
+        }
+        let finish = client.finish().unwrap();
+        assert!(server.shutdown().is_empty());
+        finish
+    };
+
+    assert_eq!(interrupted, uninterrupted, "resume must be invisible in the finish reply");
+}
+
+#[test]
+fn seeded_chaos_storm_is_reproducible() {
+    let lines = clean_lines(40);
+    let policy = RetryPolicy::default();
+
+    let run = |seed: u64| {
+        let server = server();
+        let clock = TestClock::new();
+        let mut plan = WireFaultPlan::new(seed, 0.25, 2);
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        client.hello("t").unwrap();
+        let outcome = stream_with_chaos(&mut client, &lines, &mut plan, &policy, &clock).unwrap();
+        assert!(server.shutdown().is_empty());
+        outcome
+    };
+
+    let a = run(42);
+    let b = run(42);
+    assert!(a.reconnects > 0, "the storm must actually disconnect");
+    assert!(a.torn_writes > 0, "the storm must actually tear frames");
+    assert_eq!(a, b, "same seed, same faults, byte-identical finish");
+
+    // A different seed faults differently but still converges; its
+    // clean-line content is the same workload.
+    let c = run(7);
+    assert!(c.finish[0].contains("\"status\":\"ok\""), "{}", c.finish[0]);
+}

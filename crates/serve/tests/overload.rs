@@ -1,0 +1,136 @@
+//! Overload control: admission against the global entry budget sheds
+//! with an explicit `retry_after` reply instead of blocking, the shed
+//! counters match the exact shed count, and the client's shed-retry
+//! helper re-sends exactly the refused lines — with its waits driven by
+//! the injectable test clock, never a real sleep.
+
+use std::time::Duration;
+
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::update::EdgeUpdate;
+use tdgraph_graph::wire::format_update_line;
+use tdgraph_obs::keys;
+use tdgraph_serve::{
+    Admission, OverloadPolicy, RetryPolicy, ServeClient, Service, ServiceConfig, SessionConfig,
+    ShedReason, TdServer, TestClock,
+};
+
+fn clean_lines(take: usize) -> Vec<String> {
+    let workload = StreamingWorkload::try_prepare(Dataset::Amazon, Sizing::Tiny).unwrap();
+    workload
+        .pending
+        .iter()
+        .take(take)
+        .map(|e| format_update_line(&EdgeUpdate::addition(e.src, e.dst, e.weight)))
+        .collect()
+}
+
+/// Batches close only on flush (huge size threshold, long deadline), so
+/// admitted entries stay outstanding deterministically until the test
+/// flushes — admission decisions depend on nothing timing-related.
+fn overload_config(entry_budget: usize) -> ServiceConfig {
+    let defaults = SessionConfig::default()
+        .with_batch_max_entries(10_000)
+        .with_batch_deadline(Duration::from_secs(600));
+    ServiceConfig::new().with_session_defaults(defaults).with_overload(
+        OverloadPolicy::new()
+            .with_entry_budget(entry_budget)
+            .with_retry_after(Duration::from_millis(25)),
+    )
+}
+
+#[test]
+fn entry_budget_sheds_deterministically_and_counters_match() {
+    let service = Service::new(overload_config(4), EngineRegistry::with_software()).unwrap();
+    service.open_tenant("t").unwrap();
+    let lines = clean_lines(10);
+
+    let mut shed = 0u64;
+    for line in &lines {
+        match service.admit_line("t", line.clone()).unwrap() {
+            Admission::Accepted => {}
+            Admission::Shed(reply) => {
+                assert_eq!(reply.reason, ShedReason::EntryBudget);
+                assert_eq!(reply.retry_after, Duration::from_millis(25));
+                shed += 1;
+            }
+        }
+    }
+    // Exactly the budget is admitted; everything past it sheds.
+    assert_eq!(shed, 6);
+    assert_eq!(service.outstanding_entries(), 4);
+
+    // Flushing commits the open batch and returns the budget.
+    assert_eq!(service.flush("t").unwrap(), 4);
+    assert_eq!(service.outstanding_entries(), 0);
+    assert!(matches!(service.admit_line("t", lines[0].clone()).unwrap(), Admission::Accepted));
+
+    let stats = service.stats();
+    assert_eq!(stats.counter(keys::SERVE_SHED_LINES), shed);
+    assert_eq!(stats.counter(keys::SERVE_SHED_ENTRY_BUDGET), shed);
+    assert_eq!(stats.counter(keys::SERVE_SHED_QUEUE_FULL), 0);
+    // Shed lines never entered the log: only admitted ones are acked.
+    assert_eq!(service.acked("t").unwrap(), 5);
+
+    let report = service.finish("t").unwrap();
+    assert!(report.result.is_ok());
+}
+
+#[test]
+fn wire_sheds_reply_with_line_indices_and_never_block_the_connection() {
+    let service = Service::new(overload_config(4), EngineRegistry::with_software()).unwrap();
+    let server = TdServer::bind(service, "127.0.0.1:0").unwrap();
+
+    let lines = clean_lines(10);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.hello("t").unwrap(), 0);
+    for line in &lines {
+        client.send_line(line).unwrap();
+    }
+    // The flush reply orders after every data line: by the time it
+    // arrives, all shed events for the burst are buffered client-side.
+    assert_eq!(client.flush().unwrap(), 4);
+    let sheds = client.take_shed_events();
+    assert_eq!(sheds.len(), 6);
+    let indices: Vec<u64> = sheds.iter().map(|s| s.line).collect();
+    assert_eq!(indices, vec![4, 5, 6, 7, 8, 9], "0-based per-connection data-line indices");
+    for shed in &sheds {
+        assert_eq!(shed.reason, "entry_budget");
+        assert_eq!(shed.retry_after, Duration::from_millis(25));
+    }
+
+    let reports = server.shutdown();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].result.as_ref().unwrap().quarantine.total(), 0);
+}
+
+#[test]
+fn shed_retry_helper_resends_exactly_the_refused_lines_without_real_sleeps() {
+    let service = Service::new(overload_config(4), EngineRegistry::with_software()).unwrap();
+    let server = TdServer::bind(service, "127.0.0.1:0").unwrap();
+
+    let lines = clean_lines(6);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    client.hello("t").unwrap();
+
+    let clock = TestClock::new();
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_secs(1),
+    };
+    // 6 lines against a budget of 4: round one sheds two, the helper's
+    // flush barrier frees the budget, round two lands both.
+    let resent = client.send_lines_with_shed_retry(&lines, &policy, &clock).unwrap();
+    assert_eq!(resent, 2);
+    // One wait, the server's hint (25ms > the 1ms policy backoff).
+    assert_eq!(clock.slept(), vec![Duration::from_millis(25)]);
+
+    let report_lines = client.finish().unwrap();
+    assert!(report_lines[0].contains("\"status\":\"ok\""), "{}", report_lines[0]);
+    // All six updates were eventually recorded.
+    let updates = report_lines.iter().filter(|l| l.contains("\"op\":")).count();
+    assert_eq!(updates, 6);
+    assert!(server.shutdown().is_empty());
+}

@@ -1,0 +1,174 @@
+//! Per-tenant supervision: a panicking engine generation is caught,
+//! restarted with its recorded schedule replayed, and the recovered
+//! tenant's report is byte-identical to a run that never crashed. A
+//! deterministically-poisoned tenant exhausts its restart budget and is
+//! abandoned with evidence — while healthy neighbors on the same service
+//! never notice either way.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdgraph_engines::registry::EngineRegistry;
+use tdgraph_engines::testutil::{FaultMode, FaultyEngine};
+use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
+use tdgraph_graph::update::EdgeUpdate;
+use tdgraph_graph::wire::format_update_line;
+use tdgraph_obs::keys;
+use tdgraph_serve::{
+    render_report, Service, ServiceConfig, SessionConfig, SupervisionConfig, TenantOutcome,
+};
+
+fn clean_lines(take: usize) -> Vec<String> {
+    let workload = StreamingWorkload::try_prepare(Dataset::Amazon, Sizing::Tiny).unwrap();
+    workload
+        .pending
+        .iter()
+        .take(take)
+        .map(|e| format_update_line(&EdgeUpdate::addition(e.src, e.dst, e.weight)))
+        .collect()
+}
+
+fn base_config() -> ServiceConfig {
+    let defaults = SessionConfig::default()
+        .with_batch_max_entries(8)
+        .with_batch_deadline(Duration::from_secs(600));
+    ServiceConfig::new().with_session_defaults(defaults)
+}
+
+/// A registry whose `flaky` engine panics on its second batch exactly
+/// once across all builds: the rebuilt generation behaves like the
+/// clean baseline.
+fn registry_with_panic_once() -> EngineRegistry {
+    let armed = Arc::new(AtomicBool::new(true));
+    let mut registry = EngineRegistry::with_software();
+    registry.register("flaky", move || {
+        if armed.swap(false, Ordering::SeqCst) {
+            Box::new(FaultyEngine::new(FaultMode::PanicOnBatch(1)))
+        } else {
+            Box::new(FaultyEngine::new(FaultMode::None))
+        }
+    });
+    registry
+}
+
+/// A registry whose `flaky` engine never misbehaves — the control for
+/// byte-identity comparisons.
+fn registry_with_clean_flaky() -> EngineRegistry {
+    let mut registry = EngineRegistry::with_software();
+    registry.register("flaky", || Box::new(FaultyEngine::new(FaultMode::None)));
+    registry
+}
+
+#[test]
+fn panicking_tenant_recovers_byte_identically_and_neighbors_are_unaffected() {
+    let lines = clean_lines(30);
+
+    let service = Service::new(base_config(), registry_with_panic_once()).unwrap();
+    service.open_tenant_with("victim", service.session_defaults().with_engine("flaky")).unwrap();
+    service.open_tenant("bystander").unwrap();
+    for line in &lines {
+        service.ingest_line("victim", line.clone()).unwrap();
+        service.ingest_line("bystander", line.clone()).unwrap();
+    }
+    let victim = service.finish("victim").unwrap();
+    let bystander = service.finish("bystander").unwrap();
+
+    assert_eq!(victim.outcome, TenantOutcome::Recovered { restarts: 1 }, "{:?}", victim.outcome);
+    assert!(victim.result.as_ref().unwrap().verify.is_match());
+    assert_eq!(bystander.outcome, TenantOutcome::Completed);
+    assert!(bystander.result.as_ref().unwrap().verify.is_match());
+
+    let stats = service.stats();
+    assert_eq!(stats.counter(keys::SERVE_SUPERVISION_PANICS), 1);
+    assert_eq!(stats.counter(keys::SERVE_SUPERVISION_RESTARTS), 1);
+    assert_eq!(stats.counter(keys::SERVE_SUPERVISION_RECOVERED), 1);
+    assert_eq!(stats.counter(keys::SERVE_SUPERVISION_ABANDONED), 0);
+
+    // Byte identity: the same tenant on a never-faulty service renders
+    // the exact same report, schedule, and snapshot.
+    let control_service = Service::new(base_config(), registry_with_clean_flaky()).unwrap();
+    control_service
+        .open_tenant_with("victim", control_service.session_defaults().with_engine("flaky"))
+        .unwrap();
+    for line in &lines {
+        control_service.ingest_line("victim", line.clone()).unwrap();
+    }
+    let control = control_service.finish("victim").unwrap();
+    assert_eq!(control.outcome, TenantOutcome::Completed);
+    assert_eq!(
+        render_report(&victim),
+        render_report(&control),
+        "recovered report must be byte-identical to the uncrashed run"
+    );
+}
+
+#[test]
+fn deterministic_panic_exhausts_the_restart_budget_and_abandons_with_evidence() {
+    let lines = clean_lines(30);
+
+    let mut registry = EngineRegistry::with_software();
+    registry.register("poison", || Box::new(FaultyEngine::new(FaultMode::PanicOnBatch(1))));
+    let cfg = base_config().with_supervision(SupervisionConfig::new().with_max_restarts(1));
+    let service = Service::new(cfg, registry).unwrap();
+    service.open_tenant_with("doomed", service.session_defaults().with_engine("poison")).unwrap();
+    service.open_tenant("bystander").unwrap();
+    for line in &lines {
+        service.ingest_line("doomed", line.clone()).unwrap();
+        service.ingest_line("bystander", line.clone()).unwrap();
+    }
+
+    let doomed = service.finish("doomed").unwrap();
+    match &doomed.outcome {
+        TenantOutcome::Abandoned { restarts, evidence } => {
+            assert_eq!(*restarts, 1);
+            assert!(evidence.contains("panic"), "evidence: {evidence}");
+        }
+        other => panic!("expected abandonment, got {other:?}"),
+    }
+    let detail = doomed.result.as_ref().unwrap_err();
+    assert!(detail.contains("abandoned after 1 restart"), "{detail}");
+
+    // The poisoned tenant took nothing else down: its neighbor verifies,
+    // and the service keeps accepting new tenants.
+    let bystander = service.finish("bystander").unwrap();
+    assert_eq!(bystander.outcome, TenantOutcome::Completed);
+    assert!(bystander.result.as_ref().unwrap().verify.is_match());
+    service.open_tenant("fresh").unwrap();
+    let fresh = service.finish("fresh").unwrap();
+    assert!(fresh.result.is_ok());
+
+    let stats = service.stats();
+    assert_eq!(stats.counter(keys::SERVE_SUPERVISION_ABANDONED), 1);
+    assert!(stats.counter(keys::SERVE_SUPERVISION_PANICS) >= 2, "initial + replay panic");
+}
+
+#[test]
+fn hung_generation_trips_the_watchdog() {
+    let lines = clean_lines(20);
+
+    let mut registry = EngineRegistry::with_software();
+    registry.register("tarpit", || {
+        Box::new(FaultyEngine::new(FaultMode::SleepOnBatch(1, Duration::from_millis(400))))
+    });
+    let cfg = base_config().with_supervision(
+        SupervisionConfig::new()
+            .with_max_restarts(0)
+            .with_batch_watchdog(Duration::from_millis(50)),
+    );
+    let service = Service::new(cfg, registry).unwrap();
+    service.open_tenant_with("stuck", service.session_defaults().with_engine("tarpit")).unwrap();
+    for line in &lines {
+        service.ingest_line("stuck", line.clone()).unwrap();
+    }
+
+    let report = service.finish("stuck").unwrap();
+    match &report.outcome {
+        TenantOutcome::Abandoned { restarts, evidence } => {
+            assert_eq!(*restarts, 0);
+            assert!(evidence.contains("watchdog"), "evidence: {evidence}");
+        }
+        other => panic!("expected watchdog abandonment, got {other:?}"),
+    }
+    assert!(service.stats().counter(keys::SERVE_SUPERVISION_WATCHDOG) >= 1);
+}

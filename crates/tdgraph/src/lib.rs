@@ -57,7 +57,10 @@ pub use tdgraph_engines::session::{OracleSummary, RunResult, StreamingSession};
 pub use tdgraph_graph::fault::FaultPlan;
 pub use tdgraph_graph::quarantine::{IngestMode, QuarantineReason, QuarantineReport};
 pub use tdgraph_obs::{JsonlSink, Snapshot, TraceEvent, TraceSink, VecSink};
-pub use tdgraph_serve::{Service, ServiceConfig, SessionConfig, TdServer, TenantReport};
+pub use tdgraph_serve::{
+    OverloadPolicy, Service, ServiceConfig, SessionConfig, SupervisionConfig, TdServer,
+    TenantOutcome, TenantReport,
+};
 
 /// The supported surface of the reproduction — the stability boundary.
 ///
@@ -111,8 +114,10 @@ pub mod prelude {
         TraceEvent, TraceSink, VecSink,
     };
     pub use tdgraph_serve::{
-        AlgoChoice, BatchClose, BatchFormer, ServeClient, ServeError, Service, ServiceConfig,
-        SessionConfig, SnapshotView, TdServer, TenantReport,
+        AlgoChoice, BatchClose, BatchFormer, ChaosOutcome, ClientError, Clock, OverloadPolicy,
+        RetryPolicy, ServeClient, ServeError, Service, ServiceConfig, SessionConfig, ShedEvent,
+        ShedReason, SnapshotView, SupervisionConfig, SystemClock, TdServer, TenantOutcome,
+        TenantReport, TestClock, WireFault, WireFaultPlan,
     };
     pub use tdgraph_sim::{ExecMode, SimConfig};
 }
