@@ -1,7 +1,8 @@
 //! Host-parallel sharded execution bench: intra-cell wall-clock speedup
-//! of `ExecMode::Sharded` over `Serial` on the reference fig10-style cell
-//! (largest synthetic dataset, TDGraph plus two baselines), sweep
-//! throughput in cells/sec, and the record/replay merge overhead.
+//! of sharded [`ExecConfig`]s over serial on the reference fig10-style
+//! cell (largest synthetic dataset, TDGraph plus two baselines), sweep
+//! throughput in cells/sec, the record/replay merge overhead, and the
+//! boundary-event volumes under both event encodings.
 //!
 //! Every sharded run is checked against its serial twin — metrics and
 //! oracle verdict must agree byte-for-byte, and a divergence aborts the
@@ -22,33 +23,56 @@ const ENGINES: [EngineKind; 3] = [EngineKind::TdGraphH, EngineKind::LigraO, Engi
 /// synthetic workload at every sizing.
 const DATASET: Dataset = Dataset::Friendster;
 
+/// One timed sharded configuration of a reference cell.
+struct ExecSample {
+    label: String,
+    secs: f64,
+    setup_secs: f64,
+    reduce_secs: Vec<f64>,
+    reduce_lanes: usize,
+    encoding: &'static str,
+    touch_bytes_raw: u64,
+    touch_bytes_encoded: u64,
+    fill_bytes: u64,
+}
+
 struct EngineRow {
     engine: &'static str,
     serial_secs: f64,
-    sharded1_secs: f64,
-    sharded4_secs: f64,
+    samples: Vec<ExecSample>,
 }
 
 impl EngineRow {
+    fn sample(&self, label: &str) -> &ExecSample {
+        self.samples
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("no {label} sample"))
+    }
+
     fn speedup4(&self) -> f64 {
-        self.serial_secs / self.sharded4_secs.max(1e-9)
+        self.serial_secs / self.sample("sharded4").secs.max(1e-9)
     }
 
     /// Cost of recording + replaying the boundary-event stream with no
-    /// parallelism to pay for it: `Sharded(1)` wall over serial wall.
+    /// parallelism to pay for it: `sharded1` wall over serial wall, with
+    /// the one-time pipeline setup (thread spawn + shard-plan cache
+    /// hand-off) excluded — setup is paid once per run, not per batch, so
+    /// folding it in overstated the steady-state overhead.
     fn merge_overhead(&self) -> f64 {
-        self.sharded1_secs / self.serial_secs.max(1e-9) - 1.0
+        let s1 = self.sample("sharded1");
+        (s1.secs - s1.setup_secs) / self.serial_secs.max(1e-9) - 1.0
     }
 }
 
 /// One timed cell. Panics (failing the bench run and the CI smoke job) if
-/// the sharded result diverges from the serial one.
+/// the run diverges from the oracle.
 fn timed_run(
     kind: &EngineKind,
     workload: &StreamingWorkload,
     opts: &RunConfig,
-    exec: ExecMode,
-) -> (f64, String) {
+    exec: ExecConfig,
+) -> (f64, String, Option<ExecPipelineReport>) {
     let mut engine = (*kind).try_build().expect("fig10 engines are registered");
     let opts = RunConfig { exec, ..opts.clone() };
     let start = Instant::now();
@@ -57,7 +81,31 @@ fn timed_run(
         .expect("reference cell runs clean");
     let wall = start.elapsed().as_secs_f64();
     assert!(res.verify.is_match(), "{} under {} failed the oracle", kind.key(), exec.label());
-    (wall, format!("{:?} {:?}", res.metrics, res.verify))
+    (wall, format!("{:?} {:?}", res.metrics, res.verify), res.exec)
+}
+
+fn sample(
+    kind: &EngineKind,
+    workload: &StreamingWorkload,
+    opts: &RunConfig,
+    exec: ExecConfig,
+    serial_out: &str,
+) -> ExecSample {
+    let (secs, out, report) = timed_run(kind, workload, opts, exec);
+    // The divergence gate: sharded output must be byte-identical.
+    assert_eq!(serial_out, out, "{} diverged under {}", kind.key(), exec.label());
+    let report = report.expect("sharded runs carry a pipeline report");
+    ExecSample {
+        label: exec.label(),
+        secs,
+        setup_secs: report.setup.as_secs_f64(),
+        reduce_secs: report.reduce_wall.iter().map(std::time::Duration::as_secs_f64).collect(),
+        reduce_lanes: report.reduce_lanes,
+        encoding: report.encoding.label(),
+        touch_bytes_raw: report.touch_bytes_raw,
+        touch_bytes_encoded: report.touch_bytes_encoded,
+        fill_bytes: report.fill_bytes,
+    }
 }
 
 pub fn run(scope: Scope) -> ExperimentOutput {
@@ -67,36 +115,51 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         StreamingWorkload::try_prepare(DATASET, sizing).expect("reference workload generates");
 
     let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let configs = [
+        ExecConfig::serial().shards(1),
+        ExecConfig::serial().shards(4),
+        ExecConfig::serial().shards(4).reduce_lanes(4),
+        ExecConfig::serial().shards(4).reduce_lanes(4).event_encoding(EventEncoding::RunLength),
+    ];
     let mut lines = vec![
         format!("host cpus: {host_cpus} (wall-clock speedup is bounded by available parallelism)"),
         format!(
-            "{:<12} {:>10} {:>11} {:>11} {:>9} {:>9}",
-            "engine", "serial(s)", "sharded1(s)", "sharded4(s)", "x4 speed", "merge ovh"
+            "{:<12} {:>10} {:>11} {:>11} {:>13} {:>9} {:>9} {:>9}",
+            "engine",
+            "serial(s)",
+            "sharded1(s)",
+            "sharded4(s)",
+            "sharded4x4(s)",
+            "x4 speed",
+            "merge ovh",
+            "rle ratio"
         ),
     ];
     let mut rows = Vec::new();
     for kind in &ENGINES {
-        let (serial_secs, serial_out) = timed_run(kind, &workload, &opts, ExecMode::Serial);
-        let (sharded1_secs, sharded1_out) = timed_run(kind, &workload, &opts, ExecMode::Sharded(1));
-        let (sharded4_secs, sharded4_out) = timed_run(kind, &workload, &opts, ExecMode::Sharded(4));
-        // The divergence gate: sharded output must be byte-identical.
-        assert_eq!(serial_out, sharded1_out, "{} diverged under Sharded(1)", kind.key());
-        assert_eq!(serial_out, sharded4_out, "{} diverged under Sharded(4)", kind.key());
-        let row = EngineRow { engine: kind.key(), serial_secs, sharded1_secs, sharded4_secs };
+        let (serial_secs, serial_out, _) = timed_run(kind, &workload, &opts, ExecConfig::serial());
+        let samples: Vec<ExecSample> =
+            configs.iter().map(|&exec| sample(kind, &workload, &opts, exec, &serial_out)).collect();
+        let row = EngineRow { engine: kind.key(), serial_secs, samples };
+        let rle = row.sample("sharded4x4-rle");
+        let rle_ratio = rle.touch_bytes_encoded as f64 / rle.touch_bytes_raw.max(1) as f64;
         lines.push(format!(
-            "{:<12} {:>10.3} {:>11.3} {:>11.3} {:>8.2}x {:>8.1}%",
+            "{:<12} {:>10.3} {:>11.3} {:>11.3} {:>13.3} {:>8.2}x {:>8.1}% {:>9.3}",
             row.engine,
             row.serial_secs,
-            row.sharded1_secs,
-            row.sharded4_secs,
+            row.sample("sharded1").secs,
+            row.sample("sharded4").secs,
+            row.sample("sharded4x4").secs,
             row.speedup4(),
             100.0 * row.merge_overhead(),
+            rle_ratio,
         ));
         rows.push(row);
     }
 
     // Sweep throughput: the same trio over all four algorithms, run by the
-    // parallel sweep runner with sharded cells.
+    // parallel sweep runner with laned sharded cells via the exec axis.
+    let sweep_exec = ExecConfig::serial().shards(4).reduce_lanes(2);
     let spec = SweepSpec::new()
         .algo(Algo::pagerank())
         .algo(Algo::adsorption())
@@ -105,7 +168,8 @@ pub fn run(scope: Scope) -> ExperimentOutput {
         .dataset(DATASET)
         .sizing(sizing)
         .engines(ENGINES)
-        .options(RunConfig { exec: ExecMode::Sharded(4), ..opts.clone() });
+        .options(opts.clone())
+        .exec_configs([sweep_exec]);
     let cells = spec.cell_count();
     let start = Instant::now();
     let report = SweepRunner::new().threads(4).run(&spec);
@@ -114,10 +178,11 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     let cells_per_sec = cells as f64 / sweep_secs.max(1e-9);
     lines.push(String::new());
     lines.push(format!(
-        "sweep: {cells} sharded cells in {sweep_secs:.2}s at 4 host threads = {cells_per_sec:.2} cells/sec"
+        "sweep: {cells} {} cells in {sweep_secs:.2}s at 4 host threads = {cells_per_sec:.2} cells/sec",
+        sweep_exec.label()
     ));
 
-    let json = render_json(scope, sizing, &rows, cells, sweep_secs, cells_per_sec);
+    let json = render_json(scope, sizing, &rows, &sweep_exec, cells, sweep_secs, cells_per_sec);
     let out_path =
         std::env::var("BENCH_PARALLEL_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
     match std::fs::write(&out_path, &json) {
@@ -132,10 +197,30 @@ pub fn run(scope: Scope) -> ExperimentOutput {
     }
 }
 
+fn render_sample(s: &ExecSample) -> String {
+    let reduce = s.reduce_secs.iter().map(|t| format!("{t:.6}")).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\"config\": \"{}\", \"secs\": {:.6}, \"setup_secs\": {:.6}, \
+         \"reduce_lanes\": {}, \"reduce_secs\": [{}], \"event_encoding\": \"{}\", \
+         \"touch_bytes_raw\": {}, \"touch_bytes_encoded\": {}, \"fill_bytes\": {}}}",
+        s.label,
+        s.secs,
+        s.setup_secs,
+        s.reduce_lanes,
+        reduce,
+        s.encoding,
+        s.touch_bytes_raw,
+        s.touch_bytes_encoded,
+        s.fill_bytes,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scope: Scope,
     sizing: Sizing,
     rows: &[EngineRow],
+    sweep_exec: &ExecConfig,
     cells: usize,
     sweep_secs: f64,
     cells_per_sec: f64,
@@ -153,22 +238,27 @@ fn render_json(
     s.push_str("  \"reference_cells\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"serial_secs\": {:.6}, \"sharded1_secs\": {:.6}, \
-             \"sharded4_secs\": {:.6}, \"speedup_4_threads\": {:.4}, \
-             \"merge_overhead\": {:.4}, \"diverged\": false}}{}\n",
+            "    {{\"engine\": \"{}\", \"serial_secs\": {:.6}, \"speedup_4_threads\": {:.4}, \
+             \"merge_overhead\": {:.4}, \"diverged\": false, \"exec\": [\n",
             r.engine,
             r.serial_secs,
-            r.sharded1_secs,
-            r.sharded4_secs,
             r.speedup4(),
             r.merge_overhead(),
-            if i + 1 == rows.len() { "" } else { "," },
         ));
+        for (j, sm) in r.samples.iter().enumerate() {
+            s.push_str(&format!(
+                "      {}{}\n",
+                render_sample(sm),
+                if j + 1 == r.samples.len() { "" } else { "," }
+            ));
+        }
+        s.push_str(&format!("    ]}}{}\n", if i + 1 == rows.len() { "" } else { "," }));
     }
     s.push_str("  ],\n");
     s.push_str(&format!(
-        "  \"sweep\": {{\"cells\": {cells}, \"host_threads\": 4, \"wall_secs\": {sweep_secs:.4}, \
-         \"cells_per_sec\": {cells_per_sec:.4}}}\n"
+        "  \"sweep\": {{\"cells\": {cells}, \"exec_config\": \"{}\", \"host_threads\": 4, \
+         \"wall_secs\": {sweep_secs:.4}, \"cells_per_sec\": {cells_per_sec:.4}}}\n",
+        sweep_exec.label()
     ));
     s.push_str("}\n");
     s

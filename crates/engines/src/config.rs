@@ -20,7 +20,7 @@ use tdgraph_graph::update::BatchComposer;
 use tdgraph_graph::wire::RecordedSchedule;
 use tdgraph_obs::{NullRecorder, Recorder};
 use tdgraph_sim::config::SimConfig;
-use tdgraph_sim::exec::ExecMode;
+use tdgraph_sim::exec::ExecConfig;
 
 use crate::engine::Engine;
 use crate::error::EngineError;
@@ -108,11 +108,12 @@ pub struct RunConfig {
     pub fault_plan: FaultPlan,
     /// Differential-oracle cadence.
     pub oracle: OracleMode,
-    /// Host execution mode. [`ExecMode::Sharded`]`(n)` runs the machine's
-    /// record/replay pipeline over `n` worker threads; every metric,
-    /// snapshot, and verified state stays byte-identical to
-    /// [`ExecMode::Serial`].
-    pub exec: ExecMode,
+    /// Host execution configuration. A sharded [`ExecConfig`] runs the
+    /// machine's record/replay pipeline over worker threads (optionally
+    /// with partitioned reducer lanes and run-length boundary-event
+    /// encoding); every metric, snapshot, and verified state stays
+    /// byte-identical to [`ExecConfig::serial`].
+    pub exec: ExecConfig,
 }
 
 impl Default for RunConfig {
@@ -128,7 +129,7 @@ impl Default for RunConfig {
             ingest: IngestMode::Strict,
             fault_plan: FaultPlan::none(),
             oracle: OracleMode::Final,
-            exec: ExecMode::Serial,
+            exec: ExecConfig::serial(),
         }
     }
 }
@@ -210,10 +211,12 @@ impl RunConfig {
         self
     }
 
-    /// Sets the host execution mode.
+    /// Sets the host execution configuration. Accepts an [`ExecConfig`]
+    /// directly or a legacy [`tdgraph_sim::ExecMode`](tdgraph_sim::exec::ExecMode)
+    /// via `Into`.
     #[must_use]
-    pub fn with_exec(mut self, exec: ExecMode) -> Self {
-        self.exec = exec;
+    pub fn with_exec(mut self, exec: impl Into<ExecConfig>) -> Self {
+        self.exec = exec.into();
         self
     }
 
@@ -245,11 +248,7 @@ impl RunConfig {
                 reason: "oracle cadence EveryNBatches(0) is meaningless; use Off".into(),
             });
         }
-        if self.exec == ExecMode::Sharded(0) {
-            return Err(EngineError::InvalidOptions {
-                reason: "ExecMode::Sharded(0) has no worker threads; use Serial".into(),
-            });
-        }
+        self.exec.validate().map_err(|reason| EngineError::InvalidOptions { reason })?;
         self.sim.try_validate()?;
         Ok(())
     }

@@ -95,7 +95,7 @@ mod tests {
     use tdgraph_graph::fault::FaultPlan;
     use tdgraph_graph::quarantine::{IngestMode, QuarantineReason};
     use tdgraph_obs::MemoryRecorder;
-    use tdgraph_sim::exec::ExecMode;
+    use tdgraph_sim::exec::{EventEncoding, ExecConfig, MAX_REDUCE_LANES};
 
     fn amazon_tiny(cfg: &RunConfig) -> Result<RunResult, EngineError> {
         cfg.run(&mut LigraO, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
@@ -234,23 +234,49 @@ mod tests {
     }
 
     #[test]
-    fn sharded_zero_is_a_typed_error() {
-        let err = amazon_tiny(&RunConfig::small().with_exec(ExecMode::Sharded(0))).unwrap_err();
-        assert!(matches!(err, EngineError::InvalidOptions { .. }), "got {err}");
+    fn out_of_range_reduce_lanes_is_a_typed_error() {
+        for lanes in [0, MAX_REDUCE_LANES + 1] {
+            let cfg =
+                RunConfig::small().with_exec(ExecConfig::serial().shards(2).reduce_lanes(lanes));
+            let err = amazon_tiny(&cfg).unwrap_err();
+            assert!(matches!(err, EngineError::InvalidOptions { .. }), "lanes={lanes}: got {err}");
+        }
+    }
+
+    #[test]
+    fn legacy_exec_mode_still_configures_runs() {
+        #[allow(deprecated)]
+        use tdgraph_sim::exec::ExecMode;
+        #[allow(deprecated)]
+        let old = amazon_tiny(&RunConfig::small().with_exec(ExecMode::Sharded(2))).unwrap();
+        let new =
+            amazon_tiny(&RunConfig::small().with_exec(ExecConfig::serial().shards(2))).unwrap();
+        assert_eq!(format!("{:?}", old.metrics), format!("{:?}", new.metrics));
+        assert_eq!(old.verify, new.verify);
     }
 
     #[test]
     fn sharded_run_matches_serial_byte_for_byte() {
         let serial = amazon_tiny(&RunConfig::small()).unwrap();
-        for workers in [1, 2, 4] {
-            let sharded =
-                amazon_tiny(&RunConfig::small().with_exec(ExecMode::Sharded(workers))).unwrap();
+        assert!(serial.exec.is_none(), "serial runs carry no pipeline report");
+        for exec in [
+            ExecConfig::serial().shards(1),
+            ExecConfig::serial().shards(2),
+            ExecConfig::serial().shards(4),
+            ExecConfig::serial().shards(4).reduce_lanes(2),
+            ExecConfig::serial().shards(2).reduce_lanes(4).event_encoding(EventEncoding::RunLength),
+        ] {
+            let sharded = amazon_tiny(&RunConfig::small().with_exec(exec)).unwrap();
             assert_eq!(
                 format!("{:?}", sharded.metrics),
                 format!("{:?}", serial.metrics),
-                "Sharded({workers}) metrics diverge from serial"
+                "{} metrics diverge from serial",
+                exec.label()
             );
             assert_eq!(sharded.verify, serial.verify);
+            let report = sharded.exec.expect("sharded runs carry a pipeline report");
+            assert_eq!(report.reduce_lanes, exec.lanes());
+            assert_eq!(report.encoding, exec.encoding());
         }
     }
 
@@ -267,13 +293,13 @@ mod tests {
                 .unwrap();
             let mut engine = registry.build(key).expect("software engine registered");
             let sharded = RunConfig::small()
-                .with_exec(ExecMode::Sharded(2))
+                .with_exec(ExecConfig::serial().shards(2).reduce_lanes(2))
                 .run(&mut *engine, Algo::sssp(0), (Dataset::Amazon, Sizing::Tiny))
                 .unwrap();
             assert_eq!(
                 format!("{:?}", sharded.metrics),
                 format!("{:?}", serial.metrics),
-                "{key}: Sharded(2) metrics diverge from serial"
+                "{key}: sharded2x2 metrics diverge from serial"
             );
             assert_eq!(sharded.verify, serial.verify, "{key}: verification outcome diverges");
         }
@@ -281,7 +307,7 @@ mod tests {
 
     #[test]
     fn sharded_observed_run_snapshot_matches_serial() {
-        let run = |exec: ExecMode| {
+        let run = |exec: ExecConfig| {
             let mut rec = MemoryRecorder::new();
             RunConfig::small()
                 .with_exec(exec)
@@ -295,9 +321,16 @@ mod tests {
             // Wall-clock excluded: it is host time, not model output.
             rec.into_snapshot().canonical_json_line()
         };
-        let serial = run(ExecMode::Serial);
-        assert_eq!(serial, run(ExecMode::Sharded(2)));
-        assert_eq!(serial, run(ExecMode::Sharded(4)));
+        let serial = run(ExecConfig::serial());
+        assert_eq!(serial, run(ExecConfig::serial().shards(2)));
+        assert_eq!(serial, run(ExecConfig::serial().shards(4).reduce_lanes(2)));
+        assert_eq!(
+            serial,
+            run(ExecConfig::serial()
+                .shards(2)
+                .reduce_lanes(4)
+                .event_encoding(EventEncoding::RunLength))
+        );
     }
 
     #[test]

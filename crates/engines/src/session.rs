@@ -27,7 +27,7 @@ use tdgraph_graph::wire::RecordedEntry;
 use tdgraph_obs::{keys, MemoryRecorder, Recorder, RecorderHandle, TraceEvent};
 use tdgraph_sim::address::AddressSpace;
 use tdgraph_sim::energy::{EnergyBreakdown, EnergyConstants};
-use tdgraph_sim::exec::ExecMode;
+use tdgraph_sim::exec::ExecPipelineReport;
 use tdgraph_sim::machine::Machine;
 use tdgraph_sim::stats::{Actor, Op, PhaseKind};
 
@@ -104,6 +104,10 @@ pub struct RunResult {
     pub quarantine: QuarantineReport,
     /// Mid-run differential-oracle accounting.
     pub oracle: OracleSummary,
+    /// Host-side pipeline timing and boundary-event volumes of a sharded
+    /// run (`None` for serial runs). Wall-clock, so deliberately outside
+    /// every deterministic surface — [`RunMetrics`] never reads it.
+    pub exec: Option<ExecPipelineReport>,
 }
 
 /// An open streaming run over one workload.
@@ -155,16 +159,15 @@ impl StreamingSession {
         let layout = AddressSpace::layout(n, edge_capacity, coalesced);
 
         let snapshot = graph.snapshot();
-        let machine = match cfg.exec {
-            ExecMode::Serial => Machine::new(cfg.sim.clone(), layout),
-            exec @ ExecMode::Sharded(_) => {
-                // One static, edge-balanced shard plan from the initial
-                // snapshot: replay shards keep their private caches for the
-                // whole run, so the grouping must not change per batch.
-                let chunks = partition_by_edges(&snapshot, cfg.sim.cores * cfg.chunks_per_core);
-                let plan = ShardPlan::balanced(&chunks, cfg.sim.cores, exec.replay_shards());
-                Machine::with_exec(cfg.sim.clone(), layout, exec, &plan)
-            }
+        let machine = if cfg.exec.is_sharded() {
+            // One static, edge-balanced shard plan from the initial
+            // snapshot: replay shards keep their private caches for the
+            // whole run, so the grouping must not change per batch.
+            let chunks = partition_by_edges(&snapshot, cfg.sim.cores * cfg.chunks_per_core);
+            let plan = ShardPlan::balanced(&chunks, cfg.sim.cores, cfg.exec.replay_shards());
+            Machine::with_exec_config(cfg.sim.clone(), layout, cfg.exec, &plan)
+        } else {
+            Machine::new(cfg.sim.clone(), layout)
         };
         let state = AlgoState::from_solution(solve(&algo, &snapshot), n);
 
@@ -444,6 +447,13 @@ impl StreamingSession {
         mem.span_exit(keys::PHASE_OTHER, self.machine.breakdown().other_cycles);
 
         let metrics = RunMetrics::from_snapshot(&mem.into_snapshot());
-        RunResult { metrics, verify, quarantine: self.quarantine, oracle: self.oracle_summary }
+        let exec = self.machine.exec_report().cloned();
+        RunResult {
+            metrics,
+            verify,
+            quarantine: self.quarantine,
+            oracle: self.oracle_summary,
+            exec,
+        }
     }
 }

@@ -43,9 +43,21 @@ struct Line {
 const INVALID: Line =
     Line { tag: 0, valid: false, dirty: false, meta: 0, touched: 0, region: Region::VertexStates };
 
-/// DRRIP set-dueling state (Jaleel et al., ISCA'10): a few leader sets are
-/// dedicated to SRRIP and BRRIP insertion; misses in leader sets steer a
-/// saturating selector that the follower sets obey.
+/// Number of independent DRRIP duel domains ("banks"). Set `s` belongs to
+/// bank `s % DUEL_BANKS`; each bank owns its own leader sets, PSEL, and
+/// BRRIP tick. The LLC is banked over the mesh, and real banked designs
+/// duel per bank rather than sharing one selector across the chip — and
+/// bank-local duel state is also what lets the sharded reduction partition
+/// LLC state into independent lanes at bank granularity (see
+/// `exec::lane_of_line`): events in different banks never read or write
+/// shared replacement state, so per-lane serial order reproduces global
+/// serial order exactly.
+pub(crate) const DUEL_BANKS: usize = 8;
+
+/// DRRIP set-dueling state (Jaleel et al., ISCA'10), one per bank: a few
+/// leader sets are dedicated to SRRIP and BRRIP insertion; misses in
+/// leader sets steer a saturating selector that the bank's follower sets
+/// obey.
 #[derive(Debug, Clone, Copy)]
 struct DuelState {
     /// Positive → SRRIP is missing more → followers use BRRIP.
@@ -63,9 +75,11 @@ impl DuelState {
     }
 
     /// Which insertion policy governs `set`: Some(true)=SRRIP leader,
-    /// Some(false)=BRRIP leader, None=follower.
+    /// Some(false)=BRRIP leader, None=follower. Leaders are chosen per
+    /// bank: the first set of each bank stripe is its SRRIP leader, the
+    /// second its BRRIP leader, repeating every `LEADER_STRIDE` stripes.
     fn leader(set: usize) -> Option<bool> {
-        match set % Self::LEADER_STRIDE {
+        match (set / DUEL_BANKS) % Self::LEADER_STRIDE {
             0 => Some(true),
             1 => Some(false),
             _ => None,
@@ -108,7 +122,7 @@ pub struct SetAssocCache {
     ways: usize,
     policy: PolicyKind,
     stamp: u32,
-    duel: DuelState,
+    duel: [DuelState; DUEL_BANKS],
 }
 
 impl SetAssocCache {
@@ -126,7 +140,7 @@ impl SetAssocCache {
             ways,
             policy,
             stamp: 0,
-            duel: DuelState::new(),
+            duel: [DuelState::new(); DUEL_BANKS],
         }
     }
 
@@ -169,7 +183,7 @@ impl SetAssocCache {
             }
         }
         if policy == PolicyKind::Drrip {
-            self.duel.on_miss(set);
+            self.duel[set % DUEL_BANKS].on_miss(set);
         }
 
         // Miss: steer the DRRIP duel, then pick a way.
@@ -209,7 +223,7 @@ impl SetAssocCache {
             )
         };
         let meta = if policy == PolicyKind::Drrip {
-            self.duel.insert_rrpv(set)
+            self.duel[set % DUEL_BANKS].insert_rrpv(set)
         } else {
             policy.insert_meta(region, stamp)
         };
@@ -245,6 +259,26 @@ impl SetAssocCache {
         for l in &mut self.sets {
             if l.valid {
                 l.touched = mask_of(l.tag);
+            }
+        }
+    }
+
+    /// Crate-internal: copies every set `s` with `owned(s)` true — lines
+    /// and replacement metadata — from `other` into this cache. The
+    /// multi-lane reduction runs each lane against its own clone of the
+    /// LLC (touching only the sets its lane owns) and reassembles the
+    /// serial cache here at finalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two caches have different geometry.
+    pub(crate) fn adopt_sets(&mut self, other: &SetAssocCache, owned: impl Fn(usize) -> bool) {
+        assert_eq!(self.set_count, other.set_count, "adopt_sets needs identical geometry");
+        assert_eq!(self.ways, other.ways, "adopt_sets needs identical geometry");
+        for set in 0..self.set_count {
+            if owned(set) {
+                let range = set * self.ways..(set + 1) * self.ways;
+                self.sets[range.clone()].copy_from_slice(&other.sets[range]);
             }
         }
     }
@@ -395,44 +429,65 @@ mod tests {
     }
 
     #[test]
-    fn drrip_leader_sets_are_fixed() {
-        assert_eq!(DuelState::leader(0), Some(true));
-        assert_eq!(DuelState::leader(1), Some(false));
-        assert_eq!(DuelState::leader(2), None);
-        assert_eq!(DuelState::leader(32), Some(true));
-        assert_eq!(DuelState::leader(33), Some(false));
+    fn drrip_leader_sets_are_fixed_per_bank() {
+        // The first stripe of sets (one per bank) are SRRIP leaders, the
+        // second stripe BRRIP leaders, repeating every LEADER_STRIDE
+        // stripes.
+        for bank in 0..DUEL_BANKS {
+            assert_eq!(DuelState::leader(bank), Some(true));
+            assert_eq!(DuelState::leader(DUEL_BANKS + bank), Some(false));
+            assert_eq!(DuelState::leader(2 * DUEL_BANKS + bank), None);
+        }
+        assert_eq!(DuelState::leader(DUEL_BANKS * DuelState::LEADER_STRIDE), Some(true));
+        assert_eq!(DuelState::leader(DUEL_BANKS * (DuelState::LEADER_STRIDE + 1)), Some(false));
     }
 
     #[test]
     fn drrip_duel_steers_followers_by_leader_misses() {
-        // Drive misses only into the SRRIP leader set (set 0 of 64): PSEL
-        // rises, so follower sets must switch to BRRIP insertion.
+        // Drive misses only into bank 0's SRRIP leader (set 0 of 64): its
+        // PSEL rises, so bank-0 follower sets must switch to BRRIP
+        // insertion.
         let mut c = SetAssocCache::new(64, 2, PolicyKind::Drrip);
         for k in 0..1_000u64 {
             c.access(k * 64, 0, false, Region::NeighborArray);
         }
-        assert!(c.duel.psel > 0, "SRRIP-leader misses must raise PSEL");
-        let mut duel = c.duel;
+        assert!(c.duel[0].psel > 0, "SRRIP-leader misses must raise PSEL");
+        let mut duel = c.duel[0];
         let mut distant = 0;
         for _ in 0..32 {
-            if duel.insert_rrpv(5) == 3 {
+            // Set 16 is a bank-0 follower (16 / DUEL_BANKS == 2).
+            if duel.insert_rrpv(16) == 3 {
                 distant += 1;
             }
         }
         assert!(distant >= 30, "followers must insert distant under BRRIP");
-        // Conversely, misses in the BRRIP leader set pull PSEL back down.
+        // Conversely, misses in bank 0's BRRIP leader (set 8) pull PSEL
+        // back down.
         for k in 0..3_000u64 {
-            c.access(k * 64 + 1, 0, false, Region::NeighborArray);
+            c.access(k * 64 + 8, 0, false, Region::NeighborArray);
         }
-        assert!(c.duel.psel < 0);
-        assert_eq!(c.duel.insert_rrpv(5), 2, "followers back on SRRIP insertion");
+        assert!(c.duel[0].psel < 0);
+        assert_eq!(c.duel[0].insert_rrpv(16), 2, "followers back on SRRIP insertion");
+    }
+
+    #[test]
+    fn drrip_banks_duel_independently() {
+        // Leader misses in bank 0 must never move bank 1's selector.
+        let mut c = SetAssocCache::new(64, 2, PolicyKind::Drrip);
+        for k in 0..1_000u64 {
+            c.access(k * 64, 0, false, Region::NeighborArray);
+        }
+        assert!(c.duel[0].psel > 0);
+        for bank in 1..DUEL_BANKS {
+            assert_eq!(c.duel[bank].psel, 0, "bank {bank} selector moved");
+        }
     }
 
     #[test]
     fn drrip_brrip_occasionally_inserts_near() {
         let mut duel = DuelState::new();
         duel.psel = 100; // followers on BRRIP
-        let rrpvs: Vec<u32> = (0..64).map(|_| duel.insert_rrpv(7)).collect();
+        let rrpvs: Vec<u32> = (0..64).map(|_| duel.insert_rrpv(16)).collect();
         assert!(rrpvs.contains(&2), "BRRIP must rarely insert near");
         assert!(rrpvs.iter().filter(|&&r| r == 3).count() >= 60);
     }
@@ -445,8 +500,22 @@ mod tests {
         }
         assert_eq!(duel.psel, DuelState::PSEL_MAX);
         for _ in 0..30_000 {
-            duel.on_miss(1);
+            duel.on_miss(DUEL_BANKS);
         }
         assert_eq!(duel.psel, -DuelState::PSEL_MAX);
+    }
+
+    #[test]
+    fn adopt_sets_copies_owned_sets_only() {
+        let mut a = SetAssocCache::new(4, 2, PolicyKind::Lru);
+        let mut b = SetAssocCache::new(4, 2, PolicyKind::Lru);
+        a.access(0, 0, false, Region::VertexStates); // set 0
+        a.access(1, 1, true, Region::NeighborArray); // set 1
+        b.access(5, 2, true, Region::VertexStates); // set 1
+        b.access(2, 3, false, Region::OffsetArray); // set 2
+        a.adopt_sets(&b, |s| s % 2 == 1);
+        assert!(a.contains(0), "unowned set 0 must be untouched");
+        assert!(a.contains(5) && !a.contains(1), "owned set 1 must be replaced");
+        assert!(!a.contains(2), "unowned set 2 must not be adopted");
     }
 }

@@ -13,7 +13,9 @@ use tdgraph_obs::Snapshot;
 use crate::address::{AddressSpace, Region};
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
-use crate::exec::{ExecMode, Pipeline};
+#[allow(deprecated)]
+use crate::exec::ExecMode;
+use crate::exec::{ExecConfig, ExecPipelineReport, Pipeline};
 use crate::memory::DramModel;
 use crate::noc::Mesh;
 use crate::stats::{Actor, MachineStats, Op, PhaseKind, TimeBreakdown};
@@ -36,14 +38,18 @@ pub struct Machine {
     breakdown: TimeBreakdown,
     stats: MachineStats,
     trace: Option<AccessTrace>,
-    /// The host-parallel record/replay pipeline, when constructed with
-    /// [`ExecMode::Sharded`]. While active, `l1`/`l2`/`llc`/`dram` are
+    /// The host-parallel record/replay pipeline, when constructed with a
+    /// sharded [`ExecConfig`]. While active, `l1`/`l2`/`llc`/`dram` are
     /// placeholders owned by the pipeline workers; [`Machine::finish`]
     /// merges them back, after which all accessors report the exact
     /// serial values.
     pipeline: Option<Pipeline>,
+    /// Wall-clock spent spawning the pipeline (threads + cache hand-off);
+    /// copied into the report's `setup` at [`Machine::finish`].
+    pipeline_setup: std::time::Duration,
     shard_telemetry: Option<Snapshot>,
     shard_snapshots: Vec<(u64, Snapshot)>,
+    exec_report: Option<ExecPipelineReport>,
 }
 
 impl Machine {
@@ -80,26 +86,66 @@ impl Machine {
             stats: MachineStats::default(),
             trace: None,
             pipeline: None,
+            pipeline_setup: std::time::Duration::ZERO,
             shard_telemetry: None,
             shard_snapshots: Vec::new(),
+            exec_report: None,
             cfg,
         }
     }
 
-    /// Builds a machine for the given [`ExecMode`].
+    /// Builds a machine for the given [`ExecConfig`].
     ///
-    /// [`ExecMode::Serial`] is identical to [`Machine::new`].
-    /// [`ExecMode::Sharded`]`(n)` spawns the record/replay pipeline: the
-    /// calling thread records accesses while `n` host worker threads
-    /// replay private caches and reduce shared state; `plan` groups cores
-    /// into replay shards (regrouped if its shard count differs from the
-    /// pipeline's). Output after [`Machine::finish`] is byte-identical to
-    /// serial for any `n` and any plan.
+    /// A non-sharded config is identical to [`Machine::new`]. A sharded
+    /// one spawns the record/replay pipeline: the calling thread records
+    /// accesses while host worker threads replay private caches and
+    /// reduce shared state (one sequential reducer, or
+    /// [`ExecConfig::reduce_lanes`] key-partitioned lanes behind a
+    /// coordinator); `plan` groups cores into replay shards (regrouped if
+    /// its shard count differs from the pipeline's). Output after
+    /// [`Machine::finish`] is byte-identical to serial for every config
+    /// and plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the exec config fails
+    /// [`ExecConfig::validate`], or the plan does not cover every core.
+    #[must_use]
+    pub fn with_exec_config(
+        cfg: SimConfig,
+        layout: AddressSpace,
+        exec: ExecConfig,
+        plan: &ShardPlan,
+    ) -> Self {
+        if !exec.is_sharded() {
+            return Self::new(cfg, layout);
+        }
+        if let Err(e) = exec.validate() {
+            panic!("invalid ExecConfig: {e}");
+        }
+        assert!(
+            layout.total_bytes() / 64 <= crate::exec::MAX_TOUCH_LINE,
+            "address space too large for packed boundary touches"
+        );
+        let t0 = std::time::Instant::now();
+        let mut m = Self::new(cfg, layout);
+        let l1 = std::mem::take(&mut m.l1);
+        let l2 = std::mem::take(&mut m.l2);
+        let llc = std::mem::replace(&mut m.llc, SetAssocCache::new(1, 1, m.cfg.llc.policy));
+        let dram = std::mem::replace(&mut m.dram, DramModel::new(m.cfg.memory));
+        m.pipeline = Some(Pipeline::spawn(&m.cfg, plan, exec, l1, l2, llc, dram));
+        m.pipeline_setup = t0.elapsed();
+        m
+    }
+
+    /// Builds a machine for the given [`ExecMode`] (legacy entry point).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid, `Sharded(0)` is requested,
     /// or the plan does not cover every core.
+    #[deprecated(note = "use `Machine::with_exec_config` with an `ExecConfig`")]
+    #[allow(deprecated)]
     #[must_use]
     pub fn with_exec(
         cfg: SimConfig,
@@ -107,23 +153,10 @@ impl Machine {
         exec: ExecMode,
         plan: &ShardPlan,
     ) -> Self {
-        match exec {
-            ExecMode::Serial => Self::new(cfg, layout),
-            ExecMode::Sharded(n) => {
-                assert!(n >= 1, "ExecMode::Sharded needs at least one worker thread");
-                assert!(
-                    layout.total_bytes() / 64 <= crate::exec::MAX_TOUCH_LINE,
-                    "address space too large for packed boundary touches"
-                );
-                let mut m = Self::new(cfg, layout);
-                let l1 = std::mem::take(&mut m.l1);
-                let l2 = std::mem::take(&mut m.l2);
-                let llc = std::mem::replace(&mut m.llc, SetAssocCache::new(1, 1, m.cfg.llc.policy));
-                let dram = std::mem::replace(&mut m.dram, DramModel::new(m.cfg.memory));
-                m.pipeline = Some(Pipeline::spawn(&m.cfg, plan, n, l1, l2, llc, dram));
-                m
-            }
+        if let ExecMode::Sharded(n) = exec {
+            assert!(n >= 1, "ExecMode::Sharded needs at least one worker thread");
         }
+        Self::with_exec_config(cfg, layout, ExecConfig::from(exec), plan)
     }
 
     /// Enables access tracing with a bounded ring buffer.
@@ -401,7 +434,9 @@ impl Machine {
     /// values.
     pub fn finish(&mut self) {
         if let Some(pipeline) = self.pipeline.take() {
-            let fin = pipeline.finalize();
+            let mut fin = pipeline.finalize();
+            fin.report.setup = self.pipeline_setup;
+            self.exec_report = Some(fin.report);
             self.llc = fin.llc;
             self.dram = fin.dram;
             self.breakdown = fin.breakdown;
@@ -464,6 +499,15 @@ impl Machine {
     #[must_use]
     pub fn shard_snapshots(&self) -> &[(u64, Snapshot)] {
         &self.shard_snapshots
+    }
+
+    /// Pipeline wall-clock/traffic telemetry (per-lane reduce walls,
+    /// encoded-vs-raw boundary bytes, setup time), present after a
+    /// sharded run's [`Machine::finish`]. Never part of the deterministic
+    /// result surfaces — wall-clock varies run to run.
+    #[must_use]
+    pub fn exec_report(&self) -> Option<&ExecPipelineReport> {
+        self.exec_report.as_ref()
     }
 }
 

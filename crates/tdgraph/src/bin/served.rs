@@ -17,7 +17,14 @@
 //!   --write-deadline-ms MS   slow-client write deadline
 //!   --max-restarts N         supervision restart budget per tenant
 //!   --watchdog-ms MS         per-batch wall-clock watchdog
+//!   --exec-shards N          replay worker threads per session (0 = serial)
+//!   --reduce-lanes K         partitioned reducer lanes (1..=8)
+//!   --event-encoding ENC     boundary-event encoding: packed | rle
 //! ```
+//!
+//! The three `--exec-*` flags set the default [`ExecConfig`] of every
+//! tenant session. They trade host wall-clock only: replies and finish
+//! reports are byte-identical across every execution configuration.
 //!
 //! With `--wal-dir`, accepted lines are logged before they are queued;
 //! on restart every tenant found in the directory is replayed through the
@@ -38,6 +45,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use tdgraph::prelude::{EventEncoding, ExecConfig};
 use tdgraph::registry_with_defaults;
 use tdgraph::serve::{OverloadPolicy, Service, ServiceConfig, SupervisionConfig, TdServer};
 
@@ -93,6 +101,27 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--max-restarts" => {
                 supervision = supervision.with_max_restarts(parse_num(&value("--max-restarts")?)?);
+            }
+            "--exec-shards" => {
+                let n: usize = parse_num(&value("--exec-shards")?)?;
+                session = session.tune(|run| run.exec = run.exec.shards(n));
+            }
+            "--reduce-lanes" => {
+                let k: usize = parse_num(&value("--reduce-lanes")?)?;
+                ExecConfig::serial().reduce_lanes(k).validate()?;
+                session = session.tune(|run| run.exec = run.exec.reduce_lanes(k));
+            }
+            "--event-encoding" => {
+                let enc = match value("--event-encoding")?.as_str() {
+                    "packed" => EventEncoding::Packed,
+                    "rle" => EventEncoding::RunLength,
+                    other => {
+                        return Err(format!(
+                            "--event-encoding must be packed or rle, got {other:?}"
+                        ))
+                    }
+                };
+                session = session.tune(|run| run.exec = run.exec.event_encoding(enc));
             }
             "--watchdog-ms" => {
                 let ms = parse_num(&value("--watchdog-ms")?)?;

@@ -119,7 +119,11 @@ pub mod prelude {
         ShedReason, SnapshotView, SupervisionConfig, SystemClock, TdServer, TenantOutcome,
         TenantReport, TestClock, WireFault, WireFaultPlan,
     };
-    pub use tdgraph_sim::{ExecMode, SimConfig};
+    #[allow(deprecated)]
+    pub use tdgraph_sim::ExecMode;
+    pub use tdgraph_sim::{
+        EventEncoding, ExecConfig, ExecPipelineReport, SimConfig, MAX_REDUCE_LANES,
+    };
 }
 
 /// Streaming-graph substrate (re-export of `tdgraph-graph`).

@@ -80,7 +80,7 @@ use tdgraph_graph::quarantine::{IngestMode, QuarantineReport};
 use tdgraph_obs::{
     keys, JsonlSink, MemoryRecorder, Recorder, ShardedRecorder, Snapshot, TraceEvent, TraceSink,
 };
-use tdgraph_sim::ExecMode;
+use tdgraph_sim::ExecConfig;
 
 use crate::checkpoint::{self, CanonicalCell, CheckpointError, CheckpointLog};
 use crate::error::TdgraphError;
@@ -173,7 +173,7 @@ pub struct SweepSpec {
     seeds: Vec<u64>,
     fault_plans: Vec<FaultPlan>,
     oracle_modes: Vec<OracleMode>,
-    exec_modes: Vec<ExecMode>,
+    exec_configs: Vec<ExecConfig>,
     resume: Option<PathBuf>,
 }
 
@@ -203,7 +203,7 @@ impl SweepSpec {
             seeds: Vec::new(),
             fault_plans: Vec::new(),
             oracle_modes: Vec::new(),
-            exec_modes: Vec::new(),
+            exec_configs: Vec::new(),
             resume: None,
         }
     }
@@ -340,15 +340,25 @@ impl SweepSpec {
         self
     }
 
-    /// Crosses the sweep with host execution modes ([`ExecMode::Serial`] /
-    /// [`ExecMode::Sharded`]). Cells differ only in host-side parallelism:
-    /// canonical report lines, snapshots, and verified states are
-    /// identical across modes by construction, so this axis measures
-    /// wall-clock, never model output.
+    /// Crosses the sweep with host execution configurations
+    /// ([`ExecConfig::serial`], `.shards(n)`, `.reduce_lanes(k)`,
+    /// `.event_encoding(..)`). Cells differ only in host-side parallelism
+    /// and wire encoding: canonical report lines, snapshots, and verified
+    /// states are identical across configurations by construction, so this
+    /// axis measures wall-clock, never model output.
     #[must_use]
-    pub fn exec_modes(mut self, modes: impl IntoIterator<Item = ExecMode>) -> Self {
-        self.exec_modes.extend(modes);
+    pub fn exec_configs(mut self, configs: impl IntoIterator<Item = ExecConfig>) -> Self {
+        self.exec_configs.extend(configs);
         self
+    }
+
+    /// Former name of [`SweepSpec::exec_configs`], taking the legacy
+    /// [`tdgraph_sim::ExecMode`] values.
+    #[deprecated(since = "0.8.0", note = "use exec_configs with ExecConfig values")]
+    #[must_use]
+    #[allow(deprecated)]
+    pub fn exec_modes(self, modes: impl IntoIterator<Item = tdgraph_sim::ExecMode>) -> Self {
+        self.exec_configs(modes.into_iter().map(ExecConfig::from))
     }
 
     /// Sets the ingest discipline for every cell (default
@@ -388,12 +398,12 @@ impl SweepSpec {
             * or1(self.seeds.len())
             * or1(self.fault_plans.len())
             * or1(self.oracle_modes.len())
-            * or1(self.exec_modes.len())
+            * or1(self.exec_configs.len())
     }
 
     /// Expands the grid into independent cells, in the documented stable
     /// order: algorithms → datasets → engines → batch sizes → α →
-    /// add-fractions → seeds → fault plans → oracle modes → exec modes,
+    /// add-fractions → seeds → fault plans → oracle modes → exec configs,
     /// each axis in insertion order.
     ///
     /// Every cell owns a fully-resolved copy of the run options (its own
@@ -415,7 +425,7 @@ impl SweepSpec {
         let seeds = axis(&self.seeds, self.base.seed);
         let fault_plans = axis(&self.fault_plans, self.base.fault_plan);
         let oracle_modes = axis(&self.oracle_modes, self.base.oracle);
-        let exec_modes = axis(&self.exec_modes, self.base.exec);
+        let exec_configs = axis(&self.exec_configs, self.base.exec);
 
         let mut cells = Vec::with_capacity(self.cell_count());
         for algo in &algos {
@@ -427,7 +437,7 @@ impl SweepSpec {
                                 for &seed in &seeds {
                                     for &fault_plan in &fault_plans {
                                         for &oracle in &oracle_modes {
-                                            for &exec in &exec_modes {
+                                            for &exec in &exec_configs {
                                                 let mut options = self.base.clone();
                                                 options.batch_size = batch_size;
                                                 options.alpha = alpha;

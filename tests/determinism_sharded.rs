@@ -4,8 +4,8 @@
 //! thread and replays/merges them in a sequential reduction, so every
 //! observable surface must be byte-identical to the serial walk:
 //!
-//! * `SweepReport::canonical_lines` across `ExecMode::Serial`,
-//!   `Sharded(2)`, and `Sharded(4)`,
+//! * `SweepReport::canonical_lines` across `ExecConfig::serial()`,
+//!   `.shards(2)`, and `.shards(4)`,
 //! * the merged observability snapshot's canonical rendering,
 //! * the verified fixpoints (oracle verdicts over final vertex states),
 //! * all of the above across `SweepRunner` host thread counts, and
@@ -17,7 +17,8 @@
 
 use tdgraph::prelude::*;
 
-const EXEC_MODES: [ExecMode; 3] = [ExecMode::Serial, ExecMode::Sharded(2), ExecMode::Sharded(4)];
+const EXEC_CONFIGS: [ExecConfig; 3] =
+    [ExecConfig::serial(), ExecConfig::serial().shards(2), ExecConfig::serial().shards(4)];
 
 fn base_spec() -> SweepSpec {
     SweepSpec::new()
@@ -43,7 +44,7 @@ fn hostile_plan() -> FaultPlan {
 /// threads. Returns the three determinism surfaces: canonical report
 /// lines, the merged snapshot's canonical rendering, and the per-cell
 /// verified fixpoints (oracle verdict + full metrics).
-fn run_pinned(spec: &SweepSpec, exec: ExecMode, threads: usize) -> (String, String, Vec<String>) {
+fn run_pinned(spec: &SweepSpec, exec: ExecConfig, threads: usize) -> (String, String, Vec<String>) {
     let spec = spec.clone().tune(move |o| o.exec = exec);
     let report = SweepRunner::new().threads(threads).observe(true).run(&spec);
     report.assert_all_ok();
@@ -66,9 +67,9 @@ fn run_pinned(spec: &SweepSpec, exec: ExecMode, threads: usize) -> (String, Stri
 #[test]
 fn sharded_sweep_is_byte_identical_to_serial() {
     let spec = base_spec();
-    let (lines, snapshot, fixpoints) = run_pinned(&spec, ExecMode::Serial, 2);
+    let (lines, snapshot, fixpoints) = run_pinned(&spec, ExecConfig::serial(), 2);
     assert!(!lines.is_empty());
-    for exec in [ExecMode::Sharded(2), ExecMode::Sharded(4)] {
+    for exec in [ExecConfig::serial().shards(2), ExecConfig::serial().shards(4)] {
         let (l, s, f) = run_pinned(&spec, exec, 2);
         assert_eq!(lines, l, "{} canonical lines diverged from serial", exec.label());
         assert_eq!(snapshot, s, "{} merged snapshot diverged from serial", exec.label());
@@ -81,20 +82,20 @@ fn sharded_sweep_is_byte_identical_to_serial() {
 #[test]
 fn sharded_sweep_is_deterministic_across_host_thread_counts() {
     let spec = base_spec();
-    let baseline = run_pinned(&spec, ExecMode::Sharded(4), 1);
+    let baseline = run_pinned(&spec, ExecConfig::serial().shards(4), 1);
     for threads in [2, 4] {
-        let run = run_pinned(&spec, ExecMode::Sharded(4), threads);
+        let run = run_pinned(&spec, ExecConfig::serial().shards(4), threads);
         assert_eq!(baseline, run, "sweep diverged at {threads} host threads");
     }
 }
 
 /// The determinism contract holds under data-plane chaos: a hostile
 /// `FaultPlan` with lenient ingest degrades cells identically — same
-/// canonical lines, same quarantine evidence — in every exec mode.
+/// canonical lines, same quarantine evidence — under every exec config.
 #[test]
 fn chaos_fault_plan_cells_are_deterministic_under_sharding() {
     let spec = base_spec().ingest(IngestMode::Lenient).fault_plans([hostile_plan()]);
-    let mut reports = EXEC_MODES.iter().map(|&exec| {
+    let mut reports = EXEC_CONFIGS.iter().map(|&exec| {
         let spec = spec.clone().tune(move |o| o.exec = exec);
         let report = SweepRunner::new().threads(2).run(&spec);
         report.assert_all_ok();
@@ -112,22 +113,22 @@ fn chaos_fault_plan_cells_are_deterministic_under_sharding() {
     }
 }
 
-/// `exec_modes` as a sweep axis: one sweep holds serial and sharded
+/// `exec_configs` as a sweep axis: one sweep holds serial and sharded
 /// cells side by side, and paired cells (same coordinates, different
-/// exec mode) carry identical canonical records modulo the cell index.
+/// exec config) carry identical canonical records modulo the cell index.
 #[test]
-fn exec_mode_axis_pairs_cells_with_identical_canonical_records() {
+fn exec_config_axis_pairs_cells_with_identical_canonical_records() {
     let spec = SweepSpec::new()
         .dataset(Dataset::Amazon)
         .sizing(Sizing::Tiny)
         .engines([EngineKind::TdGraphH, EngineKind::LigraO])
         .oracle_modes([OracleMode::Final])
-        .exec_modes(EXEC_MODES)
+        .exec_configs(EXEC_CONFIGS)
         .tune(|o| {
             o.sim = SimConfig::small_test();
             o.batches = 2;
         });
-    assert_eq!(spec.cell_count(), 2 * EXEC_MODES.len(), "exec axis multiplies the grid");
+    assert_eq!(spec.cell_count(), 2 * EXEC_CONFIGS.len(), "exec axis multiplies the grid");
     let report = SweepRunner::new().threads(2).run(&spec);
     report.assert_all_verified();
 
@@ -141,7 +142,7 @@ fn exec_mode_axis_pairs_cells_with_identical_canonical_records() {
             record
         })
         .collect();
-    for pair in records.chunks(EXEC_MODES.len()) {
+    for pair in records.chunks(EXEC_CONFIGS.len()) {
         for other in &pair[1..] {
             assert_eq!(
                 pair[0].to_json_line(),
@@ -156,8 +157,8 @@ fn exec_mode_axis_pairs_cells_with_identical_canonical_records() {
 /// verified fixpoint: the oracle verdict and every metric of a single
 /// experiment agree across exec modes.
 #[test]
-fn experiment_fixpoints_agree_across_exec_modes() {
-    let run = |exec: ExecMode| {
+fn experiment_fixpoints_agree_across_exec_configs() {
+    let run = |exec: ExecConfig| {
         Experiment::new(Dataset::Orkut)
             .sizing(Sizing::Tiny)
             .tune(move |o| {
@@ -167,9 +168,9 @@ fn experiment_fixpoints_agree_across_exec_modes() {
             })
             .run(EngineKind::TdGraphH)
     };
-    let serial = run(ExecMode::Serial);
+    let serial = run(ExecConfig::serial());
     assert!(serial.verify.is_match());
-    for exec in [ExecMode::Sharded(2), ExecMode::Sharded(4)] {
+    for exec in [ExecConfig::serial().shards(2), ExecConfig::serial().shards(4)] {
         let sharded = run(exec);
         assert_eq!(format!("{:?}", serial.verify), format!("{:?}", sharded.verify));
         assert_eq!(format!("{:?}", serial.metrics), format!("{:?}", sharded.metrics));
