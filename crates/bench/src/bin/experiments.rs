@@ -9,10 +9,14 @@
 
 use std::io::Write as _;
 
-use tdgraph_bench::{run_experiment, ExperimentId, Scope};
+use tdgraph_bench::{fleet_worker_entry, run_experiment, ExperimentId, Scope};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The scale-out bench re-executes this binary as a fleet worker.
+    if fleet_worker_entry(&args) {
+        return;
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return;

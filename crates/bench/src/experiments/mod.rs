@@ -17,7 +17,10 @@ mod fig22;
 mod fig23;
 mod fig24;
 mod parallel;
+mod scaleout;
 mod tables;
+
+pub use scaleout::worker_entry as fleet_worker_entry;
 
 use tdgraph::graph::datasets::Sizing;
 use tdgraph::RunConfig;
@@ -66,11 +69,15 @@ pub enum ExperimentId {
     /// Host-parallel sharded execution: intra-cell speedup, cells/sec,
     /// merge overhead (emits `BENCH_parallel.json`).
     Parallel,
+    /// Multi-process scale-out: fleet sweep throughput at 1/2/4 worker
+    /// processes with a byte-identity divergence gate (emits
+    /// `BENCH_scaleout.json`).
+    Scaleout,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 19] = [
+    pub const ALL: [ExperimentId; 20] = [
         ExperimentId::Table1,
         ExperimentId::Table2,
         ExperimentId::Table3,
@@ -90,6 +97,7 @@ impl ExperimentId {
         ExperimentId::Fig24,
         ExperimentId::Ablation,
         ExperimentId::Parallel,
+        ExperimentId::Scaleout,
     ];
 
     /// CLI name (e.g. `fig10`, `table2`).
@@ -115,6 +123,7 @@ impl ExperimentId {
             ExperimentId::Fig24 => "fig24",
             ExperimentId::Ablation => "ablation",
             ExperimentId::Parallel => "parallel",
+            ExperimentId::Scaleout => "scaleout",
         }
     }
 
@@ -208,6 +217,7 @@ pub fn run_experiment(id: ExperimentId, scope: Scope) -> ExperimentOutput {
         ExperimentId::Fig24 => fig24::run(scope),
         ExperimentId::Ablation => ablation::run(scope),
         ExperimentId::Parallel => parallel::run(scope),
+        ExperimentId::Scaleout => scaleout::run(scope),
     }
 }
 

@@ -11,4 +11,4 @@
 pub mod experiments;
 pub mod native;
 
-pub use experiments::{run_experiment, ExperimentId, ExperimentOutput, Scope};
+pub use experiments::{fleet_worker_entry, run_experiment, ExperimentId, ExperimentOutput, Scope};

@@ -295,6 +295,192 @@ impl Snapshot {
         out.push_str("}}");
         out
     }
+
+    /// Parses a line produced by [`Snapshot::canonical_json_line`] back
+    /// into a snapshot — the inverse used when a snapshot crosses a
+    /// process boundary (fleet workers ship their cell snapshots to the
+    /// coordinator as canonical lines).
+    ///
+    /// Round-trip contract: for any snapshot `s`,
+    /// `Snapshot::parse_canonical(&s.canonical_json_line())` is equal to
+    /// `s` up to the wall-clock nanoseconds the canonical rendering
+    /// deliberately excludes — so re-rendering the parsed snapshot
+    /// reproduces the input line byte for byte (integer values exactly,
+    /// gauges via `f64`'s round-tripping `Display`).
+    ///
+    /// Keys become `&'static str` through a process-wide interner; the
+    /// interned set only grows with *distinct* keys, which are drawn from
+    /// the finite [`crate::keys`] vocabulary in practice.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when `line` is not a canonical snapshot
+    /// rendering.
+    pub fn parse_canonical(line: &str) -> Result<Self, String> {
+        let mut cur = Cursor { s: line.trim(), pos: 0 };
+        let mut snap = Snapshot::new();
+        cur.eat("{\"counters\":{")?;
+        cur.entries(|cur, key| {
+            let v = cur.number_token()?;
+            let v = v.parse::<u64>().map_err(|e| format!("counter {key:?}: {e}"))?;
+            snap.counters.insert(intern(&key), v);
+            Ok(())
+        })?;
+        cur.eat(",\"gauges\":{")?;
+        cur.entries(|cur, key| {
+            let v = cur.number_token()?;
+            let v = v.parse::<f64>().map_err(|e| format!("gauge {key:?}: {e}"))?;
+            snap.gauges.insert(intern(&key), v);
+            Ok(())
+        })?;
+        cur.eat(",\"labels\":{")?;
+        cur.entries(|cur, key| {
+            let v = cur.string()?;
+            snap.labels.insert(intern(&key), v);
+            Ok(())
+        })?;
+        cur.eat(",\"phases\":{")?;
+        cur.entries(|cur, key| {
+            cur.eat("{\"count\":")?;
+            let count = cur.u64_field()?;
+            cur.eat(",\"cycles\":")?;
+            let cycles = cur.u64_field()?;
+            cur.eat("}")?;
+            snap.phases.insert(intern(&key), PhaseTotals { count, cycles, wall_nanos: 0 });
+            Ok(())
+        })?;
+        cur.eat(",\"histograms\":{")?;
+        cur.entries(|cur, key| {
+            cur.eat("{\"count\":")?;
+            let count = cur.u64_field()?;
+            cur.eat(",\"sum\":")?;
+            let sum = cur.u64_field()?;
+            cur.eat(",\"min\":")?;
+            let min = cur.u64_field()?;
+            cur.eat(",\"max\":")?;
+            let max = cur.u64_field()?;
+            cur.eat("}")?;
+            snap.histograms.insert(intern(&key), Histogram { count, sum, min, max });
+            Ok(())
+        })?;
+        cur.eat("}")?;
+        if cur.pos != cur.s.len() {
+            return Err(format!("trailing bytes after snapshot at offset {}", cur.pos));
+        }
+        Ok(snap)
+    }
+}
+
+/// Interns a parsed key so it can live in the `&'static str`-keyed maps.
+/// Each distinct key leaks exactly once, process-wide.
+fn intern(key: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&existing) = set.get(key) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(key.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// A tiny cursor over one canonical snapshot line. The grammar is the
+/// exact output of [`Snapshot::canonical_json_line`] — no whitespace, no
+/// reordering — so the parser can demand literals instead of tolerating
+/// general JSON.
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn eat(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit:?} at offset {}", self.pos))
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    /// Parses the `"key":value` entries of one section, up to and
+    /// including the closing `}`.
+    fn entries(
+        &mut self,
+        mut entry: impl FnMut(&mut Self, String) -> Result<(), String>,
+    ) -> Result<(), String> {
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(":")?;
+            entry(self, key)?;
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    /// Parses a quoted string, undoing [`json_escape`]'s escapes.
+    fn string(&mut self) -> Result<String, String> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        let mut chars = self.s[self.pos..].char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, other)) => return Err(format!("bad escape '\\{other}'")),
+                    None => return Err("dangling escape".to_string()),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    /// The raw token up to the next `,` or `}` (numbers never contain
+    /// either).
+    fn number_token(&mut self) -> Result<&str, String> {
+        let rest = &self.s[self.pos..];
+        let end = rest
+            .find([',', '}'])
+            .ok_or_else(|| format!("unterminated value at offset {}", self.pos))?;
+        if end == 0 {
+            return Err(format!("empty value at offset {}", self.pos));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn u64_field(&mut self) -> Result<u64, String> {
+        let pos = self.pos;
+        let token = self.number_token()?;
+        token.parse::<u64>().map_err(|e| format!("bad integer at offset {pos}: {e}"))
+    }
 }
 
 /// A [`Recorder`] that aggregates everything into a [`Snapshot`].
@@ -456,6 +642,58 @@ mod tests {
         let line = s.canonical_json_line();
         assert!(line.find("\"a\":2").unwrap() < line.find("\"z\":1").unwrap());
         assert!(!line.contains("999999"), "wall must not leak into the canonical line: {line}");
+    }
+
+    #[test]
+    fn parse_canonical_round_trips_byte_identically() {
+        let mut s = Snapshot::new();
+        s.add_counter("run.cycles", 12345);
+        s.add_counter("updates.useful", 0);
+        s.set_gauge("energy.core_nj", 1234.5678);
+        s.set_gauge("energy.noc_nj", 0.125);
+        s.set_label("run.engine", "tdgraph-h");
+        s.set_label("weird", "quote\" slash\\ nl\n tab\t");
+        s.add_span("propagation", 999, 777); // wall excluded from canonical
+        s.add_span("other", 0, 0);
+        s.add_histogram("updates.writes_per_vertex", 3);
+        s.add_histogram("updates.writes_per_vertex", 9);
+
+        let line = s.canonical_json_line();
+        let parsed = Snapshot::parse_canonical(&line).unwrap();
+        assert_eq!(parsed.canonical_json_line(), line);
+        assert_eq!(parsed.counter("run.cycles"), 12345);
+        assert_eq!(parsed.gauge("energy.core_nj"), Some(1234.5678));
+        assert_eq!(parsed.label("weird"), Some("quote\" slash\\ nl\n tab\t"));
+        assert_eq!(parsed.phase("propagation").unwrap().cycles, 999);
+        let h = parsed.histogram("updates.writes_per_vertex").unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 3, 9));
+    }
+
+    #[test]
+    fn parse_canonical_handles_the_empty_snapshot() {
+        let line = Snapshot::new().canonical_json_line();
+        let parsed = Snapshot::parse_canonical(&line).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.canonical_json_line(), line);
+    }
+
+    #[test]
+    fn parse_canonical_rejects_malformed_lines() {
+        assert!(Snapshot::parse_canonical("not json").is_err());
+        assert!(Snapshot::parse_canonical("{\"counters\":{}}").is_err());
+        let good = {
+            let mut s = Snapshot::new();
+            s.add_counter("a", 1);
+            s.canonical_json_line()
+        };
+        // A truncated line (torn write) must be rejected, not half-parsed.
+        for cut in 1..good.len() {
+            assert!(
+                Snapshot::parse_canonical(&good[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        assert!(Snapshot::parse_canonical(&format!("{good}x")).is_err(), "trailing bytes");
     }
 
     #[test]

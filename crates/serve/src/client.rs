@@ -24,41 +24,11 @@ use tdgraph_graph::wire::{
     format_update_line, json_escape_wire, lookup, lookup_str, parse_flat_object,
 };
 
+use crate::backoff::Backoff;
 use crate::clock::Clock;
 use crate::protocol::END_EVENT;
 
-/// Bounded deterministic retry: attempt `k` (0-based) waits
-/// `min(base_backoff * 2^k, max_backoff)` before trying again, up to
-/// `max_attempts` total attempts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total attempts (the first try counts).
-    pub max_attempts: u32,
-    /// Backoff before the second attempt.
-    pub base_backoff: Duration,
-    /// Backoff ceiling.
-    pub max_backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        Self {
-            max_attempts: 5,
-            base_backoff: Duration::from_millis(10),
-            max_backoff: Duration::from_secs(1),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// The deterministic backoff after failed attempt `attempt` (0-based).
-    #[must_use]
-    pub fn backoff(&self, attempt: u32) -> Duration {
-        self.base_backoff
-            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
-            .min(self.max_backoff)
-    }
-}
+pub use crate::backoff::RetryPolicy;
 
 /// A parsed `{"ev":"shed",...}` overload refusal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,19 +134,7 @@ impl ServeClient {
         policy: &RetryPolicy,
         clock: &dyn Clock,
     ) -> Result<Self, ClientError> {
-        let mut attempt = 0u32;
-        loop {
-            match Self::connect(addr) {
-                Ok(client) => return Ok(client),
-                Err(e) => {
-                    if attempt + 1 >= policy.max_attempts.max(1) {
-                        return Err(ClientError::Io(e));
-                    }
-                    clock.sleep(policy.backoff(attempt));
-                    attempt += 1;
-                }
-            }
-        }
+        Backoff::new(*policy).run(clock, || Self::connect(addr).map_err(ClientError::Io))
     }
 
     /// Binds this connection to `tenant` with the service's session
@@ -252,19 +210,9 @@ impl ServeClient {
             .clone()
             .ok_or_else(|| ClientError::Protocol("no tenant bound".to_string()))?;
         let overrides = self.overrides.clone();
-        let mut attempt = 0u32;
-        let stream = loop {
-            match TcpStream::connect(peer) {
-                Ok(s) => break s,
-                Err(e) => {
-                    if attempt + 1 >= policy.max_attempts.max(1) {
-                        return Err(ClientError::Io(e));
-                    }
-                    clock.sleep(policy.backoff(attempt));
-                    attempt += 1;
-                }
-            }
-        };
+        let stream = Backoff::new(*policy)
+            .run(clock, || TcpStream::connect(peer))
+            .map_err(ClientError::Io)?;
         self.reader = BufReader::new(stream.try_clone()?);
         self.writer = stream;
         self.data_sent = 0;
@@ -352,7 +300,7 @@ impl ServeClient {
             self.send_line(line)?;
         }
         let mut resent = 0u64;
-        let mut round = 0u32;
+        let mut backoff = Backoff::new(*policy);
         loop {
             // The flush reply orders after every shed event for lines sent
             // before it on this connection.
@@ -361,15 +309,14 @@ impl ServeClient {
             if sheds.is_empty() {
                 return Ok(resent);
             }
-            if round + 1 >= policy.max_attempts.max(1) {
+            let hint = sheds.iter().map(|s| s.retry_after).max().unwrap_or(Duration::ZERO);
+            if !backoff.wait_at_least(hint, clock) {
                 return Err(ClientError::Server(format!(
                     "{} line(s) still shed after {} round(s)",
                     sheds.len(),
-                    round + 1
+                    backoff.attempts() + 1
                 )));
             }
-            let hint = sheds.iter().map(|s| s.retry_after).max().unwrap_or(Duration::ZERO);
-            clock.sleep(hint.max(policy.backoff(round)));
             for shed in &sheds {
                 let Some(line) = in_flight.remove(&shed.line) else {
                     return Err(ClientError::Protocol(format!(
@@ -381,7 +328,6 @@ impl ServeClient {
                 self.send_line(&line)?;
                 resent += 1;
             }
-            round += 1;
         }
     }
 

@@ -39,6 +39,7 @@
 // route failures through typed errors, never unwrap/expect (CI clippy).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backoff;
 pub mod batcher;
 pub mod chaos;
 pub mod client;
@@ -49,9 +50,10 @@ pub mod server;
 pub mod service;
 pub mod wal;
 
+pub use backoff::{Backoff, RetryPolicy};
 pub use batcher::{BatchClose, BatchFormer};
 pub use chaos::{stream_with_chaos, ChaosOutcome, WireFault, WireFaultPlan};
-pub use client::{ClientError, RetryPolicy, ServeClient, ShedEvent, SnapshotReply};
+pub use client::{ClientError, ServeClient, ShedEvent, SnapshotReply};
 pub use clock::{Clock, SystemClock, TestClock};
 pub use config::{AlgoChoice, OverloadPolicy, ServiceConfig, SessionConfig, SupervisionConfig};
 pub use protocol::{render_report, ClientLine, HelloRequest};

@@ -281,7 +281,9 @@ fn lookup<'a>(fields: &'a [(String, String)], key: &str) -> Result<&'a str, Stri
 /// # Errors
 ///
 /// [`CheckpointError::Io`] on read failures other than a missing file,
-/// [`CheckpointError::Parse`] on a malformed line.
+/// [`CheckpointError::Parse`] on a malformed line — including a torn
+/// final line; use [`load_tolerant`] when a crash mid-append must not
+/// poison the resume.
 pub fn load(path: &Path) -> Result<Vec<CanonicalCell>, CheckpointError> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -298,6 +300,92 @@ pub fn load(path: &Path) -> Result<Vec<CanonicalCell>, CheckpointError> {
         records.push(record);
     }
     Ok(records)
+}
+
+/// A tolerantly-loaded checkpoint: the clean records plus what (if
+/// anything) was dropped off the tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedCheckpoint {
+    /// Every record of the clean prefix, in file order.
+    pub records: Vec<CanonicalCell>,
+    /// Byte length of the clean prefix — the offset a recovering writer
+    /// truncates to before appending.
+    pub clean_bytes: u64,
+    /// Torn final lines dropped (0 or 1): a tail not ending in `\n`, or a
+    /// final newline-terminated line that does not decode.
+    pub torn_tails_dropped: usize,
+}
+
+/// Loads a checkpoint, tolerating a torn final line the way the serve
+/// WAL loader does: a process killed mid-append leaves either a tail
+/// without a newline or an undecodable final record, and a resume must
+/// treat that as "one fewer cell checkpointed", not as corruption.
+///
+/// The drop is bounded to the *final* line — a malformed line with clean
+/// records after it cannot come from a torn append and is still a hard
+/// [`CheckpointError::Parse`]. A missing file is an empty checkpoint.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on read failures other than a missing file,
+/// [`CheckpointError::Parse`] on a malformed non-final line.
+pub fn load_tolerant(path: &Path) -> Result<LoadedCheckpoint, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == ErrorKind::NotFound => {
+            return Ok(LoadedCheckpoint {
+                records: Vec::new(),
+                clean_bytes: 0,
+                torn_tails_dropped: 0,
+            })
+        }
+        Err(e) => return Err(CheckpointError::Io { path: path.to_path_buf(), source: e }),
+    };
+
+    // Segment the text into newline-terminated lines plus an optional
+    // unterminated tail, tracking byte offsets for the clean prefix.
+    let mut records = Vec::new();
+    let mut clean_bytes = 0u64;
+    let mut torn = 0usize;
+    let mut line_no = 0usize;
+    let mut start = 0usize;
+    while start < text.len() {
+        let (line, end, terminated) = match text[start..].find('\n') {
+            Some(i) => (&text[start..start + i], start + i + 1, true),
+            None => (&text[start..], text.len(), false),
+        };
+        line_no += 1;
+        if !terminated {
+            // A tail without its newline is a torn append, even if its
+            // bytes happen to decode — the writer died before finishing.
+            if !line.trim().is_empty() {
+                torn = 1;
+            }
+            break;
+        }
+        if line.trim().is_empty() {
+            clean_bytes = end as u64;
+            start = end;
+            continue;
+        }
+        match CanonicalCell::from_json_line(line) {
+            Ok(record) => {
+                records.push(record);
+                clean_bytes = end as u64;
+            }
+            Err(reason) => {
+                // Only the final line may be dropped; anything followed by
+                // more content is real corruption.
+                if text[end..].trim().is_empty() {
+                    torn = 1;
+                    break;
+                }
+                return Err(CheckpointError::Parse { line: line_no, reason });
+            }
+        }
+        start = end;
+    }
+    Ok(LoadedCheckpoint { records, clean_bytes, torn_tails_dropped: torn })
 }
 
 /// An append-only checkpoint writer shared across sweep worker threads.
@@ -326,14 +414,55 @@ impl CheckpointLog {
         Ok(Self { path, file: Mutex::new(file) })
     }
 
+    /// Recovering open: loads the clean prefix tolerantly (see
+    /// [`load_tolerant`]), truncates any torn tail away, and opens the
+    /// file for appending. Returns the log plus what was loaded — the
+    /// caller resumes writing exactly after the last durable record.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be read, truncated, or
+    /// opened; [`CheckpointError::Parse`] on a malformed non-final line.
+    pub fn resume(path: impl Into<PathBuf>) -> Result<(Self, LoadedCheckpoint), CheckpointError> {
+        let path = path.into();
+        let loaded = load_tolerant(&path)?;
+        if loaded.torn_tails_dropped > 0 {
+            OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .and_then(|f| f.set_len(loaded.clean_bytes))
+                .map_err(|e| CheckpointError::Io { path: path.clone(), source: e })?;
+        }
+        let log = Self::append_to(path)?;
+        Ok((log, loaded))
+    }
+
+    /// The file this log appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// Appends one record and flushes it to disk.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] on write or flush failure.
     pub fn append(&self, record: &CanonicalCell) -> Result<(), CheckpointError> {
+        self.append_line(&record.to_json_line())
+    }
+
+    /// Appends one pre-rendered canonical line verbatim and flushes it.
+    /// The fleet coordinator streams worker-rendered lines through this
+    /// without re-encoding them, preserving byte identity; the caller
+    /// guarantees the line is a canonical record with no newline.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on write or flush failure.
+    pub fn append_line(&self, line: &str) -> Result<(), CheckpointError> {
         let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        writeln!(file, "{}", record.to_json_line())
+        writeln!(file, "{line}")
             .and_then(|()| file.flush())
             .map_err(|e| CheckpointError::Io { path: self.path.clone(), source: e })
     }
@@ -413,6 +542,69 @@ mod tests {
         assert_eq!(records[0].cycles, 123);
         assert_eq!(records[1].cell, 4);
         assert_eq!(records[2].cycles, 999);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tolerant_load_drops_only_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "tdgraph-ckpt-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let full = format!("{}\n{}\n", record().to_json_line(), record().to_json_line());
+
+        // Unterminated tail: dropped + counted, clean prefix preserved.
+        let torn = format!("{full}{}", &record().to_json_line()[..20]);
+        std::fs::write(&path, &torn).unwrap();
+        let loaded = load_tolerant(&path).unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.clean_bytes, full.len() as u64);
+        assert_eq!(loaded.torn_tails_dropped, 1);
+        // The strict loader refuses the same file.
+        assert!(matches!(load(&path), Err(CheckpointError::Parse { .. })));
+
+        // A malformed line *followed by clean records* is corruption, not
+        // a torn append.
+        let corrupt = format!("garbage\n{full}");
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(matches!(load_tolerant(&path), Err(CheckpointError::Parse { line: 1, .. })));
+
+        // Missing file: empty, no drops.
+        let missing = load_tolerant(Path::new("/nonexistent/tdgraph.jsonl")).unwrap();
+        assert_eq!(
+            missing,
+            LoadedCheckpoint { records: vec![], clean_bytes: 0, torn_tails_dropped: 0 }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_tail_before_appending() {
+        let dir = std::env::temp_dir().join(format!(
+            "tdgraph-ckpt-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let a = record();
+        let mut b = record();
+        b.cell = 4;
+        std::fs::write(&path, format!("{}\n{}", a.to_json_line(), &b.to_json_line()[..33]))
+            .unwrap();
+
+        let (log, loaded) = CheckpointLog::resume(&path).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.torn_tails_dropped, 1);
+        log.append(&b).unwrap();
+        drop(log);
+
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 2, "torn bytes must not corrupt the re-append");
+        assert_eq!(records[1].cell, 4);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -15,6 +15,7 @@ use tdgraph_graph::error::GraphError;
 use tdgraph_sim::SimError;
 
 use crate::checkpoint::CheckpointError;
+use crate::fleet::FleetError;
 
 /// Any error produced by the tdgraph experiment stack.
 #[derive(Debug)]
@@ -27,6 +28,8 @@ pub enum TdgraphError {
     Sim(SimError),
     /// Reading or writing a sweep checkpoint failed.
     Checkpoint(CheckpointError),
+    /// Multi-process fleet coordination failed.
+    Fleet(FleetError),
 }
 
 impl fmt::Display for TdgraphError {
@@ -36,6 +39,7 @@ impl fmt::Display for TdgraphError {
             TdgraphError::Engine(e) => write!(f, "{e}"),
             TdgraphError::Sim(e) => write!(f, "{e}"),
             TdgraphError::Checkpoint(e) => write!(f, "{e}"),
+            TdgraphError::Fleet(e) => write!(f, "{e}"),
         }
     }
 }
@@ -47,6 +51,7 @@ impl Error for TdgraphError {
             TdgraphError::Engine(e) => Some(e),
             TdgraphError::Sim(e) => Some(e),
             TdgraphError::Checkpoint(e) => Some(e),
+            TdgraphError::Fleet(e) => Some(e),
         }
     }
 }
@@ -72,6 +77,12 @@ impl From<SimError> for TdgraphError {
 impl From<CheckpointError> for TdgraphError {
     fn from(e: CheckpointError) -> Self {
         TdgraphError::Checkpoint(e)
+    }
+}
+
+impl From<FleetError> for TdgraphError {
+    fn from(e: FleetError) -> Self {
+        TdgraphError::Fleet(e)
     }
 }
 
@@ -101,5 +112,9 @@ mod tests {
         let c: TdgraphError = CheckpointError::Parse { line: 3, reason: "bad json".into() }.into();
         assert!(matches!(c, TdgraphError::Checkpoint(_)));
         assert!(c.to_string().contains("line 3"));
+
+        let f: TdgraphError = FleetError::Protocol { detail: "bad hello".into() }.into();
+        assert!(matches!(f, TdgraphError::Fleet(_)));
+        assert!(f.to_string().contains("bad hello"));
     }
 }

@@ -37,12 +37,17 @@
 pub mod checkpoint;
 pub mod error;
 pub mod experiment;
+pub mod fleet;
 pub mod report;
 pub mod sweep;
 
 pub use checkpoint::{CanonicalCell, CheckpointError, CheckpointLog};
 pub use error::TdgraphError;
 pub use experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
+pub use fleet::{
+    run_fleet, run_worker, CoordinatorLock, FleetConfig, FleetError, FleetOutcome, FleetStats,
+    KillPoint, ProcessFaultPlan, SelfExecSpawner, WorkerDirective, WorkerLaunch, WorkerSpawner,
+};
 pub use sweep::{
     AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,
     SweepReport, SweepRunner, SweepSpec,
@@ -75,6 +80,10 @@ pub mod prelude {
     pub use crate::checkpoint::{CanonicalCell, CheckpointError, CheckpointLog};
     pub use crate::error::TdgraphError;
     pub use crate::experiment::{default_registry, registry_with_defaults, EngineKind, Experiment};
+    pub use crate::fleet::{
+        run_fleet, run_worker, CoordinatorLock, FleetConfig, FleetError, FleetOutcome, FleetStats,
+        KillPoint, ProcessFaultPlan, SelfExecSpawner, WorkerDirective, WorkerLaunch, WorkerSpawner,
+    };
     pub use crate::report::{build_rows, render_csv, render_table, speedup_line, Row};
     pub use crate::sweep::{
         AlgoSel, CellOutcome, CellResult, EngineSel, ExperimentCell, OutcomeCounts, OutcomeKind,

@@ -385,6 +385,12 @@ impl SweepSpec {
         self
     }
 
+    /// The resume checkpoint path, when one was set (the fleet
+    /// coordinator honours it the same way the serial runner does).
+    pub(crate) fn resume_ref(&self) -> Option<&std::path::Path> {
+        self.resume.as_deref()
+    }
+
     /// Number of cells this spec expands to.
     #[must_use]
     pub fn cell_count(&self) -> usize {
@@ -567,6 +573,21 @@ impl OutcomeKind {
             OutcomeKind::TimedOut => "timed_out",
         }
     }
+
+    /// The kind a [`OutcomeKind::label`] string names (inverse of
+    /// `label`; used when outcomes cross a process boundary).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "completed" => Some(OutcomeKind::Completed),
+            "degraded" => Some(OutcomeKind::Degraded),
+            "restored" => Some(OutcomeKind::Restored),
+            "failed" => Some(OutcomeKind::Failed),
+            "panicked" => Some(OutcomeKind::Panicked),
+            "timed_out" => Some(OutcomeKind::TimedOut),
+            _ => None,
+        }
+    }
 }
 
 /// How one cell of a sweep ended.
@@ -611,6 +632,22 @@ pub enum CellOutcome {
         /// The watchdog limit that fired.
         timeout: Duration,
     },
+    /// The cell executed in a *worker process* (fleet execution). The
+    /// coordinator holds the worker's classification and the canonical
+    /// line the worker rendered — re-emitted verbatim by
+    /// [`SweepReport::canonical_lines`], which is what makes fleet runs
+    /// byte-identical to serial ones — but not the full result payload.
+    Remote {
+        /// The worker-side outcome classification.
+        kind: OutcomeKind,
+        /// The worker-side oracle verdict (`false` for failed kinds).
+        verified: bool,
+        /// The canonical report line the worker rendered (no newline).
+        line: String,
+        /// The worker-side failure / degradation detail (empty when
+        /// clean).
+        detail: String,
+    },
 }
 
 impl CellOutcome {
@@ -624,16 +661,17 @@ impl CellOutcome {
             CellOutcome::Failed(_) => OutcomeKind::Failed,
             CellOutcome::Panicked { .. } => OutcomeKind::Panicked,
             CellOutcome::TimedOut { .. } => OutcomeKind::TimedOut,
+            CellOutcome::Remote { kind, .. } => *kind,
         }
     }
 
     /// Whether the cell produced a usable result (completed, degraded, or
-    /// restored).
+    /// restored — locally or in a worker process).
     #[must_use]
     pub fn is_ok(&self) -> bool {
         matches!(
-            self,
-            CellOutcome::Completed(_) | CellOutcome::Degraded { .. } | CellOutcome::Restored(_)
+            self.kind(),
+            OutcomeKind::Completed | OutcomeKind::Degraded | OutcomeKind::Restored
         )
     }
 
@@ -671,6 +709,7 @@ impl CellOutcome {
             CellOutcome::TimedOut { timeout } => {
                 format!("exceeded the cell timeout of {timeout:?}")
             }
+            CellOutcome::Remote { detail, .. } => detail.clone(),
         }
     }
 }
@@ -707,6 +746,7 @@ impl CellResult {
                 result.verify.is_match() && *oracle_mismatches == 0
             }
             CellOutcome::Restored(c) => c.verified,
+            CellOutcome::Remote { verified, .. } => *verified,
             _ => false,
         }
     }
@@ -735,6 +775,43 @@ impl CellResult {
             CellOutcome::Completed(r) => Some(CanonicalCell::of(&self.cell, r)),
             CellOutcome::Restored(c) => Some(c.clone()),
             _ => None,
+        }
+    }
+
+    /// This cell's canonical report line, exactly as
+    /// [`SweepReport::canonical_lines`] emits it (no trailing newline).
+    ///
+    /// Clean cells render their canonical record; degraded cells append
+    /// their degradation totals; failed cells render an outcome-tagged
+    /// line; remote cells re-emit the line their worker rendered,
+    /// verbatim.
+    #[must_use]
+    pub fn canonical_line(&self) -> String {
+        match &self.outcome {
+            CellOutcome::Remote { line, .. } => line.clone(),
+            CellOutcome::Degraded { result, quarantined, oracle_mismatches } => {
+                // A degraded cell serializes like a completed one, plus
+                // its degradation totals — the metrics are real, the
+                // outcome tag says they were earned the hard way.
+                let record = CanonicalCell::of(&self.cell, result).to_json_line();
+                let base = record.strip_suffix('}').unwrap_or(&record);
+                format!(
+                    "{base},\"outcome\":\"degraded\",\"quarantined\":{quarantined},\"oracle_mismatches\":{oracle_mismatches}}}"
+                )
+            }
+            _ => match self.canonical() {
+                Some(record) => record.to_json_line(),
+                None => TraceEvent::record()
+                    .field("cell", self.cell.index)
+                    .field("dataset", self.cell.dataset.abbrev())
+                    .field("sizing", format!("{:?}", self.cell.sizing))
+                    .field("algo", self.cell.algo.label())
+                    .field("engine", self.cell.engine.key())
+                    .field("seed", self.cell.options.seed)
+                    .field("outcome", self.outcome.kind().label())
+                    .field("detail", self.outcome.detail())
+                    .to_json_line(),
+            },
         }
     }
 }
@@ -774,6 +851,10 @@ pub struct SweepReport {
     /// still land in the report — but resume coverage is degraded, so the
     /// count is surfaced here.
     pub checkpoint_write_errors: usize,
+    /// Torn final checkpoint lines dropped while resuming (0 or 1): the
+    /// previous run was killed mid-append and its last record was
+    /// re-executed instead of restored.
+    pub torn_tails_dropped: usize,
     /// Merged observability snapshot across every ok cell, present when
     /// the runner ran with [`SweepRunner::observe`]. Cells merge in index
     /// order, so the snapshot (and any rendering of it) is byte-identical
@@ -913,38 +994,8 @@ impl SweepReport {
     pub fn canonical_lines(&self) -> String {
         let mut out = String::new();
         for c in &self.cells {
-            if let CellOutcome::Degraded { result, quarantined, oracle_mismatches } = &c.outcome {
-                // A degraded cell serializes like a completed one, plus
-                // its degradation totals — the metrics are real, the
-                // outcome tag says they were earned the hard way.
-                let record = CanonicalCell::of(&c.cell, result).to_json_line();
-                let base = record.strip_suffix('}').unwrap_or(&record);
-                out.push_str(base);
-                out.push_str(&format!(
-                    ",\"outcome\":\"degraded\",\"quarantined\":{quarantined},\"oracle_mismatches\":{oracle_mismatches}}}"
-                ));
-                out.push('\n');
-                continue;
-            }
-            match c.canonical() {
-                Some(record) => {
-                    out.push_str(&record.to_json_line());
-                    out.push('\n');
-                }
-                None => {
-                    let line = TraceEvent::record()
-                        .field("cell", c.cell.index)
-                        .field("dataset", c.cell.dataset.abbrev())
-                        .field("sizing", format!("{:?}", c.cell.sizing))
-                        .field("algo", c.cell.algo.label())
-                        .field("engine", c.cell.engine.key())
-                        .field("seed", c.cell.options.seed)
-                        .field("outcome", c.outcome.kind().label())
-                        .field("detail", c.outcome.detail());
-                    out.push_str(&line.to_json_line());
-                    out.push('\n');
-                }
-            }
+            out.push_str(&c.canonical_line());
+            out.push('\n');
         }
         out
     }
@@ -1106,7 +1157,7 @@ type ProgressSink = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
 /// The engine registry a sweep resolves through, in a form that can cross
 /// into a detached watchdog thread (`'static` either way).
 #[derive(Clone)]
-enum RegistryHandle {
+pub(crate) enum RegistryHandle {
     /// The process-wide default registry.
     Default,
     /// A caller-supplied registry.
@@ -1114,7 +1165,7 @@ enum RegistryHandle {
 }
 
 impl RegistryHandle {
-    fn get(&self) -> &EngineRegistry {
+    pub(crate) fn get(&self) -> &EngineRegistry {
         match self {
             RegistryHandle::Default => default_registry(),
             RegistryHandle::Shared(r) => r,
@@ -1314,9 +1365,9 @@ impl SweepRunner {
     /// are errors; failures *running a cell* are outcomes.
     pub fn try_run(&self, spec: &SweepSpec) -> Result<SweepReport, TdgraphError> {
         let cells = spec.expand();
-        let restored = match &spec.resume {
+        let (restored, torn_tails_dropped) = match &spec.resume {
             Some(path) => plan_resume(path, &cells)?,
-            None => (0..cells.len()).map(|_| None).collect(),
+            None => ((0..cells.len()).map(|_| None).collect(), 0),
         };
         let log = match &self.checkpoint {
             Some(path) => Some(CheckpointLog::append_to(path)?),
@@ -1405,6 +1456,7 @@ impl SweepRunner {
         let report = SweepReport {
             cells: results,
             checkpoint_write_errors: write_errors.load(Ordering::Relaxed),
+            torn_tails_dropped,
             obs,
         };
         let counts = report.outcome_counts();
@@ -1461,12 +1513,22 @@ impl SweepRunner {
 }
 
 /// Validates a resume checkpoint against the expanded grid and returns,
-/// per cell index, the record to restore (last duplicate wins).
+/// per cell index, the record to restore (last duplicate wins), plus the
+/// number of torn final lines dropped by the tolerant loader.
 fn plan_resume(
     path: &std::path::Path,
     cells: &[ExperimentCell],
+) -> Result<(Vec<Option<CanonicalCell>>, usize), TdgraphError> {
+    let loaded = checkpoint::load_tolerant(path)?;
+    Ok((plan_restored(loaded.records, cells)?, loaded.torn_tails_dropped))
+}
+
+/// Validates already-loaded checkpoint records against the expanded grid
+/// (shared between the resume planner and the fleet coordinator).
+pub(crate) fn plan_restored(
+    records: impl IntoIterator<Item = CanonicalCell>,
+    cells: &[ExperimentCell],
 ) -> Result<Vec<Option<CanonicalCell>>, TdgraphError> {
-    let records = checkpoint::load(path)?;
     let mut restored: Vec<Option<CanonicalCell>> = (0..cells.len()).map(|_| None).collect();
     for record in records {
         let Some(cell) = cells.get(record.cell) else {
@@ -1493,7 +1555,7 @@ fn plan_resume(
 
 /// The observability snapshot an ok cell contributes to the merged sweep
 /// snapshot (`None` for failed cells — they have no metrics to fold).
-fn cell_snapshot(result: &CellResult) -> Option<Snapshot> {
+pub(crate) fn cell_snapshot(result: &CellResult) -> Option<Snapshot> {
     match &result.outcome {
         CellOutcome::Completed(r) => Some(r.metrics.to_snapshot()),
         CellOutcome::Degraded { result, .. } => Some(result.metrics.to_snapshot()),
@@ -1505,7 +1567,7 @@ fn cell_snapshot(result: &CellResult) -> Option<Snapshot> {
 /// A snapshot rebuilt from a checkpoint record: only the headline counters
 /// the canonical line carries (a restored cell never ran, so per-op and
 /// cache-level detail is gone).
-fn restored_snapshot(record: &CanonicalCell) -> Snapshot {
+pub(crate) fn restored_snapshot(record: &CanonicalCell) -> Snapshot {
     let mut mem = MemoryRecorder::new();
     mem.counter(keys::RUN_CYCLES, record.cycles);
     mem.counter(keys::RUN_BATCHES, record.batches);
@@ -1521,7 +1583,7 @@ fn restored_snapshot(record: &CanonicalCell) -> Snapshot {
 /// Runs one cell behind the fault boundary: typed errors and panics are
 /// captured; with a timeout, the cell runs on a monitored thread and a
 /// watchdog converts an overrun into [`CellOutcome::TimedOut`].
-fn execute_cell(
+pub(crate) fn execute_cell(
     cell: &ExperimentCell,
     registry: &RegistryHandle,
     timeout: Option<Duration>,
@@ -1574,7 +1636,7 @@ fn execute_cell(
 
 /// Runs one cell in the current thread, converting typed errors and
 /// contained panics into outcomes.
-fn execute_inline(cell: &ExperimentCell, registry: &EngineRegistry) -> CellOutcome {
+pub(crate) fn execute_inline(cell: &ExperimentCell, registry: &EngineRegistry) -> CellOutcome {
     match catch_unwind(AssertUnwindSafe(|| cell.run_checked(registry))) {
         Ok(Ok(result)) => {
             let quarantined = result.quarantine.total();
