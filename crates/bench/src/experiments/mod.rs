@@ -18,6 +18,7 @@ mod fig23;
 mod fig24;
 mod parallel;
 mod scaleout;
+mod storage;
 mod tables;
 
 pub use scaleout::worker_entry as fleet_worker_entry;
@@ -73,11 +74,15 @@ pub enum ExperimentId {
     /// processes with a byte-identity divergence gate (emits
     /// `BENCH_scaleout.json`).
     Scaleout,
+    /// Graph-storage backends: batch-apply throughput of CSR vs the
+    /// degree-adaptive hybrid store across add-fractions, with a
+    /// same-final-graph divergence gate (emits `BENCH_storage.json`).
+    Storage,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 20] = [
+    pub const ALL: [ExperimentId; 21] = [
         ExperimentId::Table1,
         ExperimentId::Table2,
         ExperimentId::Table3,
@@ -98,6 +103,7 @@ impl ExperimentId {
         ExperimentId::Ablation,
         ExperimentId::Parallel,
         ExperimentId::Scaleout,
+        ExperimentId::Storage,
     ];
 
     /// CLI name (e.g. `fig10`, `table2`).
@@ -124,6 +130,7 @@ impl ExperimentId {
             ExperimentId::Ablation => "ablation",
             ExperimentId::Parallel => "parallel",
             ExperimentId::Scaleout => "scaleout",
+            ExperimentId::Storage => "storage",
         }
     }
 
@@ -218,6 +225,7 @@ pub fn run_experiment(id: ExperimentId, scope: Scope) -> ExperimentOutput {
         ExperimentId::Ablation => ablation::run(scope),
         ExperimentId::Parallel => parallel::run(scope),
         ExperimentId::Scaleout => scaleout::run(scope),
+        ExperimentId::Storage => storage::run(scope),
     }
 }
 

@@ -1,0 +1,225 @@
+//! Graph-storage backend bench: batch-apply throughput (updates/sec) of
+//! the CSR-substrate store vs the degree-adaptive hybrid store across
+//! add-fractions, on the most hub-skewed reference workload.
+//!
+//! Both stores consume the *same* composed update stream (the composer
+//! samples deletions from each store's own present-edge pool, which the
+//! [`GraphStore`] contract keeps in identical buffer order), and the bench
+//! asserts the final edge sets and quarantine records are identical — a
+//! divergence aborts the run, so the numbers are guaranteed to price the
+//! same work. Only the `apply` calls are timed; composing batches and
+//! re-reading the edge pool cost the same on either backend and are kept
+//! outside the clock. Results land in `BENCH_storage.json` (override the
+//! path with the `BENCH_STORAGE_OUT` environment variable).
+
+use std::time::{Duration, Instant};
+
+use tdgraph::prelude::*;
+
+use super::{ExperimentId, ExperimentOutput, Scope};
+
+/// Friendster generates the largest, most hub-skewed synthetic workload —
+/// the degree-adaptive tiers only differentiate themselves when high-degree
+/// rows exist.
+const DATASET: Dataset = Dataset::Friendster;
+
+/// Mixed add/delete ratios, from pure insertion to delete-heavy.
+const ADD_FRACTIONS: [f64; 3] = [1.0, 0.7, 0.4];
+
+/// One timed storage backend under one add-fraction.
+struct StorageSample {
+    kind: StorageKind,
+    apply_secs: f64,
+    updates: u64,
+    batches: u64,
+    stats: StorageStats,
+}
+
+impl StorageSample {
+    fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.apply_secs.max(1e-9)
+    }
+}
+
+/// Streams composed batches into a fresh store of `kind`, timing only the
+/// lenient apply calls. Returns the sample plus the final edge pool and
+/// quarantine record for the cross-backend divergence gate.
+fn run_store(
+    kind: StorageKind,
+    workload: &StreamingWorkload,
+    add_fraction: f64,
+    batch_size: usize,
+    max_batches: u64,
+) -> (StorageSample, Vec<Edge>, QuarantineReport) {
+    let mut store = AnyStore::from_streaming(kind, workload.graph.clone());
+    let mut composer = BatchComposer::new(workload.pending.clone(), add_fraction, 42);
+    let mut quarantine = QuarantineReport::default();
+    let mut wall = Duration::ZERO;
+    let mut updates = 0u64;
+    let mut batches = 0u64;
+    while batches < max_batches {
+        let present = store.edges_vec();
+        let Some(batch) = composer.next_batch(batch_size, &present) else { break };
+        updates += batch.len() as u64;
+        batches += 1;
+        let start = Instant::now();
+        store.apply_batch_lenient(&batch, &mut quarantine);
+        wall += start.elapsed();
+    }
+    let sample = StorageSample {
+        kind,
+        apply_secs: wall.as_secs_f64(),
+        updates,
+        batches,
+        stats: store.stats(),
+    };
+    (sample, store.edges_vec(), quarantine)
+}
+
+pub fn run(scope: Scope) -> ExperimentOutput {
+    let sizing = scope.sweep_sizing();
+    let workload =
+        StreamingWorkload::try_prepare(DATASET, sizing).expect("reference workload generates");
+    let batch_size = workload.default_batch_size();
+    let max_batches: u64 = if scope == Scope::Quick { 40 } else { 400 };
+
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut lines = vec![
+        format!(
+            "host cpus: {host_cpus} (single-threaded apply loop; wall numbers are host-dependent \
+             and not part of any deterministic surface)"
+        ),
+        format!(
+            "{:<9} {:>8} {:>8} {:>12} {:>12} {:>14} {:>14} {:>8}",
+            "add-frac",
+            "batches",
+            "updates",
+            "csr(s)",
+            "hybrid(s)",
+            "csr up/s",
+            "hybrid up/s",
+            "ratio"
+        ),
+    ];
+    let mut rows: Vec<(f64, StorageSample, StorageSample)> = Vec::new();
+    for &add_fraction in &ADD_FRACTIONS {
+        let (csr, csr_edges, csr_q) =
+            run_store(StorageKind::Csr, &workload, add_fraction, batch_size, max_batches);
+        let (hybrid, hybrid_edges, hybrid_q) =
+            run_store(StorageKind::Hybrid, &workload, add_fraction, batch_size, max_batches);
+        // The divergence gate: same stream, same final graph, same
+        // quarantine — in the same buffer order.
+        assert_eq!(csr_edges, hybrid_edges, "stores diverged at add_fraction {add_fraction}");
+        assert_eq!(csr_q, hybrid_q, "quarantine diverged at add_fraction {add_fraction}");
+        assert_eq!(csr.updates, hybrid.updates, "composed streams diverged");
+        lines.push(format!(
+            "{:<9.2} {:>8} {:>8} {:>12.6} {:>12.6} {:>14.0} {:>14.0} {:>7.2}x",
+            add_fraction,
+            csr.batches,
+            csr.updates,
+            csr.apply_secs,
+            hybrid.apply_secs,
+            csr.updates_per_sec(),
+            hybrid.updates_per_sec(),
+            hybrid.updates_per_sec() / csr.updates_per_sec().max(1e-9),
+        ));
+        rows.push((add_fraction, csr, hybrid));
+    }
+
+    // Update-heavy = the mixed add/delete rows (add_fraction < 1.0): the
+    // hybrid store's hash-indexed hubs pay off on membership checks and
+    // deletions. Pure insertion streams have less to gain.
+    let update_heavy_wins = rows
+        .iter()
+        .filter(|(f, _, _)| *f < 1.0)
+        .any(|(_, csr, hybrid)| hybrid.updates_per_sec() >= csr.updates_per_sec());
+    let note = if update_heavy_wins {
+        "hybrid batch-apply throughput >= csr on at least one update-heavy add-fraction".to_string()
+    } else {
+        format!(
+            "hybrid did not beat csr on this host at sizing {sizing:?}: the workload's rows are \
+             small enough that linear scans stay cache-resident; the hybrid tiers pay off as \
+             degrees grow (run with --full for larger rows)"
+        )
+    };
+    lines.push(String::new());
+    lines.push(note.clone());
+    if let Some((_, _, hybrid)) = rows.last() {
+        let s = hybrid.stats;
+        lines.push(format!(
+            "hybrid tiers after the delete-heavy run: {} inline / {} linear / {} indexed, \
+             {} promotions, {} demotions",
+            s.inline_vertices, s.linear_vertices, s.indexed_vertices, s.promotions, s.demotions
+        ));
+    }
+
+    let json = render_json(scope, sizing, batch_size, &rows, &note);
+    let out_path =
+        std::env::var("BENCH_STORAGE_OUT").unwrap_or_else(|_| "BENCH_storage.json".to_string());
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => lines.push(format!("wrote {out_path}")),
+        Err(e) => lines.push(format!("could not write {out_path}: {e}")),
+    }
+
+    ExperimentOutput {
+        id: ExperimentId::Storage,
+        title: "Graph-storage backends: batch-apply throughput, CSR vs degree-adaptive hybrid"
+            .into(),
+        lines,
+    }
+}
+
+fn render_sample(s: &StorageSample) -> String {
+    format!(
+        "{{\"storage\": \"{}\", \"apply_secs\": {:.6}, \"updates\": {}, \"batches\": {}, \
+         \"updates_per_sec\": {:.1}, \"tiers\": {{\"inline\": {}, \"linear\": {}, \
+         \"indexed\": {}, \"promotions\": {}, \"demotions\": {}}}}}",
+        s.kind,
+        s.apply_secs,
+        s.updates,
+        s.batches,
+        s.updates_per_sec(),
+        s.stats.inline_vertices,
+        s.stats.linear_vertices,
+        s.stats.indexed_vertices,
+        s.stats.promotions,
+        s.stats.demotions,
+    )
+}
+
+fn render_json(
+    scope: Scope,
+    sizing: Sizing,
+    batch_size: usize,
+    rows: &[(f64, StorageSample, StorageSample)],
+    note: &str,
+) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"storage\",\n");
+    s.push_str(&format!(
+        "  \"scope\": \"{}\",\n",
+        if scope == Scope::Quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!("  \"dataset\": \"{}\",\n", DATASET.abbrev()));
+    s.push_str(&format!("  \"sizing\": \"{sizing:?}\",\n"));
+    s.push_str(&format!("  \"batch_size\": {batch_size},\n"));
+    s.push_str(&format!("  \"note\": \"{note}\",\n"));
+    s.push_str("  \"add_fractions\": [\n");
+    for (i, (frac, csr, hybrid)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"add_fraction\": {frac}, \"diverged\": false, \"speedup\": {:.4},\n",
+            hybrid.updates_per_sec() / csr.updates_per_sec().max(1e-9)
+        ));
+        s.push_str(&format!("     \"csr\": {},\n", render_sample(csr)));
+        s.push_str(&format!(
+            "     \"hybrid\": {}}}{}\n",
+            render_sample(hybrid),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

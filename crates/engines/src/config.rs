@@ -16,6 +16,7 @@ use tdgraph_graph::datasets::{Dataset, Sizing, StreamingWorkload};
 use tdgraph_graph::error::GraphError;
 use tdgraph_graph::fault::FaultPlan;
 use tdgraph_graph::quarantine::IngestMode;
+use tdgraph_graph::store::StorageKind;
 use tdgraph_graph::update::BatchComposer;
 use tdgraph_graph::wire::RecordedSchedule;
 use tdgraph_obs::{NullRecorder, Recorder};
@@ -114,6 +115,13 @@ pub struct RunConfig {
     /// encoding); every metric, snapshot, and verified state stays
     /// byte-identical to [`ExecConfig::serial`].
     pub exec: ExecConfig,
+    /// Mutable graph-store backend. [`StorageKind::Csr`] is the
+    /// deterministic baseline (byte-identical to every pre-storage-axis
+    /// surface); [`StorageKind::Hybrid`] applies batches in O(touched
+    /// vertices) through the degree-adaptive tiers and additionally feeds
+    /// the sim a storage-layout access trace. Either way every algorithm
+    /// fixpoint is identical.
+    pub storage: StorageKind,
 }
 
 impl Default for RunConfig {
@@ -130,6 +138,7 @@ impl Default for RunConfig {
             fault_plan: FaultPlan::none(),
             oracle: OracleMode::Final,
             exec: ExecConfig::serial(),
+            storage: StorageKind::Csr,
         }
     }
 }
@@ -217,6 +226,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_exec(mut self, exec: impl Into<ExecConfig>) -> Self {
         self.exec = exec.into();
+        self
+    }
+
+    /// Sets the mutable graph-store backend.
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
         self
     }
 

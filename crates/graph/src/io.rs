@@ -6,33 +6,39 @@
 //! reproduction on them instead of the synthetic stand-ins:
 //!
 //! ```no_run
-//! use tdgraph_graph::io::load_edge_list;
+//! use tdgraph_graph::io::LoadConfig;
 //! use tdgraph_graph::datasets::StreamingWorkload;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let loaded = load_edge_list("soc-LiveJournal1.txt")?;
+//! let loaded = LoadConfig::new().load("soc-LiveJournal1.txt")?;
 //! let workload = StreamingWorkload::from_edges(
-//!     loaded.edges, loaded.vertex_count, /* seed */ 42,
+//!     loaded.graph.edges, loaded.graph.vertex_count, /* seed */ 42,
 //! );
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! Two ingest disciplines are offered. The strict loaders
-//! ([`load_edge_list`] / [`parse_edge_list`]) reject the whole file on the
-//! first bad record, with the 1-based line number and a truncated copy of
-//! the offending line in every error variant. The lenient loaders
-//! ([`load_edge_list_lenient`] / [`parse_edge_list_lenient`]) skip each
-//! bad record into a bounded [`QuarantineReport`] and keep going — a
-//! mid-stream read error keeps the parsed prefix instead of losing it.
+//! The one entry point is the [`LoadConfig`] builder: pick the ingest
+//! discipline with [`LoadConfig::ingest`] (strict rejects the whole file
+//! on the first bad record with the 1-based line number and a truncated
+//! copy of the offending line; lenient skips each bad record into a
+//! bounded [`QuarantineReport`] and keeps going — a mid-stream read error
+//! keeps the parsed prefix instead of losing it), arm seeded input
+//! corruption with [`LoadConfig::fault_plan`], and choose the backing
+//! [`StorageKind`] with [`LoadConfig::storage`]. The result is a
+//! [`LoadOutcome`] carrying the parsed edges, the quarantine accounting,
+//! and a ready-to-mutate [`AnyStore`]. The pre-builder entry points
+//! ([`load_edge_list`] and friends) survive as deprecated shims.
 
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use crate::fault::FaultPlan;
 use crate::prng::Xoshiro256StarStar;
-use crate::quarantine::{truncate_detail, QuarantineReason, QuarantineReport};
+use crate::quarantine::{truncate_detail, IngestMode, QuarantineReason, QuarantineReport};
+use crate::store::{AnyStore, GraphStore, StorageKind};
 use crate::types::{Edge, VertexCount, VertexId};
 
 /// An edge list loaded from disk.
@@ -158,6 +164,135 @@ fn parse_data_line(trimmed: &str) -> Result<(VertexId, VertexId, Option<f32>), L
     Ok((src, dst, weight))
 }
 
+/// Builder configuring how an edge list is loaded: ingest discipline,
+/// seeded input corruption, and which [`StorageKind`] backs the resulting
+/// mutable store.
+///
+/// ```
+/// use tdgraph_graph::io::LoadConfig;
+/// use tdgraph_graph::quarantine::IngestMode;
+/// use tdgraph_graph::store::{GraphStore, StorageKind};
+///
+/// let outcome = LoadConfig::new()
+///     .ingest(IngestMode::Lenient)
+///     .storage(StorageKind::Hybrid)
+///     .parse(std::io::Cursor::new("0 1 2.0\nbroken\n1 2 1.5\n"))
+///     .unwrap();
+/// assert_eq!(outcome.graph.edges.len(), 2);
+/// assert_eq!(outcome.quarantine.total(), 1);
+/// assert_eq!(outcome.store.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoadConfig {
+    ingest: IngestMode,
+    fault_plan: FaultPlan,
+    storage: StorageKind,
+}
+
+/// What a [`LoadConfig`] load produced: the parsed edge list, the
+/// quarantine accounting (always empty under strict ingest), and a
+/// mutable store of the requested [`StorageKind`] pre-populated with the
+/// loaded edges.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The parsed edges, vertex count, and comment/blank accounting.
+    pub graph: LoadedGraph,
+    /// Records skipped by lenient ingest (empty under strict ingest).
+    pub quarantine: QuarantineReport,
+    /// The loaded graph as a mutable store, ready for update batches.
+    pub store: AnyStore,
+}
+
+impl LoadConfig {
+    /// Strict ingest, no fault injection, CSR-backed storage.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the ingest discipline (default [`IngestMode::Strict`]).
+    #[must_use]
+    pub fn ingest(mut self, mode: IngestMode) -> Self {
+        self.ingest = mode;
+        self
+    }
+
+    /// Arms seeded input corruption: the raw text is passed through
+    /// `plan` before parsing (chaos testing; default
+    /// [`FaultPlan::none`]).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Selects the storage backend of [`LoadOutcome::store`] (default
+    /// [`StorageKind::Csr`]).
+    #[must_use]
+    pub fn storage(mut self, kind: StorageKind) -> Self {
+        self.storage = kind;
+        self
+    }
+
+    /// Loads a SNAP-style edge list from `path` (see [`LoadConfig::parse`]
+    /// for the format and discipline semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Io`] on file errors; under strict ingest also
+    /// [`LoadError::Parse`] / [`LoadError::TooManyVertices`] on the first
+    /// bad record.
+    pub fn load<P: AsRef<Path>>(&self, path: P) -> Result<LoadOutcome, LoadError> {
+        if self.fault_plan.is_noop() {
+            let file = std::fs::File::open(path)?;
+            self.parse_clean(BufReader::new(file))
+        } else {
+            let text = std::fs::read_to_string(path)?;
+            self.parse_clean(self.fault_plan.corrupted_reader(&text))
+        }
+    }
+
+    /// Parses a SNAP-style edge list from any reader: one
+    /// `src dst [weight]` triple per line, whitespace-separated, `#`- and
+    /// `%`-prefixed comment lines ignored. Unweighted edges receive
+    /// deterministic small-integer weights in `{1, …, 64}` (seeded by the
+    /// endpoints). Under [`IngestMode::Strict`] the first bad record
+    /// fails the load; under [`IngestMode::Lenient`] bad records are
+    /// skipped into [`LoadOutcome::quarantine`] and a mid-stream read
+    /// error keeps the parsed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Strict ingest: [`LoadError::Io`], [`LoadError::Parse`], or
+    /// [`LoadError::TooManyVertices`]. Lenient ingest never fails here —
+    /// everything strict would reject is quarantined instead.
+    pub fn parse<R: BufRead>(&self, reader: R) -> Result<LoadOutcome, LoadError> {
+        if self.fault_plan.is_noop() {
+            self.parse_clean(reader)
+        } else {
+            let mut text = String::new();
+            let mut reader = reader;
+            reader.read_to_string(&mut text)?;
+            self.parse_clean(self.fault_plan.corrupted_reader(&text))
+        }
+    }
+
+    /// Parses from a reader that already has any fault plan applied.
+    fn parse_clean<R: BufRead>(&self, reader: R) -> Result<LoadOutcome, LoadError> {
+        let (graph, quarantine) = match self.ingest {
+            IngestMode::Strict => (parse_edge_list(reader)?, QuarantineReport::new()),
+            IngestMode::Lenient => parse_lenient(reader),
+        };
+        let mut store = AnyStore::with_capacity(self.storage, graph.vertex_count);
+        // Every endpoint is < vertex_count by construction, so population
+        // cannot fail.
+        if let Err(e) = store.insert_edges(&graph.edges) {
+            debug_assert!(false, "loader produced out-of-bounds edge: {e}");
+        }
+        Ok(LoadOutcome { graph, quarantine, store })
+    }
+}
+
 /// Loads a SNAP-style edge list: one `src dst [weight]` triple per line,
 /// whitespace-separated, `#`-prefixed comment lines ignored. Unweighted
 /// edges receive deterministic small-integer weights in `{1, …, 64}`
@@ -169,12 +304,13 @@ fn parse_data_line(trimmed: &str) -> Result<(VertexId, VertexId, Option<f32>), L
 /// [`LoadError::Io`] on file errors, [`LoadError::Parse`] on malformed
 /// lines (including non-finite explicit weights),
 /// [`LoadError::TooManyVertices`] on an id past the [`VertexId`] range.
+#[deprecated(since = "0.1.0", note = "use `LoadConfig::new().load(path)` instead")]
 pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, LoadError> {
     let file = std::fs::File::open(path)?;
     parse_edge_list(BufReader::new(file))
 }
 
-/// Lenient variant of [`load_edge_list`]: bad records are skipped into the
+/// Lenient variant of `load_edge_list`: bad records are skipped into the
 /// returned [`QuarantineReport`] instead of aborting the load.
 ///
 /// # Errors
@@ -182,11 +318,15 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, LoadError>
 /// [`LoadError::Io`] only when the file cannot be opened; a read error
 /// mid-stream is quarantined ([`QuarantineReason::IoInterrupted`]) and the
 /// parsed prefix is returned.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LoadConfig::new().ingest(IngestMode::Lenient).load(path)` instead"
+)]
 pub fn load_edge_list_lenient<P: AsRef<Path>>(
     path: P,
 ) -> Result<(LoadedGraph, QuarantineReport), LoadError> {
     let file = std::fs::File::open(path)?;
-    Ok(parse_edge_list_lenient(BufReader::new(file)))
+    Ok(parse_lenient(BufReader::new(file)))
 }
 
 /// Parses an edge list from any reader (see [`load_edge_list`]).
@@ -224,8 +364,18 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, LoadError> 
 /// error ends the parse but keeps the prefix, quarantined as
 /// [`QuarantineReason::IoInterrupted`]. Infallible by design — the only
 /// unrecoverable failure (opening the file) happens before parsing.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LoadConfig::new().ingest(IngestMode::Lenient).parse(reader)` instead"
+)]
 #[must_use]
 pub fn parse_edge_list_lenient<R: BufRead>(reader: R) -> (LoadedGraph, QuarantineReport) {
+    parse_lenient(reader)
+}
+
+/// Shared lenient parser (see the deprecated `parse_edge_list_lenient`
+/// shim for the contract).
+fn parse_lenient<R: BufRead>(reader: R) -> (LoadedGraph, QuarantineReport) {
     let mut report = QuarantineReport::new();
     let mut edges = Vec::new();
     let mut max_vertex: u64 = 0;
@@ -281,10 +431,91 @@ pub fn save_edge_list<P: AsRef<Path>>(path: P, edges: &[Edge]) -> std::io::Resul
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
     use std::io::Cursor;
+
+    #[test]
+    fn load_config_strict_matches_legacy_loader() {
+        let text = "# header\n0 1 2.0\n1 2\n\n2 0 1.5\n";
+        let legacy = parse_edge_list(Cursor::new(text)).unwrap();
+        let outcome = LoadConfig::new().parse(Cursor::new(text)).unwrap();
+        assert_eq!(outcome.graph, legacy);
+        assert!(outcome.quarantine.is_empty());
+        assert_eq!(outcome.store.kind(), StorageKind::Csr);
+        assert_eq!(outcome.store.num_edges(), legacy.edges.len());
+        assert_eq!(outcome.store.edges_vec(), legacy.edges);
+    }
+
+    #[test]
+    fn load_config_strict_rejects_what_legacy_rejects() {
+        let text = "0 1\nbroken\n";
+        assert!(matches!(
+            LoadConfig::new().parse(Cursor::new(text)),
+            Err(LoadError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn load_config_lenient_matches_legacy_lenient() {
+        let text = "0 1\nbroken\n8589934592 2\n2 3 NaN\n3 4 2.5\n";
+        let (legacy, legacy_q) = parse_edge_list_lenient(Cursor::new(text));
+        let outcome =
+            LoadConfig::new().ingest(IngestMode::Lenient).parse(Cursor::new(text)).unwrap();
+        assert_eq!(outcome.graph, legacy);
+        assert_eq!(outcome.quarantine.total(), legacy_q.total());
+        assert_eq!(outcome.store.num_edges(), legacy.edges.len());
+    }
+
+    #[test]
+    fn load_config_hybrid_storage_holds_the_same_edges() {
+        let text = "0 1 2.0\n1 2 1.0\n2 0 3.0\n";
+        let csr = LoadConfig::new().parse(Cursor::new(text)).unwrap();
+        let hybrid =
+            LoadConfig::new().storage(StorageKind::Hybrid).parse(Cursor::new(text)).unwrap();
+        assert_eq!(hybrid.store.kind(), StorageKind::Hybrid);
+        assert_eq!(hybrid.store.edges_vec(), csr.store.edges_vec());
+        assert_eq!(hybrid.store.snapshot(), csr.store.snapshot());
+    }
+
+    #[test]
+    fn load_config_fault_plan_corrupts_before_parsing() {
+        let clean: String = (0..64).map(|i| format!("{i} {} 1.0\n", i + 1)).collect();
+        let plan = FaultPlan::seeded(42)
+            .with_malformed_lines(0.2)
+            .with_truncated_lines(0.2)
+            .with_out_of_range_ids(0.2);
+        let outcome = LoadConfig::new()
+            .ingest(IngestMode::Lenient)
+            .fault_plan(plan)
+            .parse(Cursor::new(clean.clone()))
+            .unwrap();
+        let (legacy, legacy_q) = parse_edge_list_lenient(plan.corrupted_reader(&clean));
+        assert_eq!(outcome.graph, legacy);
+        assert_eq!(outcome.quarantine.total(), legacy_q.total());
+        assert!(!outcome.quarantine.is_empty(), "armed plan must corrupt something");
+    }
+
+    #[test]
+    fn load_config_load_reads_files_with_and_without_faults() {
+        let dir = std::env::temp_dir().join("tdgraph_io_loadconfig_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        let edges = vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.5)];
+        save_edge_list(&path, &edges).unwrap();
+        let outcome = LoadConfig::new().load(&path).unwrap();
+        assert_eq!(outcome.graph.edges, edges);
+        let faulted = LoadConfig::new()
+            .ingest(IngestMode::Lenient)
+            .fault_plan(FaultPlan::seeded(7).with_io_error_after(1))
+            .load(&path)
+            .unwrap();
+        assert_eq!(faulted.quarantine.count(QuarantineReason::IoInterrupted), 1);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(LoadConfig::new().load(&path), Err(LoadError::Io(_))));
+    }
 
     #[test]
     fn parses_snap_format_with_comments() {

@@ -1,0 +1,485 @@
+//! Pluggable graph-storage API.
+//!
+//! Every engine, the sim, and the serve daemon used to be hard-wired to
+//! the CSR + snapshot substrate ([`crate::streaming::StreamingGraph`]).
+//! [`GraphStore`] captures that substrate's exact read and mutation
+//! surface as a trait, so the storage layout becomes a first-class,
+//! sweepable axis ([`StorageKind`]):
+//!
+//! * [`StorageKind::Csr`] — the original store. Per-batch work
+//!   materializes a full [`Csr`] snapshot; the deterministic baseline
+//!   every byte-identity gate is pinned to.
+//! * [`StorageKind::Hybrid`] — a GraphTango-style degree-adaptive store
+//!   ([`crate::hybrid::HybridStore`]): low-degree vertices inline,
+//!   medium-degree in linear buffers, high-degree behind an
+//!   open-addressed hash index, with hysteresis on tier transitions.
+//!   Batch application touches O(touched vertices) instead of paying a
+//!   whole-graph rebuild.
+//!
+//! # Determinism contract
+//!
+//! Both stores expose *identical semantics*: the same operation sequence
+//! yields the same edge iteration order (push / swap-remove buffer
+//! order), the same [`AppliedBatch`], the same quarantine records, and
+//! the same [`Csr`] snapshot bytes. That is what keeps the seeded
+//! [`crate::update::BatchComposer`] — which samples deletions by index
+//! from [`GraphStore::edges_vec`] — on the same trajectory for every
+//! store, so CSR-vs-hybrid runs agree on every algorithm fixpoint.
+//!
+//! The hybrid store can additionally report which of its internal
+//! regions a batch application touched ([`StorageTouch`]), letting the
+//! simulator's cache/NoC models observe the layout difference. The CSR
+//! store reports nothing, so `StorageKind::Csr` runs stay byte-identical
+//! to the pre-trait era on every surface.
+
+use std::fmt;
+
+use crate::csr::Csr;
+use crate::hybrid::HybridStore;
+use crate::quarantine::QuarantineReport;
+use crate::streaming::{AppliedBatch, ApplyError, StreamingGraph};
+use crate::types::{Edge, EdgeCount, VertexCount, VertexId, Weight};
+use crate::update::UpdateBatch;
+
+/// Which graph-storage backend a run uses. A first-class axis: it
+/// appears in `RunConfig`, `SweepSpec::storages`, and the serve daemon's
+/// `--storage` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageKind {
+    /// CSR + per-batch snapshot rebuild (the deterministic baseline).
+    #[default]
+    Csr,
+    /// GraphTango-style degree-adaptive hybrid adjacency.
+    Hybrid,
+}
+
+impl StorageKind {
+    /// Every storage kind, in documentation order.
+    pub const ALL: [StorageKind; 2] = [StorageKind::Csr, StorageKind::Hybrid];
+
+    /// Stable lower-case label (CLI values, report fields).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageKind::Csr => "csr",
+            StorageKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a [`StorageKind::label`] string (inverse of `label`).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tier occupancy and transition counters of a store.
+///
+/// The CSR store has no tiers and reports all-zero; consumers that emit
+/// observability counters only when a field is non-zero therefore stay
+/// byte-identical under [`StorageKind::Csr`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Vertices currently stored in the inline tier.
+    pub inline_vertices: u64,
+    /// Vertices currently stored as growable linear buffers.
+    pub linear_vertices: u64,
+    /// Vertices currently stored behind a hash index.
+    pub indexed_vertices: u64,
+    /// Total tier promotions (inline→linear, linear→indexed).
+    pub promotions: u64,
+    /// Total tier demotions (indexed→linear, linear→inline).
+    pub demotions: u64,
+}
+
+impl StorageStats {
+    /// Whether every counter is zero (true for tierless stores).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == StorageStats::default()
+    }
+}
+
+/// An internal region of a store's layout, from the accelerator model's
+/// point of view. The engine layer maps these onto the simulator's
+/// address-space regions (`RowHeader` → `Offset_Array`, `NeighborSlot` /
+/// `WeightSlot` → `Neighbor_Array` / `Weight_Array`, `HashSlot` → the
+/// hash-table region), so no new simulated address space is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageRegion {
+    /// Per-vertex row metadata (tier tag, length, inline payload).
+    RowHeader,
+    /// A neighbor-id slot in a linear or indexed buffer.
+    NeighborSlot,
+    /// A weight slot parallel to a neighbor slot.
+    WeightSlot,
+    /// An open-addressed hash-index slot.
+    HashSlot,
+}
+
+/// Stride separating per-vertex slot indices in [`StorageTouch::index`]:
+/// slot-region touches encode `vertex * TOUCH_ROW_STRIDE + position`, so
+/// positions within one row stay contiguous and distinct rows never
+/// alias. Consumers recover the in-row position as
+/// `index % TOUCH_ROW_STRIDE` before folding the touch into their own
+/// address model.
+pub const TOUCH_ROW_STRIDE: u64 = 1 << 20;
+
+/// One memory touch a store performed while applying updates. `index` is
+/// a synthetic element index ([`TOUCH_ROW_STRIDE`]-strided for slot
+/// regions, the vertex id for [`StorageRegion::RowHeader`]),
+/// deterministic for a given operation sequence; the simulator folds it
+/// into a cache-line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageTouch {
+    /// The vertex whose row was touched (for core attribution).
+    pub vertex: VertexId,
+    /// Which layout region was touched.
+    pub region: StorageRegion,
+    /// Element index within the region.
+    pub index: u64,
+    /// Whether the touch was a write.
+    pub is_write: bool,
+}
+
+/// The storage surface every backend implements: the read surface the
+/// engines and the sim consume, and the mutation surface the session
+/// drives — with semantics *identical* to [`StreamingGraph`] (the
+/// documented contract the equivalence property suite pins down).
+pub trait GraphStore {
+    /// Which backend this is.
+    fn kind(&self) -> StorageKind;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> VertexCount;
+
+    /// Number of directed edges currently present.
+    fn num_edges(&self) -> EdgeCount;
+
+    /// Out-degree of `v` (0 for out-of-range ids).
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Whether edge `(src, dst)` is present.
+    fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool;
+
+    /// The weight of edge `(src, dst)`, when present.
+    fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight>;
+
+    /// Visits `v`'s out-neighbors in the store's buffer order (the order
+    /// [`GraphStore::edges_vec`] reports them in).
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight));
+
+    /// `v`'s out-neighbors as a vector, in buffer order.
+    fn neighbors_of(&self, v: VertexId) -> Vec<(VertexId, Weight)> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.for_each_neighbor(v, &mut |n, w| out.push((n, w)));
+        out
+    }
+
+    /// Grows the vertex set so `vertex` is addressable.
+    fn ensure_vertex(&mut self, vertex: VertexId);
+
+    /// Inserts edges in bulk (initial load). Re-inserted edges overwrite
+    /// their weight; self-loops are skipped (after the bounds check).
+    ///
+    /// # Errors
+    ///
+    /// [`ApplyError::VertexOutOfBounds`] for endpoints outside the
+    /// current vertex range.
+    fn insert_edges(&mut self, edges: &[Edge]) -> Result<(), ApplyError>;
+
+    /// Applies a validated batch atomically (validate-all-first; on error
+    /// the store is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// [`ApplyError::VertexOutOfBounds`] or [`ApplyError::MissingEdge`].
+    fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<AppliedBatch, ApplyError>;
+
+    /// Applies a batch leniently, quarantining what strict application
+    /// would reject (same records, same reasons, same details).
+    fn apply_batch_lenient(
+        &mut self,
+        batch: &UpdateBatch,
+        quarantine: &mut QuarantineReport,
+    ) -> AppliedBatch;
+
+    /// Materializes an immutable CSR snapshot of the current graph.
+    fn snapshot(&self) -> Csr;
+
+    /// All present edges, row-major in buffer order (the deletion
+    /// sampling pool for [`crate::update::BatchComposer`] — the order is
+    /// determinism-load-bearing and identical across backends).
+    fn edges_vec(&self) -> Vec<Edge>;
+
+    /// Tier occupancy / transition counters (all-zero for tierless
+    /// stores).
+    fn stats(&self) -> StorageStats {
+        StorageStats::default()
+    }
+
+    /// Enables or disables update-touch tracing (no-op for stores that
+    /// never trace).
+    fn set_touch_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains the touches recorded since the last call (always empty for
+    /// the CSR store, which is what keeps CSR runs byte-identical).
+    fn take_update_touches(&mut self) -> Vec<StorageTouch> {
+        Vec::new()
+    }
+}
+
+impl GraphStore for StreamingGraph {
+    fn kind(&self) -> StorageKind {
+        StorageKind::Csr
+    }
+
+    fn num_vertices(&self) -> VertexCount {
+        self.vertex_count()
+    }
+
+    fn num_edges(&self) -> EdgeCount {
+        self.edge_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.contains_edge(src, dst)
+    }
+
+    fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
+        self.edge_weight(src, dst)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight)) {
+        for &(n, w) in self.out_edges(v) {
+            f(n, w);
+        }
+    }
+
+    fn ensure_vertex(&mut self, vertex: VertexId) {
+        self.ensure_vertex(vertex);
+    }
+
+    fn insert_edges(&mut self, edges: &[Edge]) -> Result<(), ApplyError> {
+        StreamingGraph::insert_edges(self, edges.iter().copied())
+    }
+
+    fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<AppliedBatch, ApplyError> {
+        StreamingGraph::apply_batch(self, batch)
+    }
+
+    fn apply_batch_lenient(
+        &mut self,
+        batch: &UpdateBatch,
+        quarantine: &mut QuarantineReport,
+    ) -> AppliedBatch {
+        StreamingGraph::apply_batch_lenient(self, batch, quarantine)
+    }
+
+    fn snapshot(&self) -> Csr {
+        StreamingGraph::snapshot(self)
+    }
+
+    fn edges_vec(&self) -> Vec<Edge> {
+        StreamingGraph::edges_vec(self)
+    }
+}
+
+/// Enum dispatch over the built-in stores. The engine session holds one
+/// of these (the stores are intentionally not boxed: enum dispatch keeps
+/// the CSR arm's code path bit-for-bit the one `StreamingGraph` callers
+/// always took, and keeps non-`Send` constraints unchanged).
+#[derive(Debug, Clone)]
+pub enum AnyStore {
+    /// The CSR + snapshot substrate.
+    Csr(StreamingGraph),
+    /// The degree-adaptive hybrid substrate.
+    Hybrid(HybridStore),
+}
+
+impl AnyStore {
+    /// An empty store of the given kind with `vertex_count` vertices.
+    #[must_use]
+    pub fn with_capacity(kind: StorageKind, vertex_count: VertexCount) -> Self {
+        match kind {
+            StorageKind::Csr => AnyStore::Csr(StreamingGraph::with_capacity(vertex_count)),
+            StorageKind::Hybrid => AnyStore::Hybrid(HybridStore::with_capacity(vertex_count)),
+        }
+    }
+
+    /// Builds a store of the given kind from an existing
+    /// [`StreamingGraph`], replaying its edges in iteration order so the
+    /// resulting buffer order is identical across kinds.
+    #[must_use]
+    pub fn from_streaming(kind: StorageKind, graph: StreamingGraph) -> Self {
+        match kind {
+            StorageKind::Csr => AnyStore::Csr(graph),
+            StorageKind::Hybrid => {
+                let mut hybrid = HybridStore::with_capacity(graph.vertex_count());
+                for e in graph.iter_edges() {
+                    hybrid.insert_edge(e);
+                }
+                AnyStore::Hybrid(hybrid)
+            }
+        }
+    }
+
+    fn as_store(&self) -> &dyn GraphStore {
+        match self {
+            AnyStore::Csr(g) => g,
+            AnyStore::Hybrid(h) => h,
+        }
+    }
+
+    fn as_store_mut(&mut self) -> &mut dyn GraphStore {
+        match self {
+            AnyStore::Csr(g) => g,
+            AnyStore::Hybrid(h) => h,
+        }
+    }
+}
+
+impl GraphStore for AnyStore {
+    fn kind(&self) -> StorageKind {
+        self.as_store().kind()
+    }
+
+    fn num_vertices(&self) -> VertexCount {
+        self.as_store().num_vertices()
+    }
+
+    fn num_edges(&self) -> EdgeCount {
+        self.as_store().num_edges()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.as_store().degree(v)
+    }
+
+    fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.as_store().contains_edge(src, dst)
+    }
+
+    fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
+        self.as_store().edge_weight(src, dst)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight)) {
+        self.as_store().for_each_neighbor(v, f);
+    }
+
+    fn ensure_vertex(&mut self, vertex: VertexId) {
+        self.as_store_mut().ensure_vertex(vertex);
+    }
+
+    fn insert_edges(&mut self, edges: &[Edge]) -> Result<(), ApplyError> {
+        self.as_store_mut().insert_edges(edges)
+    }
+
+    fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<AppliedBatch, ApplyError> {
+        self.as_store_mut().apply_batch(batch)
+    }
+
+    fn apply_batch_lenient(
+        &mut self,
+        batch: &UpdateBatch,
+        quarantine: &mut QuarantineReport,
+    ) -> AppliedBatch {
+        self.as_store_mut().apply_batch_lenient(batch, quarantine)
+    }
+
+    fn snapshot(&self) -> Csr {
+        self.as_store().snapshot()
+    }
+
+    fn edges_vec(&self) -> Vec<Edge> {
+        self.as_store().edges_vec()
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.as_store().stats()
+    }
+
+    fn set_touch_tracing(&mut self, enabled: bool) {
+        self.as_store_mut().set_touch_tracing(enabled);
+    }
+
+    fn take_update_touches(&mut self) -> Vec<StorageTouch> {
+        self.as_store_mut().take_update_touches()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::EdgeUpdate;
+
+    #[test]
+    fn storage_kind_labels_roundtrip() {
+        for kind in StorageKind::ALL {
+            assert_eq!(StorageKind::from_label(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(StorageKind::from_label("nope"), None);
+        assert_eq!(StorageKind::default(), StorageKind::Csr);
+    }
+
+    #[test]
+    fn csr_store_reports_no_tiers_and_no_touches() {
+        let mut g = StreamingGraph::with_capacity(4);
+        GraphStore::insert_edges(&mut g, &[Edge::new(0, 1, 1.0)]).unwrap();
+        assert!(GraphStore::stats(&g).is_empty());
+        g.set_touch_tracing(true);
+        let batch = UpdateBatch::from_updates(vec![EdgeUpdate::addition(1, 2, 1.0)]).unwrap();
+        let _ = GraphStore::apply_batch(&mut g, &batch).unwrap();
+        assert!(g.take_update_touches().is_empty());
+    }
+
+    #[test]
+    fn any_store_round_trips_both_kinds() {
+        for kind in StorageKind::ALL {
+            let mut store = AnyStore::with_capacity(kind, 5);
+            assert_eq!(store.kind(), kind);
+            store.insert_edges(&[Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.0)]).unwrap();
+            assert_eq!(store.num_edges(), 2);
+            assert_eq!(store.degree(0), 1);
+            assert_eq!(store.edge_weight(1, 2), Some(3.0));
+            assert!(store.contains_edge(0, 1));
+            assert_eq!(store.neighbors_of(1), vec![(2, 3.0)]);
+            let snap = store.snapshot();
+            assert_eq!(snap.vertex_count(), 5);
+            assert_eq!(snap.edge_count(), 2);
+        }
+    }
+
+    #[test]
+    fn from_streaming_preserves_edge_order_across_kinds() {
+        let mut g = StreamingGraph::with_capacity(8);
+        StreamingGraph::insert_edges(
+            &mut g,
+            [
+                Edge::new(3, 1, 1.0),
+                Edge::new(3, 7, 2.0),
+                Edge::new(0, 4, 3.0),
+                Edge::new(3, 2, 4.0),
+            ],
+        )
+        .unwrap();
+        let want = g.edges_vec();
+        let hybrid = AnyStore::from_streaming(StorageKind::Hybrid, g.clone());
+        let csr = AnyStore::from_streaming(StorageKind::Csr, g);
+        assert_eq!(hybrid.edges_vec(), want);
+        assert_eq!(csr.edges_vec(), want);
+        assert_eq!(hybrid.snapshot(), csr.snapshot());
+    }
+}

@@ -23,9 +23,9 @@ pub mod test_runner;
 /// Everything a `proptest!` test file needs, mirroring
 /// `proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::strategy::{any, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Declares deterministic property tests.
@@ -88,6 +88,21 @@ macro_rules! __proptest_cases {
     };
 }
 
+/// Picks one of several same-valued strategies, optionally weighted
+/// (`weight => strategy`), mirroring `proptest::prop_oneof!`. Unweighted
+/// arms are uniform.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($weight:expr => $strategy:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight, ::std::boxed::Box::new($strategy) as _)),+
+        ])
+    };
+    ( $($strategy:expr),+ $(,)? ) => {
+        $crate::prop_oneof![$(1u32 => $strategy),+]
+    };
+}
+
 /// Asserts a condition inside a property test.
 #[macro_export]
 macro_rules! prop_assert {
@@ -128,6 +143,17 @@ mod tests {
         ) {
             prop_assert_ne!(pair.0, pair.1);
             let _ = flag;
+        }
+
+        #[test]
+        fn oneof_arms_all_fire_and_respect_bounds(
+            v in crate::collection::vec(
+                prop_oneof![3 => 0u32..8, 1 => 100u32..108],
+                32..64,
+            )
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 8u32 || (100u32..108).contains(&x)));
+            prop_assert!(v.iter().any(|&x| x < 8u32), "heavy arm must fire");
         }
 
         #[test]

@@ -131,6 +131,49 @@ where
     }
 }
 
+/// Weighted union of strategies yielding the same value type (built by
+/// the [`prop_oneof!`](crate::prop_oneof) macro, mirroring proptest's
+/// `TupleUnion`). Arms are boxed so heterogeneous strategy types can
+/// share one union; an arm is picked with probability weight/total.
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// When the weights sum to zero (no arm could ever be picked).
+    #[must_use]
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prop_oneof({} arms)", self.arms.len())
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.next_below(self.total);
+        for (weight, strategy) in &self.arms {
+            if pick < u64::from(*weight) {
+                return strategy.sample(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("pick below total weight always lands in an arm")
+    }
+}
+
 /// Types with a canonical "any value" strategy (`any::<T>()`).
 pub trait Arbitrary: Sized + std::fmt::Debug {
     /// Draws an arbitrary value of the type.

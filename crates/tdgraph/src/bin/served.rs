@@ -20,11 +20,19 @@
 //!   --exec-shards N          replay worker threads per session (0 = serial)
 //!   --reduce-lanes K         partitioned reducer lanes (1..=8)
 //!   --event-encoding ENC     boundary-event encoding: packed | rle
+//!   --storage KIND           graph-storage backend: csr | hybrid
 //! ```
 //!
 //! The three `--exec-*` flags set the default [`ExecConfig`] of every
 //! tenant session. They trade host wall-clock only: replies and finish
 //! reports are byte-identical across every execution configuration.
+//!
+//! `--storage` selects the graph-storage backend for every tenant
+//! session: `csr` (default) is the deterministic byte-identity baseline;
+//! `hybrid` applies update batches through the degree-adaptive store in
+//! O(touched vertices) and charges its layout traffic to the simulated
+//! memory system. Algorithm fixpoints — and therefore finish-report
+//! verification verdicts — agree across both backends.
 //!
 //! With `--wal-dir`, accepted lines are logged before they are queued;
 //! on restart every tenant found in the directory is replayed through the
@@ -45,7 +53,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use tdgraph::prelude::{EventEncoding, ExecConfig};
+use tdgraph::prelude::{EventEncoding, ExecConfig, StorageKind};
 use tdgraph::registry_with_defaults;
 use tdgraph::serve::{OverloadPolicy, Service, ServiceConfig, SupervisionConfig, TdServer};
 
@@ -122,6 +130,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     }
                 };
                 session = session.tune(|run| run.exec = run.exec.event_encoding(enc));
+            }
+            "--storage" => {
+                let raw = value("--storage")?;
+                let kind = StorageKind::from_label(&raw)
+                    .ok_or_else(|| format!("--storage must be csr or hybrid, got {raw:?}"))?;
+                session = session.tune(|run| run.storage = kind);
             }
             "--watchdog-ms" => {
                 let ms = parse_num(&value("--watchdog-ms")?)?;

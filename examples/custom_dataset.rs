@@ -2,7 +2,7 @@
 //! edge list, build a streaming workload from it, and compare engines.
 //!
 //! With a real SNAP file (e.g. soc-LiveJournal1.txt) on disk, point
-//! `load_edge_list` at it instead of the generated file below.
+//! `LoadConfig::new().load(..)` at it instead of the generated file below.
 //!
 //! ```text
 //! cargo run --release --example custom_dataset
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {} (replace with your own SNAP file)", path.display());
 
     // 2. Load it back and inspect.
-    let loaded = load_edge_list(&path)?;
+    let loaded = LoadConfig::new().load(&path)?.graph;
     println!(
         "loaded {} edges over {} vertices ({} comment lines skipped)",
         loaded.edges.len(),
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = RunConfig { sim: SimConfig::scaled_reference(), batches: 3, ..RunConfig::default() };
     let rebuild = || {
         StreamingWorkload::from_edges(
-            load_edge_list(&path).expect("file still present").edges,
+            LoadConfig::new().load(&path).expect("file still present").graph.edges,
             loaded.vertex_count,
             42,
         )

@@ -126,7 +126,11 @@ fn corrupted_edge_list_text_honors_the_strict_lenient_complement() {
             .with_nan_weights(0.1);
         let corrupted = plan.corrupt_text(&clean);
         let strict = parse_edge_list(std::io::Cursor::new(corrupted.as_str()));
-        let (_, quarantine) = parse_edge_list_lenient(std::io::Cursor::new(corrupted.as_str()));
+        let quarantine = LoadConfig::new()
+            .ingest(IngestMode::Lenient)
+            .parse(std::io::Cursor::new(corrupted.as_str()))
+            .expect("lenient parsing never errors on data faults")
+            .quarantine;
         assert_eq!(
             strict.is_err(),
             !quarantine.is_empty(),
